@@ -1,0 +1,171 @@
+// Command wohabench regenerates the WOHA paper's evaluation figures on the
+// simulated cluster and prints each as a table. With -timeline-dir it also
+// writes the Fig 14-19 slot-allocation CSVs.
+//
+// Usage:
+//
+//	wohabench [-fig all|2|3|5|6|8|9|10|11|12|13a|13b] [-timeline-dir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (all, 2, 3, 5, 6, 8, 9, 10, 11, 12, 13a, 13b, ablations)")
+	timelineDir := flag.String("timeline-dir", "", "directory to write Fig 14-19 CSVs into (empty = skip)")
+	flag.Parse()
+
+	if err := run(*fig, *timelineDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wohabench:", err)
+		os.Exit(1)
+	}
+}
+
+var validFigs = map[string]bool{
+	"all": true, "2": true, "3": true, "5": true, "6": true, "8": true,
+	"9": true, "10": true, "11": true, "12": true, "13a": true, "13b": true,
+	"ablations": true,
+}
+
+func run(fig, timelineDir string, out io.Writer) error {
+	if !validFigs[fig] {
+		return fmt.Errorf("unknown figure %q (want one of all, 2, 3, 5, 6, 8, 9, 10, 11, 12, 13a, 13b, ablations)", fig)
+	}
+	want := func(names ...string) bool {
+		if fig == "all" {
+			return true
+		}
+		for _, n := range names {
+			if fig == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("2") {
+		res, err := experiments.Fig2()
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Render(out); err != nil {
+			return err
+		}
+	}
+	if want("3") {
+		res, err := experiments.Fig3(experiments.DefaultFig3Config())
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Render(out); err != nil {
+			return err
+		}
+	}
+	if want("5", "6") {
+		res := experiments.Fig56(experiments.DefaultFig56Config())
+		if want("5") {
+			if err := res.Fig5Table().Render(out); err != nil {
+				return err
+			}
+		}
+		if want("6") {
+			if err := res.Fig6Table().Render(out); err != nil {
+				return err
+			}
+		}
+	}
+	if want("8", "9", "10") {
+		res, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			return err
+		}
+		tables := []struct {
+			name string
+			tbl  *experiments.Table
+		}{
+			{"8", res.MissTable()},
+			{"9", res.MaxTardTable()},
+			{"10", res.TotalTardTable()},
+		}
+		for _, t := range tables {
+			if want(t.name) {
+				if err := t.tbl.Render(out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if want("11") || timelineDir != "" {
+		res, err := experiments.Fig11(experiments.DefaultFig11Config())
+		if err != nil {
+			return err
+		}
+		if want("11") {
+			if err := res.WorkspanTable().Render(out); err != nil {
+				return err
+			}
+		}
+		if timelineDir != "" {
+			if err := os.MkdirAll(timelineDir, 0o755); err != nil {
+				return err
+			}
+			err := res.WriteTimelines(func(stem string) (io.WriteCloser, error) {
+				return os.Create(filepath.Join(timelineDir, stem+".csv"))
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "Fig 14-19 timelines written to %s\n\n", timelineDir)
+		}
+	}
+	if want("12") {
+		cfg := experiments.DefaultFig11Config()
+		cfg.Recurrences = 3
+		res, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.UtilizationTable().Render(out); err != nil {
+			return err
+		}
+	}
+	if want("13a") {
+		res := experiments.Fig13a(experiments.DefaultFig13aConfig())
+		if err := res.Table().Render(out); err != nil {
+			return err
+		}
+	}
+	if want("ablations") {
+		f11, err := experiments.AblationsFig11()
+		if err != nil {
+			return err
+		}
+		if err := experiments.AblationTable("Ablations: simulator knobs (Fig 11 scenario, WOHA-LPF)", f11).Render(out); err != nil {
+			return err
+		}
+		yah, err := experiments.AblationsYahoo()
+		if err != nil {
+			return err
+		}
+		if err := experiments.AblationTable("Ablations: policy knobs (Yahoo workload, 240m-240r, WOHA-LPF)", yah).Render(out); err != nil {
+			return err
+		}
+	}
+	if want("13b") {
+		res, err := experiments.Fig13b(experiments.DefaultFig13bConfig())
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

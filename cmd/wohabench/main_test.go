@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run("bogus", "", &sb); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	var sb strings.Builder
+	if err := run("2", "", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 2", "uncapped finish", "capped finish"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig13bAndTimelines(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run("13b", dir, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig 13(b)") {
+		t.Errorf("missing Fig 13(b) table:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "timelines written") {
+		t.Errorf("missing timeline confirmation:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig7(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "fig7", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `<workflow name="fig7"`) {
+		t.Errorf("unexpected XML:\n%s", data[:120])
+	}
+}
+
+func TestRunYahoo(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "yahoo", 5); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 61 {
+		t.Errorf("wrote %d files, want 61", len(entries))
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run(t.TempDir(), "nope", 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Command wohasim runs one workload on the simulated Hadoop cluster under a
+// chosen workflow scheduler and reports per-workflow outcomes.
+//
+// Workloads:
+//
+//	-workload fig7     the paper's 33-job demo topology x3 (the Fig 11 setup)
+//	-workload yahoo    the 61-workflow Yahoo-derived population (Fig 8 setup)
+//	-workload x.xml    one workflow from an XML configuration file
+//
+// Example:
+//
+//	wohasim -workload fig7 -scheduler WOHA-LPF -nodes 32
+//	wohasim -workload my-pipeline.xml -scheduler EDF -timeline out.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	woha "repro"
+	"repro/internal/experiments"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "fig7", "fig7, yahoo, or a workflow XML file")
+		schedName    = flag.String("scheduler", "WOHA-LPF", "EDF, FIFO, Fair, WOHA-LPF, WOHA-HLF, or WOHA-MPF")
+		nodes        = flag.Int("nodes", 32, "number of TaskTrackers")
+		mapSlots     = flag.Int("map-slots", 2, "map slots per node")
+		reduceSlots  = flag.Int("reduce-slots", 1, "reduce slots per node")
+		heartbeat    = flag.Duration("heartbeat", 0, "heartbeat interval (0 = instant dispatch)")
+		submitter    = flag.Duration("submitter", 0, "submitter-job overhead per wjob activation")
+		noise        = flag.Float64("noise", 0, "task duration noise fraction in [0,1)")
+		seed         = flag.Int64("seed", 1, "PRNG seed")
+		timeline     = flag.String("timeline", "", "write map-slot allocation CSV to this file")
+		liveMode     = flag.Bool("live", false, "run on the concurrent live mini-Hadoop instead of the discrete-event simulator")
+		timeScale    = flag.Float64("time-scale", 0.001, "live mode: wall seconds per virtual second")
+	)
+	flag.Parse()
+
+	if *liveMode {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *timeScale); err != nil {
+			fmt.Fprintln(os.Stderr, "wohasim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*workloadName, *schedName, woha.ClusterConfig{
+		Nodes:              *nodes,
+		MapSlotsPerNode:    *mapSlots,
+		ReduceSlotsPerNode: *reduceSlots,
+		HeartbeatInterval:  *heartbeat,
+		SubmitterOverhead:  *submitter,
+		Noise:              *noise,
+		Seed:               *seed,
+	}, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "wohasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string) error {
+	flows, err := buildWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+
+	var tl *metrics.Timeline
+	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed)}
+	if timelinePath != "" {
+		tl = woha.NewTimeline()
+		opts = append(opts, woha.WithObserver(tl))
+	}
+	sess, err := woha.NewSession(cfg, woha.Scheduler(schedName), opts...)
+	if err != nil {
+		return err
+	}
+	for _, w := range flows {
+		if err := sess.Submit(w); err != nil {
+			return err
+		}
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheduler %s on %d nodes (%d map + %d reduce slots), %d workflows, %d tasks\n",
+		res.Policy, cfg.Nodes, cfg.MapSlots(), cfg.ReduceSlots(), len(res.Workflows), res.TasksStarted)
+	fmt.Printf("%-12s %10s %10s %10s %10s  %s\n", "workflow", "release", "deadline", "finish", "workspan", "met")
+	for _, w := range res.Workflows {
+		met := "yes"
+		if !w.Met {
+			met = fmt.Sprintf("MISS by %v", w.Tardiness.Round(time.Second))
+		}
+		fmt.Printf("%-12s %10.0fs %10.0fs %10.0fs %10.0fs  %s\n",
+			w.Name, w.Release.Seconds(), w.Deadline.Seconds(), w.Finish.Seconds(), w.Workspan.Seconds(), met)
+	}
+	fmt.Printf("misses %d/%d (%.1f%%), max tardiness %v, total tardiness %v, utilization %.3f, makespan %v\n",
+		res.DeadlineMisses(), len(res.Workflows), 100*res.MissRatio(),
+		res.MaxTardiness().Round(time.Second), res.TotalTardiness().Round(time.Second),
+		res.Utilization(), res.Makespan.Duration().Round(time.Second))
+
+	if tl != nil {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tl.WriteCSV(f, woha.MapSlot); err != nil {
+			return err
+		}
+		fmt.Printf("map-slot timeline written to %s\n", timelinePath)
+	}
+	return nil
+}
+
+// runLive executes the workload on the concurrent mini-Hadoop.
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, timeScale float64) error {
+	flows, err := buildWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	spec, err := experiments.SchedulerByName(schedName)
+	if err != nil {
+		return err
+	}
+	cfg := live.Config{
+		Nodes:              nodes,
+		MapSlotsPerNode:    mapSlots,
+		ReduceSlotsPerNode: reduceSlots,
+		HeartbeatInterval:  5 * time.Millisecond,
+		TimeScale:          timeScale,
+	}
+	c, err := live.New(cfg, spec.New(1))
+	if err != nil {
+		return err
+	}
+	for _, w := range flows {
+		var p *plan.Plan
+		if spec.IsWOHA() {
+			p, err = plan.GenerateCappedTyped(w,
+				plan.Caps{Maps: nodes * mapSlots, Reduces: nodes * reduceSlots},
+				spec.Priority, experiments.PlanMargin)
+			if err != nil {
+				return err
+			}
+		}
+		if err := c.Submit(w, p); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	res, err := c.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live run under %s: %d workflows, %d tasks, wall time %v\n",
+		res.Policy, len(res.Workflows), res.TasksStarted, time.Since(start).Round(time.Millisecond))
+	virtualHB := time.Duration(float64(cfg.HeartbeatInterval) / timeScale)
+	fmt.Printf("  (5ms wall heartbeats = %v of virtual dispatch latency at this time scale;\n"+
+		"   pick -time-scale so that is ~3s to emulate Hadoop's heartbeat period)\n",
+		virtualHB.Round(time.Second))
+	for _, w := range res.Workflows {
+		met := "met"
+		if !w.Met {
+			met = fmt.Sprintf("MISS by %v", w.Tardiness.Round(time.Second))
+		}
+		fmt.Printf("  %-12s workspan %10v (virtual)  %s\n", w.Name, w.Workspan.Round(time.Second), met)
+	}
+	return nil
+}
+
+func buildWorkload(name string) ([]*woha.Workflow, error) {
+	switch name {
+	case "fig7":
+		return experiments.DefaultFig11Config().Flows(), nil
+	case "yahoo":
+		flows, err := workload.Yahoo(workload.DefaultYahooConfig())
+		if err != nil {
+			return nil, err
+		}
+		return workload.MultiJob(flows), nil
+	default:
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		w, err := woha.ParseWorkflowXML(f)
+		if err != nil {
+			return nil, err
+		}
+		return []*woha.Workflow{w}, nil
+	}
+}

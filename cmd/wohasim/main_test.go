@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	woha "repro"
+)
+
+const simXML = `<workflow name="w" deadline="30m">
+  <job name="a" maps="8" reduces="2" map-time="20s" reduce-time="1m"><output>/s</output></job>
+  <job name="b" maps="4" reduces="1" map-time="20s" reduce-time="1m"><input>/s</input></job>
+</workflow>`
+
+func writeXML(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "w.xml")
+	if err := os.WriteFile(path, []byte(simXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func clusterCfg() woha.ClusterConfig {
+	return woha.ClusterConfig{Nodes: 4, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, Seed: 1}
+}
+
+func TestRunXMLWorkload(t *testing.T) {
+	timeline := filepath.Join(t.TempDir(), "tl.csv")
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(timeline); err != nil {
+		t.Errorf("timeline not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), ""); err == nil {
+		t.Error("missing workload accepted")
+	}
+	if err := run(writeXML(t), "Mystery", clusterCfg(), ""); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestRunLiveXMLWorkload(t *testing.T) {
+	// Run the XML workload on the live mini-Hadoop at a steep compression.
+	start := time.Now()
+	if err := runLive(writeXML(t), "FIFO", 4, 2, 1, 0.00005); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 20*time.Second {
+		t.Errorf("live run took %v", time.Since(start))
+	}
+}

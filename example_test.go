@@ -1,0 +1,83 @@
+package woha_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	woha "repro"
+)
+
+// ExampleNewSession builds a deadline-constrained workflow, schedules it
+// under WOHA on a simulated cluster, and reports the outcome.
+func ExampleNewSession() {
+	w := woha.NewWorkflow("nightly-etl").
+		Job("extract", 40, 8, 45*time.Second, 2*time.Minute).
+		Job("aggregate", 16, 4, 30*time.Second, 3*time.Minute, "extract").
+		MustBuild(0, woha.At(45*time.Minute))
+
+	sess, err := woha.NewSession(woha.ClusterConfig{
+		Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+	}, woha.SchedulerWOHALPF)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sess.Submit(w); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sess.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	wf := res.Workflows[0]
+	fmt.Printf("%s met=%v workspan=%v\n", wf.Name, wf.Met, wf.Workspan)
+	// Output:
+	// nightly-etl met=true workspan=7m0s
+}
+
+// ExampleParseWorkflowXML shows the paper's XML configuration format with
+// prerequisite inference from dataset paths.
+func ExampleParseWorkflowXML() {
+	doc := `
+<workflow name="stats" deadline="30m">
+  <job name="ingest" maps="10" reduces="2" map-time="30s" reduce-time="1m">
+    <output>/data/stage</output>
+  </job>
+  <job name="report" maps="4" reduces="1" map-time="20s" reduce-time="2m">
+    <input>/data/stage/part-0</input>
+    <output>/data/out</output>
+  </job>
+</workflow>`
+	w, err := woha.ParseWorkflowXML(strings.NewReader(doc))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report := w.JobByName("report")
+	fmt.Printf("%d jobs; report depends on %s\n",
+		len(w.Jobs), w.Jobs[report.Prereqs[0]].Name)
+	// Output:
+	// 2 jobs; report depends on ingest
+}
+
+// ExampleGeneratePlan produces a workflow's resource-capped scheduling plan
+// — the client-side artifact WOHA ships to the master.
+func ExampleGeneratePlan() {
+	w := woha.NewWorkflow("pipeline").
+		Job("a", 8, 4, 10*time.Second, 20*time.Second).
+		Job("b", 8, 4, 10*time.Second, 20*time.Second, "a").
+		MustBuild(0, woha.At(4*time.Minute))
+
+	p, err := woha.GeneratePlan(w, 64, woha.LPF)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cap=%d slots makespan=%v feasible=%v requirements=%d encoded=%dB\n",
+		p.Cap, p.Makespan, p.Feasible, len(p.Reqs), p.Size())
+	// Output:
+	// cap=2 slots makespan=2m40s feasible=true requirements=12 encoded=55B
+}

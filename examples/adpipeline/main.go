@@ -1,0 +1,105 @@
+// Ad-placement pipeline: the motivating workload from the paper's
+// introduction. A revenue-critical user-log analysis workflow (whose output
+// feeds advertisement placement optimization) must finish within an SLA
+// while large ad-hoc batch workflows share the cluster.
+//
+// The example defines the pipeline in the paper's XML configuration format
+// (prerequisites inferred from dataset paths), then runs the same contention
+// scenario under Oozie+FIFO and under WOHA-LPF, showing how workflow-aware
+// progress scheduling protects the SLA.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	woha "repro"
+)
+
+const pipelineXML = `
+<workflow name="ad-optimization" release="0s" deadline="30m">
+  <job name="ingest-logs" maps="60" reduces="10" map-time="40s" reduce-time="2m">
+    <jar>/apps/ingest.jar</jar>
+    <main-class>com.example.ads.Ingest</main-class>
+    <input>/data/raw/clicklogs</input>
+    <output>/data/stage/clicks</output>
+  </job>
+  <job name="sessionize" maps="30" reduces="8" map-time="35s" reduce-time="2m30s">
+    <input>/data/stage/clicks</input>
+    <output>/data/stage/sessions</output>
+  </job>
+  <job name="user-profiles" maps="24" reduces="6" map-time="30s" reduce-time="2m">
+    <input>/data/stage/sessions</input>
+    <input>/data/dim/users</input>
+    <output>/data/stage/profiles</output>
+  </job>
+  <job name="ctr-features" maps="24" reduces="6" map-time="30s" reduce-time="2m">
+    <input>/data/stage/sessions</input>
+    <output>/data/stage/ctr</output>
+  </job>
+  <job name="placement-model" maps="16" reduces="4" map-time="45s" reduce-time="4m">
+    <input>/data/stage/profiles</input>
+    <input>/data/stage/ctr</input>
+    <output>/data/out/placement</output>
+  </job>
+</workflow>`
+
+func batchWorkflow(name string) *woha.Workflow {
+	// A wide ad-hoc analysis job with a lax deadline: plenty of tasks,
+	// no urgency.
+	return woha.NewWorkflow(name).
+		Job("scan", 160, 20, 50*time.Second, 3*time.Minute).
+		Job("rollup", 40, 10, 40*time.Second, 3*time.Minute, "scan").
+		MustBuild(0, woha.At(4*time.Hour))
+}
+
+func run(sched woha.Scheduler) (*woha.Result, error) {
+	pipeline, err := woha.ParseWorkflowXML(strings.NewReader(pipelineXML))
+	if err != nil {
+		return nil, err
+	}
+	sess, err := woha.NewSession(woha.ClusterConfig{
+		Nodes:              12,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+	}, sched)
+	if err != nil {
+		return nil, err
+	}
+	// The batch workflows are submitted first — under FIFO they hold the
+	// slots while the SLA pipeline waits.
+	for i := 0; i < 2; i++ {
+		if err := sess.Submit(batchWorkflow(fmt.Sprintf("adhoc-batch-%d", i))); err != nil {
+			return nil, err
+		}
+	}
+	if err := sess.Submit(pipeline); err != nil {
+		return nil, err
+	}
+	return sess.Run()
+}
+
+func main() {
+	fmt.Println("ad-optimization pipeline (30m SLA) vs two ad-hoc batch workflows, 12 nodes")
+	fmt.Println()
+	for _, sched := range []woha.Scheduler{woha.SchedulerFIFO, woha.SchedulerWOHALPF} {
+		res, err := run(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", sched)
+		for _, wf := range res.Workflows {
+			status := "met"
+			if !wf.Met {
+				status = fmt.Sprintf("MISSED by %v", wf.Tardiness.Round(time.Second))
+			}
+			fmt.Printf("  %-16s finished %8v  deadline %8v  %s\n",
+				wf.Name, wf.Workspan.Round(time.Second), wf.Deadline.Duration(), status)
+		}
+		fmt.Println()
+	}
+	fmt.Println("WOHA's progress requirements pull the SLA pipeline through the contention;")
+	fmt.Println("the ad-hoc batches still absorb every remaining slot (work conservation).")
+}

@@ -1,0 +1,55 @@
+// Multi-tenant deadline study: the paper's Fig 11 scenario end to end.
+// Three tenants submit the same 33-job analytics workflow five minutes
+// apart, with deadlines that tighten for later arrivals (80, 70, 60
+// minutes). The example runs all six schedulers on the 32-slave cluster and
+// prints the workspan matrix, reproducing the headline qualitative result:
+// only WOHA meets every deadline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	woha "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := woha.ClusterConfig{Nodes: 32, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1}
+
+	fmt.Println("three tenants, same 33-job workflow, releases 0/5/10 min, deadlines 80/70/60 min")
+	fmt.Println("(* marks a deadline miss)")
+	fmt.Printf("%-10s %12s %12s %12s %8s\n", "scheduler", "tenant-1", "tenant-2", "tenant-3", "misses")
+	for _, sched := range woha.Schedulers() {
+		sess, err := woha.NewSession(cfg, sched, woha.WithSeed(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			release := time.Duration(i*5) * time.Minute
+			deadline := release + time.Duration(80-10*i)*time.Minute
+			w := workload.Fig7(fmt.Sprintf("tenant-%d", i+1), 1.70, woha.At(release), woha.At(deadline))
+			if err := sess.Submit(w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", sched)
+		for _, wf := range res.Workflows {
+			cell := wf.Workspan.Round(time.Second).String()
+			if !wf.Met {
+				cell += "*"
+			}
+			fmt.Printf(" %12s", cell)
+		}
+		fmt.Printf(" %8d\n", res.DeadlineMisses())
+	}
+
+	fmt.Println()
+	fmt.Println("EDF favors the latest (tightest) tenant and sacrifices tenant-1; FIFO and")
+	fmt.Println("Fair leave tenant-3 tardy; WOHA's progress-based plans meet all three.")
+}

@@ -1,0 +1,63 @@
+// Scale: the paper's "tens of thousands of concurrently running workflows"
+// claim. The example loads the WOHA inter-workflow priority queue with
+// 50,000 live workflows and measures AssignTask throughput under the three
+// backends of Fig 13(a): the Double Skip List, the balanced-search-tree
+// variant, and the naive recompute-everything scheduler.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+)
+
+func fill(q dsl.Queue, n int) {
+	for i := 0; i < n; i++ {
+		// Plan-shaped requirements: a few waves tens of seconds apart.
+		ttd := time.Duration(300+(i*37)%3600) * time.Second
+		reqs := []plan.Req{
+			{TTD: ttd, Cum: 8},
+			{TTD: ttd * 2 / 3, Cum: 40},
+			{TTD: ttd / 3, Cum: 100},
+		}
+		deadline := simtime.FromSeconds(float64(600 + (i*7919)%200000))
+		q.Add(dsl.NewEntry(i, deadline, reqs), 0)
+	}
+}
+
+func measure(name string, q dsl.Queue, n int, budget time.Duration) {
+	fill(q, n)
+	now := simtime.Epoch
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < budget {
+		for i := 0; i < 256; i++ {
+			now = now.Add(2 * time.Millisecond)
+			e, ok := q.Best(now)
+			if !ok {
+				break
+			}
+			q.Scheduled(e.ID, now)
+			ops++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("  %-6s %9.0f AssignTask calls/second\n", name, float64(ops)/elapsed.Seconds())
+}
+
+func main() {
+	const workflows = 50000
+	fmt.Printf("%d concurrently queued workflows, 500ms measurement per backend\n", workflows)
+
+	measure("DSL", dsl.New(1), workflows, 500*time.Millisecond)
+	measure("BST", dsl.NewBST(), workflows, 500*time.Millisecond)
+	measure("Naive", dsl.NewNaive(), workflows, 500*time.Millisecond)
+
+	fmt.Println()
+	fmt.Println("a Hadoop master sees a few thousand slot free-ups per second; only the")
+	fmt.Println("incremental queues keep AssignTask comfortably ahead of that rate at 50k")
+	fmt.Println("queued workflows — the paper's scalability argument for the DSL.")
+}

@@ -1,0 +1,220 @@
+// Package avl implements a balanced search tree used as the "BST" baseline
+// that Fig 13(a) of the WOHA paper compares the Double Skip List against.
+//
+// It is a textbook AVL tree: worst-case O(log n) insert, delete, and min, with
+// no O(1) head-deletion fast path — exactly the property the paper's DSL
+// design exploits to win on head-heavy workloads.
+package avl
+
+import "repro/internal/ordered"
+
+// Tree is an ordered set of unique keys. Construct with New; the zero value
+// is not usable.
+type Tree[K any] struct {
+	root   *node[K]
+	less   ordered.Less[K]
+	length int
+}
+
+type node[K any] struct {
+	key         K
+	left, right *node[K]
+	height      int8
+}
+
+var _ ordered.Set[int] = (*Tree[int])(nil)
+
+// New returns an empty tree ordered by less.
+func New[K any](less ordered.Less[K]) *Tree[K] {
+	return &Tree[K]{less: less}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[K]) Len() int { return t.length }
+
+// Insert adds key to the tree. Inserting a key equal to an existing one
+// (under less) replaces it.
+func (t *Tree[K]) Insert(key K) {
+	var added bool
+	t.root, added = t.insert(t.root, key)
+	if added {
+		t.length++
+	}
+}
+
+func (t *Tree[K]) insert(n *node[K], key K) (*node[K], bool) {
+	if n == nil {
+		return &node[K]{key: key, height: 1}, true
+	}
+	var added bool
+	switch {
+	case t.less(key, n.key):
+		n.left, added = t.insert(n.left, key)
+	case t.less(n.key, key):
+		n.right, added = t.insert(n.right, key)
+	default:
+		n.key = key
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+func (t *Tree[K]) Delete(key K) bool {
+	var removed bool
+	t.root, removed = t.remove(t.root, key)
+	if removed {
+		t.length--
+	}
+	return removed
+}
+
+func (t *Tree[K]) remove(n *node[K], key K) (*node[K], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case t.less(key, n.key):
+		n.left, removed = t.remove(n.left, key)
+	case t.less(n.key, key):
+		n.right, removed = t.remove(n.right, key)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.key = succ.key
+		n.right, _ = t.remove(n.right, succ.key)
+	}
+	if n == nil {
+		return nil, removed
+	}
+	return rebalance(n), removed
+}
+
+// Min returns the smallest key. ok is false when the tree is empty.
+func (t *Tree[K]) Min() (key K, ok bool) {
+	n := t.root
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// DeleteMin removes and returns the smallest key. Unlike the skip list this
+// costs a full O(log n) descent plus rebalancing.
+func (t *Tree[K]) DeleteMin() (key K, ok bool) {
+	k, ok := t.Min()
+	if !ok {
+		var zero K
+		return zero, false
+	}
+	t.Delete(k)
+	return k, true
+}
+
+// Contains reports whether key is in the tree.
+func (t *Tree[K]) Contains(key K) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Ascend calls fn on every key in ascending order until fn returns false.
+func (t *Tree[K]) Ascend(fn func(key K) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K any](n *node[K], fn func(K) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Height returns the height of the tree (0 for empty). Exposed for
+// balance-invariant tests.
+func (t *Tree[K]) Height() int { return int(height(t.root)) }
+
+func height[K any](n *node[K]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func update[K any](n *node[K]) {
+	lh, rh := height(n.left), height(n.right)
+	if lh > rh {
+		n.height = lh + 1
+	} else {
+		n.height = rh + 1
+	}
+}
+
+func balanceFactor[K any](n *node[K]) int8 {
+	return height(n.left) - height(n.right)
+}
+
+func rotateRight[K any](n *node[K]) *node[K] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	update(n)
+	update(l)
+	return l
+}
+
+func rotateLeft[K any](n *node[K]) *node[K] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	update(n)
+	update(r)
+	return r
+}
+
+func rebalance[K any](n *node[K]) *node[K] {
+	update(n)
+	switch bf := balanceFactor(n); {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package avl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestEmpty(t *testing.T) {
+	tr := New(intLess)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree reported ok")
+	}
+	if _, ok := tr.DeleteMin(); ok {
+		t.Error("DeleteMin on empty tree reported ok")
+	}
+	if tr.Delete(1) {
+		t.Error("Delete on empty tree reported true")
+	}
+	if tr.Height() != 0 {
+		t.Errorf("Height = %d, want 0", tr.Height())
+	}
+}
+
+func TestInsertDeleteContains(t *testing.T) {
+	tr := New(intLess)
+	for _, k := range []int{10, 5, 15, 3, 7, 12, 20} {
+		tr.Insert(k)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	if !tr.Contains(7) || tr.Contains(8) {
+		t.Error("Contains gave wrong answers")
+	}
+	if !tr.Delete(10) { // root with two children
+		t.Fatal("Delete(10) failed")
+	}
+	if tr.Contains(10) {
+		t.Error("Contains(10) after delete")
+	}
+	if tr.Len() != 6 {
+		t.Errorf("Len = %d, want 6", tr.Len())
+	}
+}
+
+func TestInsertDuplicateReplaces(t *testing.T) {
+	tr := New(intLess)
+	tr.Insert(5)
+	tr.Insert(5)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert, want 1", tr.Len())
+	}
+}
+
+func TestDeleteMinOrder(t *testing.T) {
+	tr := New(intLess)
+	keys := []int{9, 4, 6, 1, 8, 2, 7, 3, 5, 0}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	for i := 0; i < len(keys); i++ {
+		k, ok := tr.DeleteMin()
+		if !ok {
+			t.Fatalf("tree drained early at %d", i)
+		}
+		if k != i {
+			t.Fatalf("DeleteMin = %d, want %d", k, i)
+		}
+	}
+}
+
+// checkInvariants verifies AVL balance and BST ordering for every node.
+func checkInvariants(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	var walk func(n *node[int], lo, hi int) int8
+	walk = func(n *node[int], lo, hi int) int8 {
+		if n == nil {
+			return 0
+		}
+		if n.key <= lo || n.key >= hi {
+			t.Fatalf("BST order violated at key %d (bounds %d,%d)", n.key, lo, hi)
+		}
+		lh := walk(n.left, lo, n.key)
+		rh := walk(n.right, n.key, hi)
+		if d := lh - rh; d < -1 || d > 1 {
+			t.Fatalf("AVL balance violated at key %d: %d vs %d", n.key, lh, rh)
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.height != h {
+			t.Fatalf("stale height at key %d: stored %d, actual %d", n.key, n.height, h)
+		}
+		return h
+	}
+	walk(tr.root, math.MinInt, math.MaxInt)
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	tr := New(intLess)
+	rng := rand.New(rand.NewSource(77))
+	model := map[int]bool{}
+	for op := 0; op < 10000; op++ {
+		k := rng.Intn(1000)
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			model[k] = true
+		} else {
+			got := tr.Delete(k)
+			if got != model[k] {
+				t.Fatalf("op %d: Delete(%d) = %v, model %v", op, k, got, model[k])
+			}
+			delete(model, k)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, tr.Len(), len(model))
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New(intLess)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(i) // adversarial ascending order
+	}
+	// AVL height bound: 1.44*log2(n+2).
+	maxH := int(1.45*math.Log2(float64(n+2))) + 1
+	if tr.Height() > maxH {
+		t.Errorf("Height = %d for %d sequential inserts, want <= %d", tr.Height(), n, maxH)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestAscendSortedProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New(intLess)
+		set := map[int]bool{}
+		for _, k := range keys {
+			tr.Insert(int(k))
+			set[int(k)] = true
+		}
+		want := make([]int, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		var got []int
+		tr.Ascend(func(k int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(intLess)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	visited := 0
+	tr.Ascend(func(int) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Errorf("visited %d keys, want 10", visited)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New(intLess)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int())
+	}
+}
+
+func BenchmarkDeleteMin(b *testing.B) {
+	tr := New(intLess)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.DeleteMin()
+	}
+}

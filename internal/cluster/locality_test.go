@@ -1,0 +1,104 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+func localityWorkflow() *workflow.Workflow {
+	return workflow.NewBuilder("loc").
+		Job("j", 200, 10, 20*time.Second, 30*time.Second).
+		MustBuild(0, simtime.FromSeconds(1e6))
+}
+
+func runLocality(t *testing.T, cfg cluster.Config) *cluster.Result {
+	t.Helper()
+	sim, err := cluster.New(cfg, scheduler.NewFIFO(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Submit(localityWorkflow(), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLocalityDisabledByDefault(t *testing.T) {
+	res := runLocality(t, cluster.Config{Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1})
+	if res.LocalMaps != 0 || res.RemoteMaps != 0 {
+		t.Errorf("locality counters %d/%d with modeling off", res.LocalMaps, res.RemoteMaps)
+	}
+}
+
+func TestLocalitySplitsAssignments(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		Replication: 3, RemotePenalty: 1.5, Seed: 4,
+	}
+	res := runLocality(t, cfg)
+	if res.LocalMaps+res.RemoteMaps != 200 {
+		t.Fatalf("locality split %d+%d != 200 maps", res.LocalMaps, res.RemoteMaps)
+	}
+	// P(local) = 1-(1-0.1)^3 = 0.271; with 200 draws expect roughly
+	// 30-80 local.
+	if res.LocalMaps < 25 || res.LocalMaps > 90 {
+		t.Errorf("LocalMaps = %d, want ~54 for p=0.271", res.LocalMaps)
+	}
+}
+
+func TestRemotePenaltySlowsRun(t *testing.T) {
+	base := runLocality(t, cluster.Config{Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1})
+	penalized := runLocality(t, cluster.Config{
+		Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		Replication: 3, RemotePenalty: 1.5, Seed: 4,
+	})
+	if penalized.Makespan <= base.Makespan {
+		t.Errorf("penalized makespan %v not above baseline %v", penalized.Makespan, base.Makespan)
+	}
+}
+
+func TestDelaySchedulingTradesTimeForLocality(t *testing.T) {
+	mk := func(delay time.Duration) *cluster.Result {
+		return runLocality(t, cluster.Config{
+			Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+			Replication: 1, RemotePenalty: 2.0, Seed: 7,
+			DelayScheduling: delay,
+		})
+	}
+	eager := mk(0)
+	delayed := mk(5 * time.Second)
+	// With replication 1, p(local) = 0.1: eager runs ~90% remote. Delay
+	// scheduling re-draws after each wait, converting a chunk of those to
+	// local assignments.
+	eagerFrac := float64(eager.LocalMaps) / float64(eager.LocalMaps+eager.RemoteMaps)
+	delayedFrac := float64(delayed.LocalMaps) / float64(delayed.LocalMaps+delayed.RemoteMaps)
+	if delayedFrac <= eagerFrac {
+		t.Errorf("delay scheduling locality %.2f not above eager %.2f", delayedFrac, eagerFrac)
+	}
+	// Everything still completes exactly once.
+	if delayed.LocalMaps+delayed.RemoteMaps != 200 {
+		t.Errorf("delayed split %d+%d != 200", delayed.LocalMaps, delayed.RemoteMaps)
+	}
+}
+
+func TestLocalityConfigValidation(t *testing.T) {
+	bad := []cluster.Config{
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, Replication: -1},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, Replication: 3, RemotePenalty: 0.5},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, DelayScheduling: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := cluster.New(cfg, scheduler.NewFIFO(), nil); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

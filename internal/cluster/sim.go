@@ -1,0 +1,743 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Simulator executes submitted workflows on the simulated cluster under a
+// scheduling policy. Construct with New, Submit workflows, then Run once.
+type Simulator struct {
+	cfg Config
+	pol Policy
+	obs Observer
+	rng *rand.Rand
+
+	states []*WorkflowState
+	nodes  []nodeState
+	events simtime.Queue[event]
+	now    simtime.Time
+
+	arrivalsLeft int
+	doneCount    int
+	taskSeq      int
+	// specWake is the earliest armed speculative wake-up (MaxTime = none),
+	// preventing duplicate retry events.
+	specWake simtime.Time
+	// attempts locates every running attempt by sequence number, for twin
+	// cleanup under speculative execution.
+	attempts map[int]attemptRef
+
+	mapBusy, reduceBusy time.Duration
+	tasksStarted        int
+	makespan            simtime.Time
+	localMaps           int
+	remoteMaps          int
+
+	ran bool
+}
+
+type nodeState struct {
+	freeMap    int
+	freeReduce int
+	down       bool
+	// running tracks in-flight tasks by sequence number, so completions of
+	// tasks lost to a failure are recognized as stale and ignored.
+	running map[int]runningTask
+}
+
+// runningTask is the bookkeeping for one in-flight task attempt.
+type runningTask struct {
+	wf  int
+	job workflow.JobID
+	st  SlotType
+	end simtime.Time
+	dur time.Duration
+	// twin is the other attempt's sequence number under speculative
+	// execution (0 = no twin).
+	twin int
+	// speculative marks the duplicate attempt, which carries no JobState
+	// accounting of its own.
+	speculative bool
+}
+
+// attemptRef locates a running attempt.
+type attemptRef struct {
+	node int
+	rt   runningTask
+}
+
+func (n *nodeState) free(st SlotType) int {
+	if st == MapSlot {
+		return n.freeMap
+	}
+	return n.freeReduce
+}
+
+func (n *nodeState) take(st SlotType) {
+	if st == MapSlot {
+		n.freeMap--
+	} else {
+		n.freeReduce--
+	}
+}
+
+func (n *nodeState) release(st SlotType) {
+	if st == MapSlot {
+		n.freeMap++
+	} else {
+		n.freeReduce++
+	}
+}
+
+// event is the simulator's single event type; exactly one kind field group is
+// meaningful, selected by kind.
+type event struct {
+	kind eventKind
+
+	wf   int            // arrival, activate, complete
+	job  workflow.JobID // activate, complete
+	st   SlotType       // complete
+	node int            // complete, heartbeat, fail, recover
+	seq  int            // complete
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evActivate
+	evComplete
+	evHeartbeat
+	evFail
+	evRecover
+	// evRetry re-runs dispatch after a delay-scheduling wait expires.
+	evRetry
+)
+
+// New returns a simulator for the given cluster configuration and policy.
+// obs may be nil.
+func New(cfg Config, pol Policy, obs Observer) (*Simulator, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: %d nodes, want > 0", cfg.Nodes)
+	}
+	if cfg.MapSlotsPerNode < 0 || cfg.ReduceSlotsPerNode < 0 || cfg.TotalSlots() == 0 {
+		return nil, fmt.Errorf("cluster: bad slot config %d map + %d reduce per node",
+			cfg.MapSlotsPerNode, cfg.ReduceSlotsPerNode)
+	}
+	if cfg.Noise < 0 || cfg.Noise >= 1 {
+		return nil, fmt.Errorf("cluster: noise %v, want [0, 1)", cfg.Noise)
+	}
+	if cfg.HeartbeatInterval < 0 {
+		return nil, fmt.Errorf("cluster: negative heartbeat interval %v", cfg.HeartbeatInterval)
+	}
+	if cfg.Replication < 0 {
+		return nil, fmt.Errorf("cluster: negative replication %d", cfg.Replication)
+	}
+	if cfg.Replication > 0 && cfg.RemotePenalty < 1 {
+		return nil, fmt.Errorf("cluster: remote penalty %v, want >= 1", cfg.RemotePenalty)
+	}
+	if cfg.DelayScheduling < 0 {
+		return nil, fmt.Errorf("cluster: negative delay scheduling %v", cfg.DelayScheduling)
+	}
+	if cfg.SpeculativeSlowdown != 0 && cfg.SpeculativeSlowdown <= 1 {
+		return nil, fmt.Errorf("cluster: speculative slowdown %v, want > 1 or 0", cfg.SpeculativeSlowdown)
+	}
+	if cfg.StragglerProb < 0 || cfg.StragglerProb >= 1 {
+		return nil, fmt.Errorf("cluster: straggler probability %v, want [0, 1)", cfg.StragglerProb)
+	}
+	if cfg.StragglerProb > 0 && cfg.StragglerFactor <= 1 {
+		return nil, fmt.Errorf("cluster: straggler factor %v, want > 1", cfg.StragglerFactor)
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("cluster: nil policy")
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		pol:      pol,
+		obs:      obs,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nodes:    make([]nodeState, cfg.Nodes),
+		attempts: make(map[int]attemptRef),
+		specWake: simtime.MaxTime,
+	}
+	for i := range s.nodes {
+		s.nodes[i] = nodeState{
+			freeMap:    cfg.MapSlotsPerNode,
+			freeReduce: cfg.ReduceSlotsPerNode,
+			running:    make(map[int]runningTask),
+		}
+	}
+	for _, f := range cfg.Failures {
+		if f.Node < 0 || f.Node >= cfg.Nodes {
+			return nil, fmt.Errorf("cluster: failure on node %d of %d", f.Node, cfg.Nodes)
+		}
+		if f.At < 0 || f.Downtime < 0 {
+			return nil, fmt.Errorf("cluster: bad failure schedule %+v", f)
+		}
+	}
+	return s, nil
+}
+
+// Submit queues a workflow for arrival at its release time. p is the WOHA
+// scheduling plan and may be nil for policies that do not use one. Submit
+// must be called before Run.
+func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
+	if s.ran {
+		return fmt.Errorf("cluster: Submit after Run")
+	}
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	ws := &WorkflowState{
+		Index: len(s.states),
+		Spec:  w,
+		Plan:  p,
+		Jobs:  make([]JobState, len(w.Jobs)),
+	}
+	for i := range w.Jobs {
+		ws.Jobs[i] = JobState{
+			ID:             workflow.JobID(i),
+			PendingMaps:    w.Jobs[i].Maps,
+			PendingReduces: w.Jobs[i].Reduces,
+			unmet:          len(w.Jobs[i].Prereqs),
+		}
+		ws.remaining += w.Jobs[i].Tasks()
+	}
+	s.states = append(s.states, ws)
+	s.events.Push(w.Release, event{kind: evArrival, wf: ws.Index})
+	s.arrivalsLeft++
+	return nil
+}
+
+// Run executes the simulation to completion and returns the run's results.
+// It fails if any workflow can never finish (for example, a job needs map
+// slots on a cluster configured with none).
+func (s *Simulator) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("cluster: Run called twice")
+	}
+	s.ran = true
+	if len(s.states) == 0 {
+		return s.result(), nil
+	}
+	if s.cfg.HeartbeatInterval > 0 {
+		// Stagger heartbeats evenly across the interval, as a real fleet's
+		// unsynchronized trackers would.
+		for i := range s.nodes {
+			offset := time.Duration(int64(s.cfg.HeartbeatInterval) * int64(i) / int64(len(s.nodes)))
+			s.events.Push(simtime.Epoch.Add(offset), event{kind: evHeartbeat, node: i})
+		}
+	}
+	for _, f := range s.cfg.Failures {
+		s.events.Push(f.At, event{kind: evFail, node: f.Node})
+		if f.Downtime > 0 {
+			s.events.Push(f.At.Add(f.Downtime), event{kind: evRecover, node: f.Node})
+		}
+	}
+	for s.events.Len() > 0 {
+		at, e, _ := s.events.Pop()
+		s.now = at
+		switch e.kind {
+		case evArrival:
+			s.arrive(e.wf)
+		case evActivate:
+			s.activate(e.wf, e.job)
+		case evComplete:
+			s.complete(e)
+		case evHeartbeat:
+			s.heartbeat(e.node)
+		case evFail:
+			s.fail(e.node)
+		case evRecover:
+			s.recover(e.node)
+		case evRetry:
+			if s.specWake <= s.now {
+				s.specWake = simtime.MaxTime
+			}
+			s.dispatchAll()
+		}
+	}
+	if s.doneCount != len(s.states) {
+		for _, ws := range s.states {
+			if !ws.Done {
+				return nil, fmt.Errorf("cluster: workflow %q stuck with %d tasks remaining (policy %s left schedulable work idle or cluster lacks a slot type)",
+					ws.Spec.Name, ws.remaining, s.pol.Name())
+			}
+		}
+	}
+	return s.result(), nil
+}
+
+func (s *Simulator) arrive(wf int) {
+	ws := s.states[wf]
+	s.arrivalsLeft--
+	s.pol.WorkflowAdded(ws, s.now)
+	// Activate every root before offering slots, so the policy sees the
+	// whole ready set when the first slot is dispatched.
+	for _, r := range ws.Spec.Roots() {
+		s.scheduleActivation(wf, r)
+	}
+	s.dispatchAll()
+}
+
+// scheduleActivation makes job Ready now or after the submitter overhead.
+// Immediate activations do not dispatch; the caller does, once all state
+// changes of the current instant are applied.
+func (s *Simulator) scheduleActivation(wf int, job workflow.JobID) {
+	if s.cfg.SubmitterOverhead > 0 {
+		s.events.Push(s.now.Add(s.cfg.SubmitterOverhead), event{kind: evActivate, wf: wf, job: job})
+		return
+	}
+	s.activateNow(wf, job)
+}
+
+// activate handles a deferred activation event.
+func (s *Simulator) activate(wf int, job workflow.JobID) {
+	s.activateNow(wf, job)
+	s.dispatchAll()
+}
+
+func (s *Simulator) activateNow(wf int, job workflow.JobID) {
+	ws := s.states[wf]
+	js := &ws.Jobs[job]
+	js.Ready = true
+	js.ActivatedAt = s.now
+	s.pol.JobActivated(ws, job, s.now)
+}
+
+func (s *Simulator) complete(e event) {
+	node := &s.nodes[e.node]
+	rt, ok := node.running[e.seq]
+	if !ok {
+		// The attempt was lost to a node failure (or killed as a losing
+		// speculative twin) after this completion was scheduled.
+		return
+	}
+	delete(node.running, e.seq)
+	delete(s.attempts, e.seq)
+	node.release(e.st)
+	if rt.twin != 0 {
+		s.killAttempt(rt.twin)
+	}
+	ws := s.states[e.wf]
+	js := &ws.Jobs[e.job]
+	if e.st == MapSlot {
+		js.RunningMaps--
+		js.DoneMaps++
+	} else {
+		js.RunningReduces--
+		js.DoneReduces++
+	}
+	ws.RunningTasks--
+	ws.remaining--
+	if s.obs != nil {
+		s.obs.TaskFinished(s.now, ws, e.job, e.st)
+	}
+	if e.st == MapSlot && js.MapsDone() && js.PendingReduces > 0 {
+		if rp, ok := s.pol.(ReducePhasePolicy); ok {
+			rp.ReducesReady(ws, e.job, s.now)
+		}
+	}
+	if js.Completed() {
+		s.jobCompleted(ws, e.job)
+	}
+	if ws.remaining == 0 && !ws.Done {
+		ws.Done = true
+		ws.FinishTime = s.now
+		s.doneCount++
+		s.pol.WorkflowCompleted(ws, s.now)
+	}
+	s.makespan = simtime.MaxOf(s.makespan, s.now)
+	s.dispatchAll()
+}
+
+func (s *Simulator) jobCompleted(ws *WorkflowState, job workflow.JobID) {
+	for _, d := range ws.Spec.Dependents()[job] {
+		dj := &ws.Jobs[d]
+		dj.unmet--
+		if dj.unmet == 0 {
+			s.scheduleActivation(ws.Index, d)
+		}
+	}
+}
+
+func (s *Simulator) heartbeat(node int) {
+	s.dispatchNode(node)
+	if s.doneCount < len(s.states) || s.arrivalsLeft > 0 {
+		s.events.Push(s.now.Add(s.cfg.HeartbeatInterval), event{kind: evHeartbeat, node: node})
+	}
+}
+
+// fail takes a node down: its running tasks are lost and re-queued as
+// pending, and its slots vanish until recovery.
+func (s *Simulator) fail(nodeIdx int) {
+	node := &s.nodes[nodeIdx]
+	if node.down {
+		return
+	}
+	node.down = true
+	node.freeMap, node.freeReduce = 0, 0
+	for seq, rt := range node.running {
+		delete(node.running, seq)
+		delete(s.attempts, seq)
+		ws := s.states[rt.wf]
+		if rt.st == MapSlot {
+			s.mapBusy -= rt.end.Sub(s.now) // the lost remainder never runs
+		} else {
+			s.reduceBusy -= rt.end.Sub(s.now)
+		}
+		if s.obs != nil {
+			// Balance the observer's start/finish pairing: the lost attempt
+			// stopped occupying its slot at the failure instant.
+			s.obs.TaskFinished(s.now, ws, rt.job, rt.st)
+		}
+		if rt.twin != 0 {
+			// The other attempt survives and carries the task; detach it.
+			s.detachTwin(rt.twin)
+			continue
+		}
+		if rt.speculative {
+			continue // the original attempt still runs the task
+		}
+		js := &ws.Jobs[rt.job]
+		if rt.st == MapSlot {
+			js.RunningMaps--
+			js.PendingMaps++
+		} else {
+			js.RunningReduces--
+			js.PendingReduces++
+		}
+		ws.RunningTasks--
+		ws.ScheduledTasks--
+		if rq, ok := s.pol.(RequeuePolicy); ok {
+			rq.TaskRequeued(ws, rt.job, rt.st, s.now)
+		}
+	}
+	// Remaining workflows may now be unschedulable if every node died;
+	// Run's stuck detection reports that case.
+	s.dispatchAll()
+}
+
+// recover brings a node back with empty slots.
+func (s *Simulator) recover(nodeIdx int) {
+	node := &s.nodes[nodeIdx]
+	if !node.down {
+		return
+	}
+	node.down = false
+	node.freeMap = s.cfg.MapSlotsPerNode
+	node.freeReduce = s.cfg.ReduceSlotsPerNode
+	s.dispatchAll()
+}
+
+// dispatchAll assigns tasks to every idle slot in the cluster (instant
+// dispatch mode). Under heartbeat mode slots are only offered on heartbeats.
+func (s *Simulator) dispatchAll() {
+	if s.cfg.HeartbeatInterval > 0 {
+		return
+	}
+	for _, st := range []SlotType{MapSlot, ReduceSlot} {
+		node := 0
+		for {
+			// Find a node with a free slot of this type.
+			for node < len(s.nodes) && s.nodes[node].free(st) == 0 {
+				node++
+			}
+			if node == len(s.nodes) {
+				break
+			}
+			if !s.offer(node, st) {
+				break
+			}
+		}
+	}
+	s.speculate()
+}
+
+// dispatchNode assigns tasks to one node's idle slots (heartbeat mode).
+func (s *Simulator) dispatchNode(node int) {
+	for _, st := range []SlotType{MapSlot, ReduceSlot} {
+		for s.nodes[node].free(st) > 0 {
+			if !s.offer(node, st) {
+				break
+			}
+		}
+	}
+	s.speculate()
+}
+
+// offer asks the policy for a task for one free slot of type st on node,
+// reporting whether one was assigned.
+func (s *Simulator) offer(node int, st SlotType) bool {
+	ws, job, ok := s.pol.NextTask(s.now, st)
+	if !ok {
+		return false
+	}
+	js := &ws.Jobs[job]
+	if !js.Schedulable(st) {
+		// A policy bug; fail loudly rather than corrupting counts.
+		panic(fmt.Sprintf("cluster: policy %s returned non-schedulable job %d of workflow %q for %v slot",
+			s.pol.Name(), job, ws.Spec.Name, st))
+	}
+	spec := &ws.Spec.Jobs[job]
+	local := true
+	if st == MapSlot && s.cfg.Replication > 0 {
+		local = s.drawLocality()
+		if !local && s.cfg.DelayScheduling > 0 {
+			if js.delayedSince == 0 {
+				// First refusal: start the delay-scheduling wait and leave
+				// the slot idle until it expires or another event fires.
+				js.delayedSince = s.now
+				s.events.Push(s.now.Add(s.cfg.DelayScheduling), event{kind: evRetry})
+				return false
+			}
+			if s.now.Sub(js.delayedSince) < s.cfg.DelayScheduling {
+				return false
+			}
+			// Wait expired: accept the remote assignment.
+		}
+	}
+	if local {
+		js.delayedSince = 0
+	}
+	var base time.Duration
+	if st == MapSlot {
+		js.PendingMaps--
+		js.RunningMaps++
+		base = spec.MapTime
+	} else {
+		js.PendingReduces--
+		js.RunningReduces++
+		base = spec.ReduceTime
+	}
+	dur := s.noisy(base)
+	if st == MapSlot && !local {
+		dur = time.Duration(float64(dur) * s.cfg.RemotePenalty)
+		s.remoteMaps++
+	} else if st == MapSlot && s.cfg.Replication > 0 {
+		s.localMaps++
+	}
+	s.nodes[node].take(st)
+	ws.ScheduledTasks++
+	ws.RunningTasks++
+	s.tasksStarted++
+	if st == MapSlot {
+		s.mapBusy += dur
+	} else {
+		s.reduceBusy += dur
+	}
+	s.pol.TaskStarted(ws, job, st, s.now)
+	if s.obs != nil {
+		s.obs.TaskStarted(s.now, ws, job, st, dur)
+	}
+	s.taskSeq++
+	end := s.now.Add(dur)
+	rt := runningTask{wf: ws.Index, job: job, st: st, end: end, dur: dur}
+	s.nodes[node].running[s.taskSeq] = rt
+	s.attempts[s.taskSeq] = attemptRef{node: node, rt: rt}
+	s.events.Push(end, event{kind: evComplete, wf: ws.Index, job: job, st: st, node: node, seq: s.taskSeq})
+	return true
+}
+
+// killAttempt removes a losing speculative attempt, freeing its slot and
+// crediting back the slot-time it will no longer consume.
+func (s *Simulator) killAttempt(seq int) {
+	ref, ok := s.attempts[seq]
+	if !ok {
+		return
+	}
+	delete(s.attempts, seq)
+	delete(s.nodes[ref.node].running, seq)
+	s.nodes[ref.node].release(ref.rt.st)
+	if ref.rt.st == MapSlot {
+		s.mapBusy -= ref.rt.end.Sub(s.now)
+	} else {
+		s.reduceBusy -= ref.rt.end.Sub(s.now)
+	}
+	if s.obs != nil {
+		s.obs.TaskFinished(s.now, s.states[ref.rt.wf], ref.rt.job, ref.rt.st)
+	}
+}
+
+// detachTwin clears the twin linkage on a surviving attempt.
+func (s *Simulator) detachTwin(seq int) {
+	ref, ok := s.attempts[seq]
+	if !ok {
+		return
+	}
+	ref.rt.twin = 0
+	ref.rt.speculative = false // it now carries the task outright
+	s.attempts[seq] = ref
+	s.nodes[ref.node].running[seq] = ref.rt
+}
+
+// setTwin links two attempts of the same task.
+func (s *Simulator) setTwin(seq, twin int) {
+	ref, ok := s.attempts[seq]
+	if !ok {
+		return
+	}
+	ref.rt.twin = twin
+	s.attempts[seq] = ref
+	s.nodes[ref.node].running[seq] = ref.rt
+}
+
+// speculate launches duplicate attempts for overdue running tasks onto idle
+// slots (speculative execution). It runs after normal dispatch found no
+// assignable pending work for the remaining free slots.
+func (s *Simulator) speculate() {
+	if s.cfg.SpeculativeSlowdown == 0 {
+		return
+	}
+	for _, st := range []SlotType{MapSlot, ReduceSlot} {
+		for {
+			node := s.freeNode(st)
+			if node < 0 {
+				break
+			}
+			seq, ok := s.overdueAttempt(st)
+			if !ok {
+				break
+			}
+			s.launchSpeculative(node, seq)
+		}
+	}
+	s.armSpeculativeWake()
+}
+
+// armSpeculativeWake schedules a retry at the moment the next running
+// attempt crosses its straggler threshold; without it a straggling final
+// task would never be re-examined (no intervening events).
+func (s *Simulator) armSpeculativeWake() {
+	next := simtime.MaxTime
+	for _, ref := range s.attempts {
+		rt := ref.rt
+		if rt.twin != 0 || rt.speculative {
+			continue
+		}
+		spec := &s.states[rt.wf].Spec.Jobs[rt.job]
+		estimate := spec.MapTime
+		if rt.st == ReduceSlot {
+			estimate = spec.ReduceTime
+		}
+		start := rt.end.Add(-rt.dur)
+		overdueAt := start.Add(time.Duration(s.cfg.SpeculativeSlowdown*float64(estimate)) + time.Nanosecond)
+		if overdueAt > s.now && overdueAt < next {
+			next = overdueAt
+		}
+	}
+	if next < s.specWake {
+		s.specWake = next
+		s.events.Push(next, event{kind: evRetry})
+	}
+}
+
+// freeNode returns the first live node with a free slot of type st, or -1.
+func (s *Simulator) freeNode(st SlotType) int {
+	for i := range s.nodes {
+		if !s.nodes[i].down && s.nodes[i].free(st) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// overdueAttempt picks the running attempt of type st that most exceeds
+// SpeculativeSlowdown times its estimated duration and has no twin yet.
+func (s *Simulator) overdueAttempt(st SlotType) (int, bool) {
+	bestSeq, found := 0, false
+	var bestOver time.Duration
+	for seq, ref := range s.attempts {
+		rt := ref.rt
+		if rt.st != st || rt.twin != 0 || rt.speculative {
+			continue
+		}
+		spec := &s.states[rt.wf].Spec.Jobs[rt.job]
+		estimate := spec.MapTime
+		if st == ReduceSlot {
+			estimate = spec.ReduceTime
+		}
+		elapsed := s.now.Sub(rt.end.Add(-rt.dur))
+		threshold := time.Duration(s.cfg.SpeculativeSlowdown * float64(estimate))
+		if elapsed <= threshold {
+			continue
+		}
+		over := elapsed - threshold
+		if !found || over > bestOver || (over == bestOver && seq < bestSeq) {
+			bestSeq, bestOver, found = seq, over, true
+		}
+	}
+	return bestSeq, found
+}
+
+// launchSpeculative starts a duplicate attempt of the task behind seq.
+func (s *Simulator) launchSpeculative(node, seq int) {
+	orig := s.attempts[seq]
+	ws := s.states[orig.rt.wf]
+	spec := &ws.Spec.Jobs[orig.rt.job]
+	base := spec.MapTime
+	if orig.rt.st == ReduceSlot {
+		base = spec.ReduceTime
+	}
+	dur := s.noisy(base)
+	s.nodes[node].take(orig.rt.st)
+	if orig.rt.st == MapSlot {
+		s.mapBusy += dur
+	} else {
+		s.reduceBusy += dur
+	}
+	s.tasksStarted++
+	s.taskSeq++
+	end := s.now.Add(dur)
+	rt := runningTask{
+		wf: orig.rt.wf, job: orig.rt.job, st: orig.rt.st,
+		end: end, dur: dur, twin: seq, speculative: true,
+	}
+	s.nodes[node].running[s.taskSeq] = rt
+	s.attempts[s.taskSeq] = attemptRef{node: node, rt: rt}
+	s.setTwin(seq, s.taskSeq)
+	if s.obs != nil {
+		s.obs.TaskStarted(s.now, ws, rt.job, rt.st, dur)
+	}
+	s.events.Push(end, event{kind: evComplete, wf: rt.wf, job: rt.job, st: rt.st, node: node, seq: s.taskSeq})
+}
+
+// drawLocality reports whether a map assignment finds its data on the
+// chosen node: with R replicas spread uniformly over N nodes, a uniformly
+// chosen node holds one with probability 1-(1-1/N)^R.
+func (s *Simulator) drawLocality() bool {
+	n := float64(s.cfg.Nodes)
+	p := 1 - pow(1-1/n, s.cfg.Replication)
+	return s.rng.Float64() < p
+}
+
+func pow(x float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= x
+	}
+	return out
+}
+
+// noisy perturbs d by the configured estimation error and, independently,
+// by the one-sided straggler model.
+func (s *Simulator) noisy(d time.Duration) time.Duration {
+	nd := d
+	if s.cfg.Noise != 0 {
+		f := 1 + s.cfg.Noise*(2*s.rng.Float64()-1)
+		nd = time.Duration(float64(nd) * f)
+	}
+	if s.cfg.StragglerProb > 0 && s.rng.Float64() < s.cfg.StragglerProb {
+		nd = time.Duration(float64(nd) * s.cfg.StragglerFactor)
+	}
+	if nd <= 0 {
+		nd = time.Nanosecond
+	}
+	return nd
+}

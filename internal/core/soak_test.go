@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// TestSoakTenThousandWorkflows pushes the paper's scalability claim through
+// the full simulator: 10,000 concurrently queued workflows scheduled by the
+// Double Skip List on a large cluster, with exact task conservation.
+func TestSoakTenThousandWorkflows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const nWorkflows = 10000
+	cfg := cluster.Config{Nodes: 500, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1}
+	pol := NewScheduler(Options{Seed: 13, PolicyName: "LPF"})
+	sim, err := cluster.New(cfg, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	totalTasks := 0
+	reqTemplate := []plan.Req{
+		{TTD: 40 * time.Minute, Cum: 2},
+		{TTD: 20 * time.Minute, Cum: 4},
+	}
+	for i := 0; i < nWorkflows; i++ {
+		maps := 1 + rng.Intn(4)
+		reduces := rng.Intn(2)
+		w := workflow.NewBuilder(name(i)).
+			Job("j", maps, reduces,
+				time.Duration(10+rng.Intn(50))*time.Second,
+				time.Duration(20+rng.Intn(120))*time.Second).
+			MustBuild(
+				simtime.Epoch.Add(time.Duration(rng.Intn(600))*time.Second),
+				simtime.Epoch.Add(time.Duration(3600+rng.Intn(36000))*time.Second))
+		totalTasks += w.TotalTasks()
+		// Hand-rolled plans keep the test fast; shapes mirror real ones.
+		p := &plan.Plan{
+			Policy:     "LPF",
+			Ranks:      []int{0},
+			Reqs:       reqTemplate,
+			Cap:        2,
+			TotalTasks: w.TotalTasks(),
+			Feasible:   true,
+		}
+		if err := sim.Submit(w, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res.TasksStarted != totalTasks {
+		t.Errorf("started %d tasks, want %d", res.TasksStarted, totalTasks)
+	}
+	if pol.QueueLen() != 0 {
+		t.Errorf("queue not drained: %d", pol.QueueLen())
+	}
+	t.Logf("10k workflows, %d tasks, simulated makespan %v, wall %v",
+		totalTasks, res.Makespan, elapsed)
+	if elapsed > 2*time.Minute {
+		t.Errorf("soak took %v; DSL scheduling may have regressed", elapsed)
+	}
+}
+
+func name(i int) string {
+	const digits = "0123456789"
+	buf := []byte("wf-00000")
+	for k := len(buf) - 1; i > 0; k-- {
+		buf[k] = digits[i%10]
+		i /= 10
+	}
+	return string(buf)
+}

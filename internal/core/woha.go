@@ -1,0 +1,289 @@
+// Package core implements the paper's primary contribution: WOHA's
+// progress-based workflow scheduling. It glues together the client side —
+// scheduling-plan generation with a resource cap (internal/plan) — and the
+// master side — the Double Skip List priority queue (internal/dsl) driving a
+// cluster.Policy that, on every idle slot, picks the workflow lagging
+// furthest behind its progress requirements and that workflow's
+// highest-ranked runnable job.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dsl"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// QueueKind selects the inter-workflow queue backend (the Fig 13(a)
+// comparison).
+type QueueKind int
+
+// Queue backends.
+const (
+	// QueueDSL is the paper's Double Skip List.
+	QueueDSL QueueKind = iota
+	// QueueBST is Algorithm 2 over balanced search trees.
+	QueueBST
+	// QueueNaive recomputes every workflow's priority per decision.
+	QueueNaive
+	// QueueDet is Algorithm 2 over deterministic 1-2-3 skip lists
+	// (worst-case O(log n) per operation).
+	QueueDet
+)
+
+func (k QueueKind) String() string {
+	switch k {
+	case QueueDSL:
+		return "DSL"
+	case QueueBST:
+		return "BST"
+	case QueueNaive:
+		return "Naive"
+	case QueueDet:
+		return "Det"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+func (k QueueKind) newQueue(seed int64) dsl.Queue {
+	switch k {
+	case QueueBST:
+		return dsl.NewBST()
+	case QueueNaive:
+		return dsl.NewNaive()
+	case QueueDet:
+		return dsl.NewDeterministic()
+	default:
+		return dsl.New(seed)
+	}
+}
+
+// Options configures a WOHA scheduler.
+type Options struct {
+	// Queue selects the priority-queue backend; the default is the DSL.
+	Queue QueueKind
+	// Seed drives the DSL's skip-list PRNG.
+	Seed int64
+	// Strict disables work conservation: when the most-lagging workflow
+	// has no task matching the idle slot type, the slot stays idle instead
+	// of being offered to the next workflow. Exists for the ablation
+	// benchmark; the paper's scheduler is work-conserving (Strict=false).
+	Strict bool
+	// ServeOverdueFirst keeps the paper's literal priority formula for
+	// workflows whose deadlines have passed: their lag stays maximal
+	// (total - rho), so they are served before everything else until they
+	// finish. The default (false) demotes overdue workflows below every
+	// still-achievable one, which prevents a single large miss from
+	// cascading; see dsl.NewEntryDemoteOverdue.
+	ServeOverdueFirst bool
+	// NormalizedLag expresses each workflow's priority as its lag divided
+	// by its planned total (parts per million) rather than an absolute task
+	// count. The paper's formula is absolute, which lets task-rich
+	// workflows outbid small ones under contention; normalization is the
+	// natural "different scheduling objectives under the WOHA framework"
+	// extension the paper's conclusion invites. Ablated in
+	// BenchmarkAblationNormalizedLag.
+	NormalizedLag bool
+	// PolicyName annotates the scheduler name, e.g. "LPF" → "WOHA-LPF".
+	// Plans normally carry the policy name already; this is a display
+	// override for workflows scheduled without plans.
+	PolicyName string
+}
+
+// Scheduler is the WOHA progress-based workflow scheduler: a cluster.Policy
+// that follows each workflow's scheduling plan.
+type Scheduler struct {
+	opts  Options
+	queue dsl.Queue
+	// byID maps a workflow's arrival index to its runtime state.
+	byID map[int]*cluster.WorkflowState
+	// ranks maps a workflow's arrival index to its plan's job ranking.
+	ranks map[int][]int
+	// schedulable counts tasks currently startable per slot type, so a
+	// slot offer with no startable work anywhere returns without scanning
+	// the queue — at tens of thousands of queued workflows the scan is
+	// the dominant cost.
+	schedulable [2]int
+}
+
+var (
+	_ cluster.ReducePhasePolicy = (*Scheduler)(nil)
+	_ cluster.RequeuePolicy     = (*Scheduler)(nil)
+)
+
+var _ cluster.Policy = (*Scheduler)(nil)
+
+// NewScheduler returns a WOHA scheduler with the given options.
+func NewScheduler(opts Options) *Scheduler {
+	return &Scheduler{
+		opts:  opts,
+		queue: opts.Queue.newQueue(opts.Seed),
+		byID:  make(map[int]*cluster.WorkflowState),
+		ranks: make(map[int][]int),
+	}
+}
+
+// Name implements cluster.Policy. It includes the intra-workflow policy
+// annotation when one is set, matching the paper's "WOHA-LPF" style labels.
+func (s *Scheduler) Name() string {
+	if s.opts.PolicyName != "" {
+		return "WOHA-" + s.opts.PolicyName
+	}
+	return "WOHA"
+}
+
+// WorkflowAdded implements cluster.Policy: the workflow joins the DSL with
+// the progress requirements from its plan. A workflow submitted without a
+// plan is scheduled with an empty requirement list (it accrues priority only
+// as it is starved relative to others' requirements) and job-ID ranking.
+func (s *Scheduler) WorkflowAdded(ws *cluster.WorkflowState, now simtime.Time) {
+	s.byID[ws.Index] = ws
+	var reqs []plan.Req
+	if ws.Plan != nil {
+		reqs = ws.Plan.Reqs
+		s.ranks[ws.Index] = ws.Plan.Ranks
+	} else {
+		ids := make([]int, len(ws.Jobs))
+		for i := range ids {
+			ids[i] = i
+		}
+		s.ranks[ws.Index] = ids
+	}
+	entry := dsl.NewEntryDemoteOverdue(ws.Index, ws.Spec.Deadline, reqs)
+	if s.opts.ServeOverdueFirst {
+		entry = dsl.NewEntry(ws.Index, ws.Spec.Deadline, reqs)
+	}
+	if s.opts.NormalizedLag {
+		entry.Normalized()
+	}
+	s.queue.Add(entry, now)
+}
+
+// JobActivated implements cluster.Policy: the job's map tasks (or its
+// reduces, for a map-less job) become startable.
+func (s *Scheduler) JobActivated(ws *cluster.WorkflowState, job workflow.JobID, _ simtime.Time) {
+	spec := &ws.Spec.Jobs[job]
+	if spec.Maps > 0 {
+		s.schedulable[cluster.MapSlot] += spec.Maps
+	} else {
+		s.schedulable[cluster.ReduceSlot] += spec.Reduces
+	}
+}
+
+// ReducesReady implements cluster.ReducePhasePolicy: the job's reduce tasks
+// become startable once its map phase completes.
+func (s *Scheduler) ReducesReady(ws *cluster.WorkflowState, job workflow.JobID, _ simtime.Time) {
+	s.schedulable[cluster.ReduceSlot] += ws.Jobs[job].PendingReduces
+}
+
+// NextTask implements cluster.Policy: pick the workflow lagging furthest
+// behind its progress requirement, then its highest-ranked runnable job.
+func (s *Scheduler) NextTask(now simtime.Time, st cluster.SlotType) (*cluster.WorkflowState, workflow.JobID, bool) {
+	if s.schedulable[st] == 0 {
+		return nil, 0, false
+	}
+	var (
+		found    *cluster.WorkflowState
+		foundJob workflow.JobID
+	)
+	s.queue.Ascend(now, func(e *dsl.Entry) bool {
+		ws := s.byID[e.ID]
+		if job, ok := s.bestJob(ws, st); ok {
+			found, foundJob = ws, job
+			return false
+		}
+		// Strict mode: consider only the single most-lagging workflow.
+		return !s.opts.Strict
+	})
+	if found == nil {
+		return nil, 0, false
+	}
+	return found, foundJob, true
+}
+
+// bestJob returns ws's schedulable job with the smallest plan rank.
+func (s *Scheduler) bestJob(ws *cluster.WorkflowState, st cluster.SlotType) (workflow.JobID, bool) {
+	ranks := s.ranks[ws.Index]
+	best := -1
+	for i := range ws.Jobs {
+		if !ws.Jobs[i].Schedulable(st) {
+			continue
+		}
+		if best < 0 || ranks[i] < ranks[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return workflow.JobID(best), true
+}
+
+// TaskStarted implements cluster.Policy: advance the workflow's true
+// progress ρ in the queue (Algorithm 2 lines 20-23).
+func (s *Scheduler) TaskStarted(ws *cluster.WorkflowState, _ workflow.JobID, st cluster.SlotType, now simtime.Time) {
+	s.schedulable[st]--
+	s.queue.Scheduled(ws.Index, now)
+}
+
+// TaskRequeued implements cluster.RequeuePolicy: a task lost to a node
+// failure becomes startable again and the workflow's true progress rolls
+// back by one, so its lag reflects the lost work.
+func (s *Scheduler) TaskRequeued(ws *cluster.WorkflowState, _ workflow.JobID, st cluster.SlotType, now simtime.Time) {
+	s.schedulable[st]++
+	s.queue.Unscheduled(ws.Index, now)
+}
+
+// WorkflowCompleted implements cluster.Policy.
+func (s *Scheduler) WorkflowCompleted(ws *cluster.WorkflowState, _ simtime.Time) {
+	s.queue.Remove(ws.Index)
+	delete(s.byID, ws.Index)
+	delete(s.ranks, ws.Index)
+}
+
+// QueueLen reports the number of workflows currently queued (for tests and
+// scalability experiments).
+func (s *Scheduler) QueueLen() int { return s.queue.Len() }
+
+// Client bundles the client-side submission pipeline of Fig 1: it validates
+// a workflow, generates the resource-capped scheduling plan locally, and
+// hands both to the JobTracker (simulator). It corresponds to the WOHA
+// client's Configuration Validator + Scheduling Plan Generator + Coordinator.
+type Client struct {
+	// Policy is the intra-workflow job prioritization algorithm.
+	Policy priority.Policy
+	// ClusterSlots is the total slot count reported by the JobTracker.
+	ClusterSlots int
+}
+
+// PreparePlan validates w and generates its resource-capped scheduling plan.
+func (c *Client) PreparePlan(w *workflow.Workflow) (*plan.Plan, error) {
+	if c.Policy == nil {
+		return nil, fmt.Errorf("core: client has no priority policy")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("core: validating workflow: %w", err)
+	}
+	p, err := plan.GenerateCapped(w, c.ClusterSlots, c.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating plan for %q: %w", w.Name, err)
+	}
+	return p, nil
+}
+
+// Submit prepares w's plan and submits both to the simulator.
+func (c *Client) Submit(sim *cluster.Simulator, w *workflow.Workflow) error {
+	p, err := c.PreparePlan(w)
+	if err != nil {
+		return err
+	}
+	if err := sim.Submit(w, p); err != nil {
+		return fmt.Errorf("core: submitting %q: %w", w.Name, err)
+	}
+	return nil
+}

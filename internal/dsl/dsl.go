@@ -1,0 +1,354 @@
+// Package dsl implements WOHA's inter-workflow priority queue from Section
+// IV-B of the paper: Algorithm 2 ("AssignTask") over the Double Skip List.
+//
+// Each queued workflow h carries its progress requirement list F_h (from its
+// scheduling plan), its true progress ρ_h (tasks scheduled so far), and two
+// derived fields: the absolute time of its next progress-requirement change
+// (W_h.t) and its current inter-workflow priority, the lag
+//
+//	W_h.p = F_h(ttd) − ρ_h,
+//
+// where larger lag means the workflow has fallen further behind its plan and
+// deserves slots sooner.
+//
+// The Double Skip List keeps two correlated ordered sets over the same
+// entries: the "ct list" ordered by next-change time and the "priority list"
+// ordered by lag. On every AssignTask call only the head of the ct list is
+// inspected; the few workflows whose requirement changed since the last call
+// are re-prioritized, so the per-call cost is O(changes · log n) instead of
+// the naive O(n log n) full rebuild. Head pops — the dominant operation — hit
+// the skip list's O(1) fast path.
+//
+// Three Queue implementations exist for the Fig 13(a) throughput comparison:
+// the Double Skip List (New), the same algorithm over balanced search trees
+// (NewBST), and the naive recompute-and-rescan baseline (NewNaive).
+package dsl
+
+import (
+	"repro/internal/avl"
+	"repro/internal/ordered"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/skiplist"
+)
+
+// Entry is one workflow queued for scheduling.
+type Entry struct {
+	// ID uniquely identifies the workflow (its arrival index).
+	ID int
+	// Deadline is the workflow's absolute deadline D_h.
+	Deadline simtime.Time
+	// Reqs is the progress requirement list F_h, sorted by decreasing TTD.
+	Reqs []plan.Req
+
+	// rho is the true progress ρ_h: tasks of this workflow scheduled so far.
+	rho int
+	// idx is the index of the next requirement not yet in force (W_h.i).
+	idx int
+	// nextChange is the absolute time the idx-th requirement takes effect
+	// (W_h.t), or simtime.MaxTime once all requirements are in force.
+	nextChange simtime.Time
+	// prio is the current lag F_h(ttd) − ρ_h (W_h.p).
+	prio int
+	// inCT records whether the entry currently sits in the ct list.
+	inCT bool
+	// demoteOverdue, when set, drops the entry below every non-overdue
+	// workflow once its deadline passes (see Queue docs).
+	demoteOverdue bool
+	// overdue records that the demotion is in force.
+	overdue bool
+	// normalized, when set, expresses the lag as parts-per-million of the
+	// workflow's total planned tasks instead of an absolute task count, so
+	// workflows of very different sizes compete on relative progress. An
+	// extension beyond the paper; see core.Options.NormalizedLag.
+	normalized bool
+}
+
+// overdueBias shifts an overdue entry's priority below any achievable lag
+// while preserving remaining-work order among overdue entries.
+const overdueBias = -(1 << 40)
+
+// NewEntry builds a queue entry for a workflow with the given plan
+// requirements. Progress starts at zero.
+func NewEntry(id int, deadline simtime.Time, reqs []plan.Req) *Entry {
+	return &Entry{ID: id, Deadline: deadline, Reqs: reqs}
+}
+
+// NewEntryDemoteOverdue is NewEntry for a queue policy that demotes
+// workflows whose deadlines have already passed: the paper's lag formula
+// F_h(ttd) − ρ_h keeps an overdue workflow at maximal lag until it finishes,
+// which lets a single large miss starve workflows that could still meet
+// their deadlines ("zombie cascade"). A demoted entry drops below every
+// non-overdue workflow but keeps remaining-lag order among the overdue, so
+// missed workflows still finish best-effort from slack capacity. The paper
+// does not specify post-deadline behaviour; this is the release's default
+// (see core.Options.ServeOverdueFirst for the paper-literal ordering).
+func NewEntryDemoteOverdue(id int, deadline simtime.Time, reqs []plan.Req) *Entry {
+	return &Entry{ID: id, Deadline: deadline, Reqs: reqs, demoteOverdue: true}
+}
+
+// Normalized switches the entry's priority to relative lag (fraction of the
+// workflow's planned total, in parts per million) and returns the entry.
+func (e *Entry) Normalized() *Entry {
+	e.normalized = true
+	return e
+}
+
+// Progress returns ρ_h, the number of tasks scheduled so far.
+func (e *Entry) Progress() int { return e.rho }
+
+// Lag returns the entry's current priority value (may be stale until the
+// owning queue refreshes it).
+func (e *Entry) Lag() int { return e.prio }
+
+// refresh advances idx past every requirement whose change time has fired by
+// now and recomputes prio and nextChange (Algorithm 2 lines 8-14).
+func (e *Entry) refresh(now simtime.Time) {
+	for e.idx < len(e.Reqs) && e.changeTime(e.idx) <= now {
+		e.idx++
+	}
+	if e.idx < len(e.Reqs) {
+		e.nextChange = e.changeTime(e.idx)
+	} else {
+		e.nextChange = simtime.MaxTime
+	}
+	e.overdue = e.demoteOverdue && now >= e.Deadline
+	if !e.overdue && e.demoteOverdue && e.nextChange > e.Deadline {
+		// Wake exactly at the deadline so the demotion takes effect even
+		// after the last requirement change has fired.
+		e.nextChange = e.Deadline
+	}
+	e.computePrio()
+}
+
+// computePrio derives the priority from the current requirement index, the
+// true progress, and the entry's mode.
+func (e *Entry) computePrio() {
+	if e.overdue {
+		e.prio = overdueBias + e.lagValue(e.totalRequired())
+		return
+	}
+	e.prio = e.lagValue(e.required())
+}
+
+// lagValue is required − ρ, normalized to ppm of the plan total when the
+// entry is in normalized mode.
+func (e *Entry) lagValue(required int) int {
+	lag := required - e.rho
+	if !e.normalized {
+		return lag
+	}
+	total := e.totalRequired()
+	if total <= 0 {
+		return lag
+	}
+	return lag * 1_000_000 / total
+}
+
+// required returns F_h currently in force: the cumulative requirement of the
+// last fired entry, or 0 before any requirement fires.
+func (e *Entry) required() int {
+	if e.idx == 0 {
+		return 0
+	}
+	return e.Reqs[e.idx-1].Cum
+}
+
+// totalRequired returns the final cumulative requirement (the workflow's
+// planned task total), or 0 for an empty requirement list.
+func (e *Entry) totalRequired() int {
+	if len(e.Reqs) == 0 {
+		return 0
+	}
+	return e.Reqs[len(e.Reqs)-1].Cum
+}
+
+// changeTime returns the absolute instant requirement i takes effect:
+// D_h − F_h[i].ttd.
+func (e *Entry) changeTime(i int) simtime.Time {
+	return e.Deadline.Add(-e.Reqs[i].TTD)
+}
+
+// Queue is the inter-workflow scheduling queue consulted on every slot
+// free-up. Implementations are not safe for concurrent use; the Hadoop
+// JobTracker serializes scheduling decisions, and so do our simulators.
+type Queue interface {
+	// Add inserts a workflow entry, computing its initial priority at now.
+	Add(e *Entry, now simtime.Time)
+	// Remove deletes the workflow with the given id, reporting whether it
+	// was present.
+	Remove(id int) bool
+	// Best returns the entry with the greatest lag at time now. ok is
+	// false when the queue is empty.
+	Best(now simtime.Time) (e *Entry, ok bool)
+	// Scheduled records that one task of workflow id was assigned: ρ_h is
+	// incremented and the priority decremented (Algorithm 2 lines 20-23).
+	Scheduled(id int, now simtime.Time)
+	// Unscheduled reverses one Scheduled call — a running task was lost to
+	// a TaskTracker failure and returned to the pending pool.
+	Unscheduled(id int, now simtime.Time)
+	// Ascend visits entries in decreasing-lag order at time now until fn
+	// returns false. It exists for work-conserving schedulers that must
+	// skip past workflows with no task matching the idle slot.
+	Ascend(now simtime.Time, fn func(e *Entry) bool)
+	// Len returns the number of queued workflows.
+	Len() int
+}
+
+// ctKey orders the ct list by next-change time, ties by workflow ID.
+type ctKey struct {
+	t  simtime.Time
+	id int
+}
+
+func ctLess(a, b ctKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.id < b.id
+}
+
+// prioKey orders the priority list by decreasing lag, ties by workflow ID.
+type prioKey struct {
+	p  int
+	id int
+}
+
+func prioLess(a, b prioKey) bool {
+	if a.p != b.p {
+		return a.p > b.p
+	}
+	return a.id < b.id
+}
+
+// List is the Double Skip List (or Double-BST) queue.
+type List struct {
+	ct      ordered.Set[ctKey]
+	prio    ordered.Set[prioKey]
+	entries map[int]*Entry
+}
+
+var _ Queue = (*List)(nil)
+
+// New returns a Double Skip List queue. seed drives the skip lists'
+// deterministic tower PRNG.
+func New(seed int64) *List {
+	return &List{
+		ct:      skiplist.New(ctLess, seed),
+		prio:    skiplist.New(prioLess, seed+1),
+		entries: make(map[int]*Entry),
+	}
+}
+
+// NewBST returns the same Algorithm 2 queue backed by AVL trees — the "BST"
+// baseline of Fig 13(a).
+func NewBST() *List {
+	return &List{
+		ct:      avl.New(ctLess),
+		prio:    avl.New(prioLess),
+		entries: make(map[int]*Entry),
+	}
+}
+
+// NewDeterministic returns the queue backed by Munro-Papadakis-Sedgewick
+// 1-2-3 deterministic skip lists — the structure the paper cites — trading
+// the seeded list's O(1) expected head pop for worst-case O(log n) bounds on
+// every operation.
+func NewDeterministic() *List {
+	return &List{
+		ct:      skiplist.NewDet(ctLess),
+		prio:    skiplist.NewDet(prioLess),
+		entries: make(map[int]*Entry),
+	}
+}
+
+// Len implements Queue.
+func (l *List) Len() int { return len(l.entries) }
+
+// Add implements Queue.
+func (l *List) Add(e *Entry, now simtime.Time) {
+	e.refresh(now)
+	l.entries[e.ID] = e
+	if e.nextChange != simtime.MaxTime {
+		l.ct.Insert(ctKey{t: e.nextChange, id: e.ID})
+		e.inCT = true
+	} else {
+		e.inCT = false
+	}
+	l.prio.Insert(prioKey{p: e.prio, id: e.ID})
+}
+
+// Remove implements Queue.
+func (l *List) Remove(id int) bool {
+	e, ok := l.entries[id]
+	if !ok {
+		return false
+	}
+	delete(l.entries, id)
+	if e.inCT {
+		l.ct.Delete(ctKey{t: e.nextChange, id: e.ID})
+	}
+	l.prio.Delete(prioKey{p: e.prio, id: e.ID})
+	return true
+}
+
+// settle re-prioritizes every workflow whose next requirement change fired at
+// or before now — the while loop of Algorithm 2 (lines 4-19).
+func (l *List) settle(now simtime.Time) {
+	for {
+		k, ok := l.ct.Min()
+		if !ok || k.t > now {
+			return
+		}
+		l.ct.DeleteMin()
+		e := l.entries[k.id]
+		l.prio.Delete(prioKey{p: e.prio, id: e.ID})
+		e.refresh(now)
+		if e.nextChange != simtime.MaxTime {
+			l.ct.Insert(ctKey{t: e.nextChange, id: e.ID})
+			e.inCT = true
+		} else {
+			e.inCT = false
+		}
+		l.prio.Insert(prioKey{p: e.prio, id: e.ID})
+	}
+}
+
+// Best implements Queue.
+func (l *List) Best(now simtime.Time) (*Entry, bool) {
+	l.settle(now)
+	k, ok := l.prio.Min()
+	if !ok {
+		return nil, false
+	}
+	return l.entries[k.id], true
+}
+
+// Scheduled implements Queue.
+func (l *List) Scheduled(id int, now simtime.Time) {
+	l.adjustProgress(id, +1)
+}
+
+// Unscheduled implements Queue.
+func (l *List) Unscheduled(id int, now simtime.Time) {
+	l.adjustProgress(id, -1)
+}
+
+func (l *List) adjustProgress(id, delta int) {
+	e, ok := l.entries[id]
+	if !ok {
+		return
+	}
+	l.prio.Delete(prioKey{p: e.prio, id: e.ID})
+	e.rho += delta
+	e.computePrio()
+	l.prio.Insert(prioKey{p: e.prio, id: e.ID})
+}
+
+// Ascend implements Queue.
+func (l *List) Ascend(now simtime.Time, fn func(e *Entry) bool) {
+	l.settle(now)
+	l.prio.Ascend(func(k prioKey) bool {
+		return fn(l.entries[k.id])
+	})
+}

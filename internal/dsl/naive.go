@@ -1,0 +1,88 @@
+package dsl
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Naive is the strawman queue from Section IV-B: on every scheduling call it
+// recomputes the progress lag of every queued workflow and rescans for the
+// maximum, costing O(n_w) (or O(n_w log n_w) to produce a full ordering) per
+// slot free-up. Fig 13(a) shows it collapsing beyond ~10k queued workflows.
+type Naive struct {
+	entries map[int]*Entry
+}
+
+var _ Queue = (*Naive)(nil)
+
+// NewNaive returns an empty naive queue.
+func NewNaive() *Naive {
+	return &Naive{entries: make(map[int]*Entry)}
+}
+
+// Len implements Queue.
+func (n *Naive) Len() int { return len(n.entries) }
+
+// Add implements Queue.
+func (n *Naive) Add(e *Entry, now simtime.Time) {
+	e.refresh(now)
+	n.entries[e.ID] = e
+}
+
+// Remove implements Queue.
+func (n *Naive) Remove(id int) bool {
+	if _, ok := n.entries[id]; !ok {
+		return false
+	}
+	delete(n.entries, id)
+	return true
+}
+
+// Best implements Queue. It recomputes every entry's priority.
+func (n *Naive) Best(now simtime.Time) (*Entry, bool) {
+	var best *Entry
+	for _, e := range n.entries {
+		e.refresh(now)
+		if best == nil || e.prio > best.prio || (e.prio == best.prio && e.ID < best.ID) {
+			best = e
+		}
+	}
+	return best, best != nil
+}
+
+// Scheduled implements Queue.
+func (n *Naive) Scheduled(id int, now simtime.Time) {
+	if e, ok := n.entries[id]; ok {
+		e.rho++
+		e.computePrio()
+	}
+}
+
+// Unscheduled implements Queue.
+func (n *Naive) Unscheduled(id int, now simtime.Time) {
+	if e, ok := n.entries[id]; ok {
+		e.rho--
+		e.computePrio()
+	}
+}
+
+// Ascend implements Queue. It recomputes and fully sorts the queue.
+func (n *Naive) Ascend(now simtime.Time, fn func(e *Entry) bool) {
+	all := make([]*Entry, 0, len(n.entries))
+	for _, e := range n.entries {
+		e.refresh(now)
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].prio != all[j].prio {
+			return all[i].prio > all[j].prio
+		}
+		return all[i].ID < all[j].ID
+	})
+	for _, e := range all {
+		if !fn(e) {
+			return
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/workload"
+)
+
+// AblationResult is one variant's outcome in an ablation table.
+type AblationResult struct {
+	Variant   string
+	Misses    int
+	Workflows int
+	TotalTard time.Duration
+	Makespan  time.Duration
+}
+
+// AblationsFig11 sweeps the simulator-level design knobs on the Fig 11
+// scenario under WOHA-LPF: plan safety margin, submitter-job overhead,
+// heartbeat-driven dispatch, estimation noise, and strict (non-work-
+// conserving) scheduling.
+func AblationsFig11() ([]AblationResult, error) {
+	base := DefaultFig11Config()
+	var out []AblationResult
+	run := func(variant string, margin float64, strict bool, mutate func(*cluster.Config)) error {
+		cc := base.Cluster()
+		if mutate != nil {
+			mutate(&cc)
+		}
+		pol := core.NewScheduler(core.Options{Seed: base.Seed, Strict: strict, PolicyName: "LPF"})
+		sim, err := cluster.New(cc, pol, nil)
+		if err != nil {
+			return err
+		}
+		for _, w := range base.Flows() {
+			p, err := plan.GenerateCappedTyped(w,
+				plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()},
+				priority.LPF{}, margin)
+			if err != nil {
+				return err
+			}
+			if err := sim.Submit(w, p); err != nil {
+				return err
+			}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		out = append(out, AblationResult{
+			Variant:   variant,
+			Misses:    res.DeadlineMisses(),
+			Workflows: len(res.Workflows),
+			TotalTard: res.TotalTardiness(),
+			Makespan:  res.Makespan.Duration(),
+		})
+		return nil
+	}
+
+	steps := []struct {
+		variant string
+		margin  float64
+		strict  bool
+		mutate  func(*cluster.Config)
+	}{
+		{"baseline (margin 0.85)", PlanMargin, false, nil},
+		{"margin 1.00 (paper-literal cap)", 1.0, false, nil},
+		{"margin 0.70", 0.70, false, nil},
+		{"submitter overhead 10s", PlanMargin, false, func(c *cluster.Config) { c.SubmitterOverhead = 10 * time.Second }},
+		{"heartbeat 3s", PlanMargin, false, func(c *cluster.Config) { c.HeartbeatInterval = 3 * time.Second }},
+		{"noise 30%", PlanMargin, false, func(c *cluster.Config) { c.Noise = 0.3; c.Seed = 42 }},
+		{"strict (no work conservation)", PlanMargin, true, nil},
+	}
+	for _, s := range steps {
+		if err := run(s.variant, s.margin, s.strict, s.mutate); err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", s.variant, err)
+		}
+	}
+	return out, nil
+}
+
+// AblationsYahoo sweeps the policy-level design knobs on the Yahoo workload
+// at 240m-240r: overdue handling, normalized lag, and the deadline scheme.
+func AblationsYahoo() ([]AblationResult, error) {
+	var out []AblationResult
+	run := func(variant string, scheme workload.DeadlineScheme, opts core.Options) error {
+		ycfg := workload.DefaultYahooConfig()
+		ycfg.Scheme = scheme
+		flows, err := workload.Yahoo(ycfg)
+		if err != nil {
+			return err
+		}
+		multi := workload.MultiJob(flows)
+		cc := cluster.Config{Nodes: 120, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2, Seed: 1}
+		opts.Seed = 1
+		opts.PolicyName = "LPF"
+		sim, err := cluster.New(cc, core.NewScheduler(opts), nil)
+		if err != nil {
+			return err
+		}
+		for _, w := range multi {
+			p, err := plan.GenerateCappedTyped(w,
+				plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()},
+				priority.LPF{}, PlanMargin)
+			if err != nil {
+				return err
+			}
+			if err := sim.Submit(w, p); err != nil {
+				return err
+			}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		out = append(out, AblationResult{
+			Variant:   variant,
+			Misses:    res.DeadlineMisses(),
+			Workflows: len(res.Workflows),
+			TotalTard: res.TotalTardiness(),
+			Makespan:  res.Makespan.Duration(),
+		})
+		return nil
+	}
+
+	steps := []struct {
+		variant string
+		scheme  workload.DeadlineScheme
+		opts    core.Options
+	}{
+		{"baseline (SLA deadlines)", workload.DeadlineSLA, core.Options{}},
+		{"serve overdue first (paper-literal)", workload.DeadlineSLA, core.Options{ServeOverdueFirst: true}},
+		{"normalized lag", workload.DeadlineSLA, core.Options{NormalizedLag: true}},
+		{"stretch deadlines", workload.DeadlineStretch, core.Options{}},
+		{"stretch + normalized lag", workload.DeadlineStretch, core.Options{NormalizedLag: true}},
+		{"stretch + serve overdue first", workload.DeadlineStretch, core.Options{ServeOverdueFirst: true}},
+	}
+	for _, s := range steps {
+		if err := run(s.variant, s.scheme, s.opts); err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", s.variant, err)
+		}
+	}
+	return out, nil
+}
+
+// AblationTable renders a set of ablation results.
+func AblationTable(title string, results []AblationResult) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"variant", "misses", "total-tardiness", "makespan"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Variant,
+			fmt.Sprintf("%d/%d", r.Misses, r.Workflows),
+			fmt.Sprintf("%.0fs", r.TotalTard.Seconds()),
+			fmt.Sprintf("%.0fs", r.Makespan.Seconds()),
+		})
+	}
+	return t
+}

@@ -1,0 +1,182 @@
+// Package experiments regenerates every figure of the WOHA paper's
+// evaluation (Section VI) on the simulated cluster: deadline satisfaction
+// (Fig 8-11), utilization (Fig 12), scheduler scalability and plan size
+// (Fig 13), slot-allocation timelines (Fig 14-19), the trace statistics
+// (Fig 5-6), the progress-requirement change intervals (Fig 3), and the
+// resource-cap motivating example (Fig 2).
+//
+// Each experiment returns a structured result plus a Table that prints the
+// same rows/series the paper reports. EXPERIMENTS.md records paper-vs-
+// measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/scheduler"
+	"repro/internal/workflow"
+)
+
+// Table is a rendered experiment: the rows/series of one paper figure.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "  %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return "  " + strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  "+strings.Repeat("-", sum(widths)+2*(len(widths)-1))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SchedulerSpec names one of the six schedulers compared throughout the
+// evaluation and knows how to instantiate it.
+type SchedulerSpec struct {
+	// Name is the paper's label: EDF, FIFO, Fair, WOHA-LPF, WOHA-HLF,
+	// WOHA-MPF.
+	Name string
+	// Priority is the intra-workflow policy used for WOHA plan generation;
+	// nil for the ported baselines, which receive no plans.
+	Priority priority.Policy
+	// Queue selects the WOHA queue backend (ignored for baselines).
+	Queue core.QueueKind
+}
+
+// New instantiates the policy. seed drives WOHA's skip-list PRNG.
+func (s SchedulerSpec) New(seed int64) cluster.Policy {
+	switch s.Name {
+	case "EDF":
+		return scheduler.NewEDF()
+	case "FIFO":
+		return scheduler.NewFIFO()
+	case "Fair":
+		return scheduler.NewFair()
+	default:
+		return core.NewScheduler(core.Options{
+			Queue:      s.Queue,
+			Seed:       seed,
+			PolicyName: s.Priority.Name(),
+		})
+	}
+}
+
+// IsWOHA reports whether the spec runs under the WOHA framework (and thus
+// needs client-side plans).
+func (s SchedulerSpec) IsWOHA() bool { return s.Priority != nil }
+
+// AllSchedulers returns the six schedulers in the paper's presentation
+// order: the three ported baselines, then WOHA with each job-priority
+// policy.
+func AllSchedulers() []SchedulerSpec {
+	return []SchedulerSpec{
+		{Name: "EDF"},
+		{Name: "FIFO"},
+		{Name: "Fair"},
+		{Name: "WOHA-LPF", Priority: priority.LPF{}},
+		{Name: "WOHA-HLF", Priority: priority.HLF{}},
+		{Name: "WOHA-MPF", Priority: priority.MPF{}},
+	}
+}
+
+// SchedulerByName returns the spec with the given paper label.
+func SchedulerByName(name string) (SchedulerSpec, error) {
+	for _, s := range AllSchedulers() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SchedulerSpec{}, fmt.Errorf("experiments: unknown scheduler %q", name)
+}
+
+// PlanMargin is the safety margin WOHA plans are generated with throughout
+// the experiments: the resource-cap search targets 85% of each deadline,
+// keeping slack in reserve for the single-pool plan model's optimism about
+// typed slots (see plan.GenerateCappedMargin).
+const PlanMargin = 0.85
+
+// RunScenario executes flows on a cluster configured by cfg under spec,
+// generating resource-capped plans client-side for WOHA schedulers (at the
+// default PlanMargin). obs may be nil.
+func RunScenario(cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerSpec, seed int64, obs cluster.Observer) (*cluster.Result, error) {
+	return RunScenarioMargin(cfg, flows, spec, seed, obs, PlanMargin)
+}
+
+// RunScenarioMargin is RunScenario with an explicit plan safety margin,
+// exposed for the margin-ablation benchmarks.
+func RunScenarioMargin(cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerSpec, seed int64, obs cluster.Observer, margin float64) (*cluster.Result, error) {
+	sim, err := cluster.New(cfg, spec.New(seed), obs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for _, w := range flows {
+		var p *plan.Plan
+		if spec.IsWOHA() {
+			caps := plan.Caps{Maps: cfg.MapSlots(), Reduces: cfg.ReduceSlots()}
+			p, err = plan.GenerateCappedTyped(w, caps, spec.Priority, margin)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: plan for %q: %w", w.Name, err)
+			}
+		}
+		if err := sim.Submit(w, p); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	return res, nil
+}

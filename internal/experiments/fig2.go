@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Fig2Result compares uncapped (full-cluster) against resource-capped
+// scheduling plans on the paper's Fig 2 motivating scenario: deadline-tight
+// chain workflows sharing a small cluster with loose-deadline competitors.
+type Fig2Result struct {
+	// UncappedMisses and CappedMisses count deadline violations under each
+	// plan-generation mode.
+	UncappedMisses, CappedMisses int
+	Uncapped, Capped             *cluster.Result
+}
+
+// Fig2 runs the scenario (see scheduler tests for the timing analysis): two
+// 2-job chains due at 9.5s and two wide loose workflows on a 4-map +
+// 4-reduce-slot cluster. Uncapped plans demand progress too late and lose at
+// least one tight deadline; capped plans meet all four.
+func Fig2() (*Fig2Result, error) {
+	cfg := cluster.Config{Nodes: 1, MapSlotsPerNode: 4, ReduceSlotsPerNode: 4}
+	mkFlows := func() []*workflow.Workflow {
+		tight := func(name string) *workflow.Workflow {
+			return workflow.NewBuilder(name).
+				Job("j1", 4, 4, time.Second, time.Second).
+				Job("j2", 4, 4, time.Second, time.Second, "j1").
+				MustBuild(0, simtime.FromSeconds(9.5))
+		}
+		loose := func(name string) *workflow.Workflow {
+			return workflow.NewBuilder(name).
+				Job("j", 24, 4, time.Second, time.Second).
+				MustBuild(0, simtime.FromSeconds(120))
+		}
+		return []*workflow.Workflow{tight("W1"), tight("W2"), loose("W3"), loose("W4")}
+	}
+	run := func(capped bool) (*cluster.Result, error) {
+		pol := core.NewScheduler(core.Options{Seed: 1})
+		sim, err := cluster.New(cfg, pol, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range mkFlows() {
+			var p *plan.Plan
+			if capped {
+				p, err = plan.GenerateCapped(w, cfg.TotalSlots(), priority.HLF{})
+			} else {
+				p, err = plan.GenerateForPolicy(w, cfg.TotalSlots(), priority.HLF{})
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := sim.Submit(w, p); err != nil {
+				return nil, err
+			}
+		}
+		return sim.Run()
+	}
+	uncapped, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 uncapped: %w", err)
+	}
+	capped, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 capped: %w", err)
+	}
+	return &Fig2Result{
+		UncappedMisses: uncapped.DeadlineMisses(),
+		CappedMisses:   capped.DeadlineMisses(),
+		Uncapped:       uncapped,
+		Capped:         capped,
+	}, nil
+}
+
+// Table renders the Fig 2 comparison.
+func (r *Fig2Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig 2: Resource-capped scheduling plans (motivating example)",
+		Note:   "two 9.5s-deadline chains + two loose wide workflows on 4 map + 4 reduce slots",
+		Header: []string{"workflow", "deadline", "uncapped finish", "capped finish"},
+	}
+	for i := range r.Uncapped.Workflows {
+		u, c := r.Uncapped.Workflows[i], r.Capped.Workflows[i]
+		mark := func(w cluster.WorkflowResult) string {
+			s := fmt.Sprintf("%.1fs", w.Finish.Seconds())
+			if !w.Met {
+				s += "*"
+			}
+			return s
+		}
+		t.Rows = append(t.Rows, []string{
+			u.Name,
+			fmt.Sprintf("%.1fs", u.Deadline.Seconds()),
+			mark(u),
+			mark(c),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"misses", "",
+		fmt.Sprintf("%d", r.UncappedMisses),
+		fmt.Sprintf("%d", r.CappedMisses),
+	})
+	return t
+}

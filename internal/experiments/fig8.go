@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// Fig8Config parameterizes the Yahoo-trace experiments of Fig 8 / Fig 9 /
+// Fig 10: the 61-workflow population (single-job workflows removed, as in
+// the paper) run on clusters of 200, 240, and 280 map and reduce slots under
+// all six schedulers.
+type Fig8Config struct {
+	// Yahoo builds the workflow population.
+	Yahoo workload.YahooConfig
+	// Sizes lists the per-type slot counts; "200" means 200 map + 200
+	// reduce slots.
+	Sizes []int
+	// Seed drives WOHA's queue PRNG.
+	Seed int64
+	// Margin is the plan safety margin.
+	Margin float64
+}
+
+// DefaultFig8Config matches the paper's axis: 200m-200r, 240m-240r,
+// 280m-280r.
+func DefaultFig8Config() Fig8Config {
+	return Fig8Config{
+		Yahoo:  workload.DefaultYahooConfig(),
+		Sizes:  []int{200, 240, 280},
+		Seed:   1,
+		Margin: PlanMargin,
+	}
+}
+
+// Fig8Result holds, per scheduler and cluster size, the three tardiness
+// metrics of Fig 8-10.
+type Fig8Result struct {
+	Config Fig8Config
+	Order  []string
+	// MissRatio[name][k] is the deadline violation ratio at Sizes[k].
+	MissRatio map[string][]float64
+	// MaxTard[name][k] and TotalTard[name][k] are the Fig 9 / Fig 10
+	// series.
+	MaxTard   map[string][]time.Duration
+	TotalTard map[string][]time.Duration
+}
+
+// Fig8 runs the Yahoo workload across cluster sizes and schedulers.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	flows, err := workload.Yahoo(cfg.Yahoo)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	multi := workload.MultiJob(flows)
+
+	out := &Fig8Result{
+		Config:    cfg,
+		MissRatio: make(map[string][]float64),
+		MaxTard:   make(map[string][]time.Duration),
+		TotalTard: make(map[string][]time.Duration),
+	}
+	for _, spec := range AllSchedulers() {
+		out.Order = append(out.Order, spec.Name)
+		for _, size := range cfg.Sizes {
+			// Model the "200m-200r" axis as nodes with 2 map + 2 reduce
+			// slots each.
+			cc := cluster.Config{
+				Nodes:              size / 2,
+				MapSlotsPerNode:    2,
+				ReduceSlotsPerNode: 2,
+				Seed:               cfg.Seed,
+			}
+			// Each run needs fresh workflow copies: the deadline fields are
+			// shared, but the simulator never mutates specs, so reuse is
+			// safe across runs.
+			res, err := RunScenarioMargin(cc, multi, spec, cfg.Seed, nil, cfg.Margin)
+			if err != nil {
+				return nil, err
+			}
+			out.MissRatio[spec.Name] = append(out.MissRatio[spec.Name], res.MissRatio())
+			out.MaxTard[spec.Name] = append(out.MaxTard[spec.Name], res.MaxTardiness())
+			out.TotalTard[spec.Name] = append(out.TotalTard[spec.Name], res.TotalTardiness())
+		}
+	}
+	return out, nil
+}
+
+func (r *Fig8Result) sizesHeader() []string {
+	h := []string{"scheduler"}
+	for _, s := range r.Config.Sizes {
+		h = append(h, fmt.Sprintf("%dm-%dr", s, s))
+	}
+	return h
+}
+
+// MissTable renders Fig 8: deadline violation ratio vs cluster size.
+func (r *Fig8Result) MissTable() *Table {
+	t := &Table{
+		Title:  "Fig 8: Deadline violation ratio (Yahoo workload, single-job workflows removed)",
+		Header: r.sizesHeader(),
+	}
+	for _, name := range r.Order {
+		row := []string{name}
+		for _, v := range r.MissRatio[name] {
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// MaxTardTable renders Fig 9: maximum tardiness (seconds) vs cluster size.
+func (r *Fig8Result) MaxTardTable() *Table {
+	t := &Table{
+		Title:  "Fig 9: Max tardiness (seconds)",
+		Header: r.sizesHeader(),
+	}
+	for _, name := range r.Order {
+		row := []string{name}
+		for _, v := range r.MaxTard[name] {
+			row = append(row, fmt.Sprintf("%.0f", v.Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// TotalTardTable renders Fig 10: total tardiness (seconds) vs cluster size.
+func (r *Fig8Result) TotalTardTable() *Table {
+	t := &Table{
+		Title:  "Fig 10: Total tardiness (seconds)",
+		Header: r.sizesHeader(),
+	}
+	for _, name := range r.Order {
+		row := []string{name}
+		for _, v := range r.TotalTard[name] {
+			row = append(row, fmt.Sprintf("%.0f", v.Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

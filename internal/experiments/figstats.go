@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig3Config parameterizes the progress-requirement change-interval
+// histogram: the paper computes, over capped HLF plans for the Yahoo data,
+// the gaps between consecutive requirement changes, and finds every gap
+// above 10ms with more than 99% above 10s.
+type Fig3Config struct {
+	// Yahoo supplies the workflow population.
+	Yahoo workload.YahooConfig
+	// Slots is the cluster size plans are generated against.
+	Slots int
+	// Seed is unused today but reserved for sampling variants.
+	Seed int64
+}
+
+// DefaultFig3Config uses the full-scale trace marginals (the paper computes
+// Fig 3 directly on the Yahoo data, not on the scaled-down Fig 8 workload).
+func DefaultFig3Config() Fig3Config {
+	cfg := workload.DefaultYahooConfig()
+	cfg.Trace = trace.DefaultParams()
+	return Fig3Config{Yahoo: cfg, Slots: 480}
+}
+
+// Fig3Result is the decade histogram of change intervals.
+type Fig3Result struct {
+	Config    Fig3Config
+	Histogram *metrics.LogHistogram // intervals in milliseconds
+}
+
+// Fig3 builds resource-capped HLF plans for the Yahoo population and
+// histograms the intervals between consecutive progress-requirement changes.
+func Fig3(cfg Fig3Config) (*Fig3Result, error) {
+	flows, err := workload.Yahoo(cfg.Yahoo)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	h := metrics.NewLogHistogram()
+	for _, w := range flows {
+		p, err := plan.GenerateCapped(w, cfg.Slots, priority.HLF{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		for i := 1; i < len(p.Reqs); i++ {
+			gap := p.Reqs[i-1].TTD - p.Reqs[i].TTD
+			h.Add(float64(gap / time.Millisecond))
+		}
+	}
+	return &Fig3Result{Config: cfg, Histogram: h}, nil
+}
+
+// Table renders Fig 3: occurrence counts per decade of change interval.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig 3: Progress requirement change intervals (resource-capped HLF plans, Yahoo workload)",
+		Header: []string{"interval", "count"},
+	}
+	for _, b := range r.Histogram.Buckets() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("<10^%d ms", b.UpperExp),
+			fmt.Sprintf("%d", b.Count),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"fraction > 10s",
+		fmt.Sprintf("%.4f", r.Histogram.FractionAbove(4)),
+	})
+	return t
+}
+
+// Fig56Config parameterizes the trace-statistics figures.
+type Fig56Config struct {
+	// Jobs is the sample size; the paper's trace has "more than 4000".
+	Jobs int
+	// Params are the trace marginals.
+	Params trace.Params
+	// Seed drives sampling.
+	Seed int64
+}
+
+// DefaultFig56Config matches the published trace scale.
+func DefaultFig56Config() Fig56Config {
+	return Fig56Config{Jobs: 4000, Params: trace.DefaultParams(), Seed: 1}
+}
+
+// Fig56Result carries the empirical distributions behind Fig 5 and Fig 6.
+type Fig56Result struct {
+	Config Fig56Config
+	// MapTime and ReduceTime are per-task durations in seconds.
+	MapTime, ReduceTime metrics.CDF
+	// MapCount and ReduceCount are per-job task counts.
+	MapCount, ReduceCount metrics.CDF
+	// DurRatio is reduce duration / map duration per job (Fig 5b);
+	// CountRatio is map count / reduce count per job (Fig 6b).
+	DurRatio, CountRatio metrics.CDF
+}
+
+// Fig56 synthesizes the trace and computes its distributions.
+func Fig56(cfg Fig56Config) *Fig56Result {
+	gen := trace.NewGeneratorParams(cfg.Seed, cfg.Params)
+	jobs := gen.Jobs(cfg.Jobs)
+	var mt, rt, mc, rc, dr, cr []float64
+	for _, j := range jobs {
+		mt = append(mt, j.MapTime.Seconds())
+		mc = append(mc, float64(j.Maps))
+		if j.Reduces > 0 {
+			rt = append(rt, j.ReduceTime.Seconds())
+			rc = append(rc, float64(j.Reduces))
+			dr = append(dr, j.ReduceTime.Seconds()/j.MapTime.Seconds())
+			cr = append(cr, float64(j.Maps)/float64(j.Reduces))
+		}
+	}
+	return &Fig56Result{
+		Config:      cfg,
+		MapTime:     metrics.NewCDF(mt),
+		ReduceTime:  metrics.NewCDF(rt),
+		MapCount:    metrics.NewCDF(mc),
+		ReduceCount: metrics.NewCDF(rc),
+		DurRatio:    metrics.NewCDF(dr),
+		CountRatio:  metrics.NewCDF(cr),
+	}
+}
+
+// Fig5Table renders the task-duration CDFs at decade points plus the
+// duration-ratio CDF.
+func (r *Fig56Result) Fig5Table() *Table {
+	t := &Table{
+		Title:  "Fig 5: Task execution time CDFs (synthesized trace)",
+		Header: []string{"x", "P(map time <= x)", "P(reduce time <= x)", "P(reduce/map dur <= x)"},
+	}
+	for _, x := range []float64{1, 10, 100, 1000, 10000} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%gs", x),
+			fmt.Sprintf("%.3f", r.MapTime.P(x)),
+			fmt.Sprintf("%.3f", r.ReduceTime.P(x)),
+			fmt.Sprintf("%.3f", r.DurRatio.P(x)),
+		})
+	}
+	return t
+}
+
+// Fig6Table renders the task-count CDFs at decade points plus the
+// count-ratio CDF.
+func (r *Fig56Result) Fig6Table() *Table {
+	t := &Table{
+		Title:  "Fig 6: Task number CDFs (synthesized trace)",
+		Header: []string{"x", "P(maps <= x)", "P(reduces <= x)", "P(maps/reduces <= x)"},
+	}
+	for _, x := range []float64{1, 10, 100, 1000, 10000} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", x),
+			fmt.Sprintf("%.3f", r.MapCount.P(x)),
+			fmt.Sprintf("%.3f", r.ReduceCount.P(x)),
+			fmt.Sprintf("%.3f", r.CountRatio.P(x)),
+		})
+	}
+	return t
+}

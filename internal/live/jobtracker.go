@@ -1,0 +1,239 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// JobTracker is the live master: it owns all workflow state behind one
+// mutex, exactly like Hadoop's JobTracker, and answers heartbeats with task
+// assignments chosen by the pluggable policy.
+type JobTracker struct {
+	cfg Config
+
+	mu     sync.Mutex
+	pol    cluster.Policy
+	states []*cluster.WorkflowState
+	specs  []*workflow.Workflow
+	plans  []*plan.Plan
+
+	clock     virtualClock
+	seq       int
+	remaining int // workflows not yet completed
+	started   int // tasks started
+	finish    []simtime.Time
+
+	// pendingRelease workflows are added to the policy when their release
+	// time arrives (checked on every heartbeat — heartbeats are the only
+	// scheduling trigger, as in Hadoop).
+	released []bool
+
+	done chan struct{}
+}
+
+func newJobTracker(cfg Config, pol cluster.Policy) *JobTracker {
+	return &JobTracker{cfg: cfg, pol: pol, done: make(chan struct{})}
+}
+
+// register records a workflow before the cluster starts.
+func (jt *JobTracker) register(w *workflow.Workflow, p *plan.Plan) {
+	ws := &cluster.WorkflowState{
+		Index: len(jt.states),
+		Spec:  w,
+		Plan:  p,
+		Jobs:  make([]cluster.JobState, len(w.Jobs)),
+	}
+	for i := range w.Jobs {
+		ws.Jobs[i] = cluster.JobState{
+			ID:             workflow.JobID(i),
+			PendingMaps:    w.Jobs[i].Maps,
+			PendingReduces: w.Jobs[i].Reduces,
+		}
+	}
+	jt.states = append(jt.states, ws)
+	jt.specs = append(jt.specs, w)
+	jt.plans = append(jt.plans, p)
+	jt.released = append(jt.released, false)
+	jt.finish = append(jt.finish, 0)
+	jt.remaining++
+}
+
+// start stamps the clock origin.
+func (jt *JobTracker) start() {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	jt.clock = virtualClock{start: time.Now(), scale: jt.cfg.TimeScale}
+	// unmet prerequisite counts live in unexported simulator state, so the
+	// live tracker recomputes readiness from Dependents on each completion;
+	// initialize root readiness at release time in releaseDue.
+}
+
+// Heartbeat is the single RPC of the control plane: a tracker reports
+// completions and free slots; the JobTracker returns assignments.
+func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	now := jt.clock.now()
+	jt.releaseDue(now)
+	for _, id := range hb.Completed {
+		jt.complete(id, now)
+	}
+	var out []Assignment
+	freeMaps, freeReds := hb.FreeMaps, hb.FreeReds
+	for freeMaps > 0 {
+		a, ok := jt.assign(cluster.MapSlot, now)
+		if !ok {
+			break
+		}
+		out = append(out, a)
+		freeMaps--
+	}
+	for freeReds > 0 {
+		a, ok := jt.assign(cluster.ReduceSlot, now)
+		if !ok {
+			break
+		}
+		out = append(out, a)
+		freeReds--
+	}
+	return out
+}
+
+// releaseDue hands workflows whose release time has arrived to the policy
+// and activates their root jobs.
+func (jt *JobTracker) releaseDue(now simtime.Time) {
+	for i, ws := range jt.states {
+		if jt.released[i] || ws.Spec.Release > now {
+			continue
+		}
+		jt.released[i] = true
+		jt.pol.WorkflowAdded(ws, now)
+		for _, r := range ws.Spec.Roots() {
+			jt.activate(ws, r, now)
+		}
+	}
+}
+
+func (jt *JobTracker) activate(ws *cluster.WorkflowState, job workflow.JobID, now simtime.Time) {
+	js := &ws.Jobs[job]
+	js.Ready = true
+	js.ActivatedAt = now
+	jt.pol.JobActivated(ws, job, now)
+}
+
+// assign asks the policy for one task of the given slot type.
+func (jt *JobTracker) assign(st cluster.SlotType, now simtime.Time) (Assignment, bool) {
+	ws, job, ok := jt.pol.NextTask(now, st)
+	if !ok {
+		return Assignment{}, false
+	}
+	js := &ws.Jobs[job]
+	var dur time.Duration
+	if st == cluster.MapSlot {
+		js.PendingMaps--
+		js.RunningMaps++
+		dur = ws.Spec.Jobs[job].MapTime
+	} else {
+		js.PendingReduces--
+		js.RunningReduces++
+		dur = ws.Spec.Jobs[job].ReduceTime
+	}
+	ws.ScheduledTasks++
+	ws.RunningTasks++
+	jt.started++
+	jt.seq++
+	jt.pol.TaskStarted(ws, job, st, now)
+	return Assignment{
+		ID:       TaskID{Workflow: ws.Index, Job: job, Type: st, Seq: jt.seq},
+		WallTime: jt.clock.toWall(dur),
+	}, true
+}
+
+// complete applies a reported task completion.
+func (jt *JobTracker) complete(id TaskID, now simtime.Time) {
+	ws := jt.states[id.Workflow]
+	js := &ws.Jobs[id.Job]
+	if id.Type == cluster.MapSlot {
+		js.RunningMaps--
+		js.DoneMaps++
+	} else {
+		js.RunningReduces--
+		js.DoneReduces++
+	}
+	ws.RunningTasks--
+	if id.Type == cluster.MapSlot && js.MapsDone() && js.PendingReduces > 0 {
+		if rp, ok := jt.pol.(cluster.ReducePhasePolicy); ok {
+			rp.ReducesReady(ws, id.Job, now)
+		}
+	}
+	if js.Completed() {
+		jt.jobCompleted(ws, id.Job, now)
+	}
+	if !ws.Done && workflowFinished(ws) {
+		ws.Done = true
+		ws.FinishTime = now
+		jt.finish[ws.Index] = now
+		jt.pol.WorkflowCompleted(ws, now)
+		jt.remaining--
+		if jt.remaining == 0 {
+			close(jt.done)
+		}
+	}
+}
+
+// jobCompleted activates dependents whose prerequisites all finished.
+func (jt *JobTracker) jobCompleted(ws *cluster.WorkflowState, job workflow.JobID, now simtime.Time) {
+	for _, d := range ws.Spec.Dependents()[job] {
+		dj := &ws.Jobs[d]
+		if dj.Ready {
+			continue
+		}
+		ready := true
+		for _, p := range ws.Spec.Jobs[d].Prereqs {
+			if !ws.Jobs[p].Completed() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			jt.activate(ws, d, now)
+		}
+	}
+}
+
+func workflowFinished(ws *cluster.WorkflowState) bool {
+	for i := range ws.Jobs {
+		if !ws.Jobs[i].Completed() {
+			return false
+		}
+	}
+	return true
+}
+
+// result snapshots the outcome.
+func (jt *JobTracker) result() *Result {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	r := &Result{Policy: jt.pol.Name(), TasksStarted: jt.started}
+	for i, ws := range jt.states {
+		wr := cluster.WorkflowResult{
+			Name:     ws.Spec.Name,
+			Index:    i,
+			Release:  ws.Spec.Release,
+			Deadline: ws.Spec.Deadline,
+			Finish:   jt.finish[i],
+		}
+		wr.Workspan = wr.Finish.Sub(wr.Release)
+		if wr.Finish > wr.Deadline {
+			wr.Tardiness = wr.Finish.Sub(wr.Deadline)
+		}
+		wr.Met = wr.Tardiness == 0
+		r.Workflows = append(r.Workflows, wr)
+	}
+	return r
+}

@@ -1,0 +1,202 @@
+// Package live runs WOHA on a real concurrent mini-Hadoop instead of the
+// discrete-event simulator: the JobTracker is a mutex-guarded scheduler
+// consulted by TaskTracker goroutines over periodic heartbeat messages, and
+// tasks execute as timed goroutines.
+//
+// The same cluster.Policy implementations (WOHA, FIFO, Fair, EDF) drive both
+// worlds. Virtual workflow time maps to wall time through Config.TimeScale,
+// so a 45-minute workflow can run in tens of milliseconds of test time while
+// the control plane exchanges real messages.
+//
+// The package exists to demonstrate the framework under true concurrency —
+// races, heartbeat skew, out-of-order completions — rather than to produce
+// reproducible numbers; the experiments all run on the deterministic
+// simulator.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Config describes the live cluster.
+type Config struct {
+	// Nodes, MapSlotsPerNode, ReduceSlotsPerNode mirror cluster.Config.
+	Nodes              int
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// HeartbeatInterval is the real-time period between a TaskTracker's
+	// reports to the JobTracker.
+	HeartbeatInterval time.Duration
+	// TimeScale converts workflow (virtual) durations to wall time: a task
+	// estimated at D runs for D * TimeScale. 0.001 runs a 10-second task
+	// in 10ms.
+	TimeScale float64
+}
+
+func (c Config) validate() error {
+	if c.Nodes <= 0 || c.MapSlotsPerNode < 0 || c.ReduceSlotsPerNode < 0 ||
+		c.MapSlotsPerNode+c.ReduceSlotsPerNode == 0 {
+		return fmt.Errorf("live: bad cluster shape %+v", c)
+	}
+	if c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("live: heartbeat interval %v, want > 0", c.HeartbeatInterval)
+	}
+	if c.TimeScale <= 0 {
+		return fmt.Errorf("live: time scale %v, want > 0", c.TimeScale)
+	}
+	return nil
+}
+
+// TaskID identifies a running task inside the live cluster.
+type TaskID struct {
+	Workflow int
+	Job      workflow.JobID
+	Type     cluster.SlotType
+	Seq      int
+}
+
+// Assignment is the JobTracker's response entry to a heartbeat: run one task
+// for the given wall duration.
+type Assignment struct {
+	ID       TaskID
+	WallTime time.Duration
+}
+
+// Heartbeat is a TaskTracker's periodic report: its identity, current free
+// slots, and tasks completed since the last report.
+type Heartbeat struct {
+	Tracker   int
+	FreeMaps  int
+	FreeReds  int
+	Completed []TaskID
+}
+
+// Cluster is the live mini-Hadoop: one JobTracker plus Config.Nodes
+// TaskTracker goroutines.
+type Cluster struct {
+	cfg Config
+	jt  *JobTracker
+
+	trackers []*TaskTracker
+	wg       sync.WaitGroup
+
+	// transport is non-nil for clusters built with NewTCP.
+	transport *tcpTransport
+
+	started bool
+}
+
+// New builds a live cluster running pol. The policy must not be shared with
+// any other cluster.
+func New(cfg Config, pol cluster.Policy) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("live: nil policy")
+	}
+	c := &Cluster{cfg: cfg, jt: newJobTracker(cfg, pol)}
+	for i := 0; i < cfg.Nodes; i++ {
+		hb := func(h Heartbeat) ([]Assignment, error) { return c.jt.Heartbeat(h), nil }
+		c.trackers = append(c.trackers, newTaskTracker(i, cfg, hb))
+	}
+	return c, nil
+}
+
+// Submit registers a workflow before Start. p may be nil for non-WOHA
+// policies. Releases are honored relative to the cluster start instant.
+func (c *Cluster) Submit(w *workflow.Workflow, p *plan.Plan) error {
+	if c.started {
+		return fmt.Errorf("live: Submit after Start")
+	}
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("live: %w", err)
+	}
+	c.jt.register(w, p)
+	return nil
+}
+
+// Run starts the cluster, waits until every submitted workflow completes (or
+// ctx is done), stops the trackers, and returns the outcome.
+func (c *Cluster) Run(ctx context.Context) (*Result, error) {
+	if c.started {
+		return nil, fmt.Errorf("live: Run called twice")
+	}
+	c.started = true
+	if len(c.jt.states) == 0 {
+		return c.jt.result(), nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	c.jt.start()
+	for _, tt := range c.trackers {
+		c.wg.Add(1)
+		go func(tt *TaskTracker) {
+			defer c.wg.Done()
+			tt.run(runCtx)
+		}(tt)
+	}
+
+	var err error
+	select {
+	case <-c.jt.done:
+	case <-ctx.Done():
+		err = fmt.Errorf("live: %w", ctx.Err())
+	}
+	cancel()
+	c.wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return c.jt.result(), nil
+}
+
+// Result mirrors the simulator's per-workflow outcome for the live run.
+type Result struct {
+	// Policy names the scheduler.
+	Policy string
+	// Workflows holds per-workflow outcomes in submission order; times are
+	// in virtual (workflow) time.
+	Workflows []cluster.WorkflowResult
+	// TasksStarted counts every task executed.
+	TasksStarted int
+}
+
+// DeadlineMisses counts missed deadlines.
+func (r *Result) DeadlineMisses() int {
+	n := 0
+	for _, w := range r.Workflows {
+		if !w.Met {
+			n++
+		}
+	}
+	return n
+}
+
+// virtualClock converts wall time since start into virtual time.
+type virtualClock struct {
+	start time.Time
+	scale float64
+}
+
+func (vc virtualClock) now() simtime.Time {
+	return simtime.Epoch.Add(time.Duration(float64(time.Since(vc.start)) / vc.scale))
+}
+
+func (vc virtualClock) toWall(d time.Duration) time.Duration {
+	w := time.Duration(float64(d) * vc.scale)
+	if w <= 0 {
+		w = time.Microsecond
+	}
+	return w
+}

@@ -1,0 +1,268 @@
+package live_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// fastConfig runs virtual seconds as ~0.2ms wall time with 2ms heartbeats.
+func fastConfig() live.Config {
+	return live.Config{
+		Nodes:              4,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		HeartbeatInterval:  2 * time.Millisecond,
+		TimeScale:          0.0002,
+	}
+}
+
+func chainFlow(name string, rel, deadline time.Duration) *workflow.Workflow {
+	return workflow.NewBuilder(name).
+		Job("a", 6, 2, 10*time.Second, 20*time.Second).
+		Job("b", 4, 2, 10*time.Second, 20*time.Second, "a").
+		MustBuild(simtime.Epoch.Add(rel), simtime.Epoch.Add(deadline))
+}
+
+func runLive(t *testing.T, pol cluster.Policy, withPlans bool, flows ...*workflow.Workflow) *live.Result {
+	t.Helper()
+	c, err := live.New(fastConfig(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range flows {
+		var p *plan.Plan
+		if withPlans {
+			p, err = plan.GenerateCapped(w, 12, priority.LPF{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Submit(w, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLiveRunsWorkflowToCompletion(t *testing.T) {
+	res := runLive(t, core.NewScheduler(core.Options{Seed: 1}), true,
+		chainFlow("w", 0, time.Hour))
+	if len(res.Workflows) != 1 {
+		t.Fatalf("workflows = %d", len(res.Workflows))
+	}
+	w := res.Workflows[0]
+	if !w.Met {
+		t.Errorf("missed a one-hour deadline: finish %v", w.Finish)
+	}
+	if res.TasksStarted != 14 {
+		t.Errorf("TasksStarted = %d, want 14", res.TasksStarted)
+	}
+	// The chain needs at least its critical path (60s virtual) plus
+	// heartbeat latency; it cannot legitimately finish faster.
+	if w.Workspan < 60*time.Second {
+		t.Errorf("workspan %v below the 60s critical path", w.Workspan)
+	}
+}
+
+func TestLiveEverySchedulerCompletes(t *testing.T) {
+	pols := map[string]func() cluster.Policy{
+		"FIFO":     func() cluster.Policy { return scheduler.NewFIFO() },
+		"Fair":     func() cluster.Policy { return scheduler.NewFair() },
+		"EDF":      func() cluster.Policy { return scheduler.NewEDF() },
+		"WOHA-LPF": func() cluster.Policy { return core.NewScheduler(core.Options{Seed: 2, PolicyName: "LPF"}) },
+	}
+	for name, mk := range pols {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := runLive(t, mk(), name == "WOHA-LPF",
+				chainFlow("w1", 0, 2*time.Hour),
+				chainFlow("w2", 10*time.Second, 2*time.Hour),
+				chainFlow("w3", 20*time.Second, 2*time.Hour))
+			if res.TasksStarted != 3*14 {
+				t.Errorf("TasksStarted = %d, want 42", res.TasksStarted)
+			}
+			for _, w := range res.Workflows {
+				if w.Finish == 0 {
+					t.Errorf("%s never finished", w.Name)
+				}
+				if !w.Met {
+					t.Errorf("%s missed a two-hour deadline (finish %v)", w.Name, w.Finish)
+				}
+			}
+		})
+	}
+}
+
+func TestLiveRespectsReleaseTimes(t *testing.T) {
+	res := runLive(t, scheduler.NewFIFO(), false,
+		chainFlow("late", 2*time.Minute, 3*time.Hour))
+	w := res.Workflows[0]
+	if w.Finish < simtime.Epoch.Add(2*time.Minute+60*time.Second) {
+		t.Errorf("finish %v earlier than release + critical path", w.Finish)
+	}
+}
+
+func TestLiveContextCancellation(t *testing.T) {
+	c, err := live.New(fastConfig(), scheduler.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A workflow that would take far longer than the context allows.
+	w := workflow.NewBuilder("huge").
+		Job("j", 500, 100, time.Hour, time.Hour).
+		MustBuild(0, simtime.Epoch.Add(1000*time.Hour))
+	if err := c.Submit(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Run(ctx); err == nil {
+		t.Fatal("Run returned nil error after context timeout")
+	}
+}
+
+func TestLiveConfigValidation(t *testing.T) {
+	bad := []live.Config{
+		{Nodes: 0, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, HeartbeatInterval: time.Millisecond, TimeScale: 1},
+		{Nodes: 1, MapSlotsPerNode: 0, ReduceSlotsPerNode: 0, HeartbeatInterval: time.Millisecond, TimeScale: 1},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, HeartbeatInterval: 0, TimeScale: 1},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, HeartbeatInterval: time.Millisecond, TimeScale: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := live.New(cfg, scheduler.NewFIFO()); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := live.New(fastConfig(), nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestLiveLifecycleErrors(t *testing.T) {
+	c, err := live.New(fastConfig(), scheduler.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(&workflow.Workflow{Name: "bad"}, nil); err == nil {
+		t.Error("invalid workflow accepted")
+	}
+	if err := c.Submit(chainFlow("w", 0, time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx); err == nil {
+		t.Error("second Run accepted")
+	}
+	if err := c.Submit(chainFlow("w2", 0, time.Hour), nil); err == nil {
+		t.Error("Submit after Start accepted")
+	}
+}
+
+func TestLiveEmptyRun(t *testing.T) {
+	c, err := live.New(fastConfig(), scheduler.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workflows) != 0 || res.TasksStarted != 0 {
+		t.Errorf("empty run produced %+v", res)
+	}
+}
+
+// TestLiveWOHAPrioritizesTightDeadline mirrors the ad-pipeline scenario in
+// the concurrent world: under WOHA the tight workflow wins the contention.
+// Timing in the live cluster is inherently noisy, so the assertion is only
+// that the tight workflow finishes before the loose one by a clear margin.
+func TestLiveWOHAPrioritizesTightDeadline(t *testing.T) {
+	loose := workflow.NewBuilder("loose").
+		Job("wide", 60, 10, 10*time.Second, 20*time.Second).
+		MustBuild(0, simtime.Epoch.Add(10*time.Hour))
+	tight := workflow.NewBuilder("tight").
+		Job("a", 6, 2, 10*time.Second, 20*time.Second).
+		Job("b", 4, 2, 10*time.Second, 20*time.Second, "a").
+		MustBuild(0, simtime.Epoch.Add(3*time.Minute))
+
+	res := runLive(t, core.NewScheduler(core.Options{Seed: 9}), true, loose, tight)
+	lw, tw := res.Workflows[0], res.Workflows[1]
+	if tw.Finish >= lw.Finish {
+		t.Errorf("tight finished at %v, not before loose at %v", tw.Finish, lw.Finish)
+	}
+}
+
+func TestTCPTransportRunsWorkflow(t *testing.T) {
+	cfg := fastConfig()
+	c, err := live.NewTCP(cfg, core.NewScheduler(core.Options{Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.CloseTransport(); err != nil {
+			t.Errorf("CloseTransport: %v", err)
+		}
+	}()
+	w := chainFlow("tcp", 0, 2*time.Hour)
+	p, err := plan.GenerateCapped(w, 12, priority.LPF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(w, p); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksStarted != 14 {
+		t.Errorf("TasksStarted = %d, want 14", res.TasksStarted)
+	}
+	if !res.Workflows[0].Met {
+		t.Errorf("missed the two-hour deadline over TCP: finish %v", res.Workflows[0].Finish)
+	}
+}
+
+func TestTCPTransportSurvivesEarlyClose(t *testing.T) {
+	// Closing the transport mid-run makes heartbeats fail; trackers must
+	// keep re-queueing completions without panicking, and Run must stop at
+	// the context deadline rather than hang.
+	cfg := fastConfig()
+	c, err := live.NewTCP(cfg, scheduler.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(chainFlow("w", 0, 2*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		_ = c.CloseTransport()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.Run(ctx); err == nil {
+		t.Log("run completed before the transport closed; acceptable on fast machines")
+	}
+}

@@ -1,0 +1,116 @@
+// Package metrics provides the measurement utilities behind the paper's
+// evaluation figures: empirical CDFs (Fig 5, Fig 6), decade-bucketed
+// histograms (Fig 3), and per-workflow slot-allocation timelines
+// (Fig 14 - Fig 19).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// The zero value is an empty distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// P returns the empirical P(X <= x), or 0 for an empty distribution.
+func (c CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Include equal samples.
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-th quantile (p in [0,1]) by nearest-rank, or 0 for
+// an empty distribution.
+func (c CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// LogHistogram counts samples into decade buckets: bucket e holds samples in
+// [10^(e-1), 10^e). It reproduces Fig 3's "occurrence count vs change
+// interval" presentation.
+type LogHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewLogHistogram returns an empty histogram.
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{counts: make(map[int]int)}
+}
+
+// Add records a sample. Non-positive samples land in the lowest bucket.
+func (h *LogHistogram) Add(v float64) {
+	e := math.MinInt32
+	if v > 0 {
+		e = int(math.Floor(math.Log10(v))) + 1
+	}
+	h.counts[e]++
+	h.total++
+}
+
+// Bucket is one decade of a LogHistogram: samples in [10^(UpperExp-1),
+// 10^UpperExp).
+type Bucket struct {
+	UpperExp int
+	Count    int
+}
+
+// Buckets returns non-empty buckets in ascending decade order.
+func (h *LogHistogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	for e, c := range h.counts {
+		out = append(out, Bucket{UpperExp: e, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpperExp < out[j].UpperExp })
+	return out
+}
+
+// Total returns the number of samples added.
+func (h *LogHistogram) Total() int { return h.total }
+
+// FractionAbove returns the fraction of samples in buckets strictly above
+// decade exponent e (i.e. samples known to be >= 10^e).
+func (h *LogHistogram) FractionAbove(e int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for exp, c := range h.counts {
+		if exp > e {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}

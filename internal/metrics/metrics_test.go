@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.P(5) != 0 || c.Quantile(0.5) != 0 || c.Len() != 0 {
+		t.Error("empty CDF returned nonzero values")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tc := range tests {
+		if got := c.P(tc.x); got != tc.want {
+			t.Errorf("P(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+}
+
+func TestCDFDuplicates(t *testing.T) {
+	c := NewCDF([]float64{2, 2, 2, 5})
+	if got := c.P(2); got != 0.75 {
+		t.Errorf("P(2) = %v, want 0.75", got)
+	}
+	if got := c.P(1.99); got != 0 {
+		t.Errorf("P(1.99) = %v, want 0", got)
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	c := NewCDF(in)
+	in[0] = 100
+	if got := c.P(3); got != 1 {
+		t.Errorf("CDF affected by caller mutation: P(3) = %v", got)
+	}
+}
+
+// Property: P is monotone and Quantile inverts P approximately.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCDF(raw)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		prev := -1.0
+		for _, x := range sorted {
+			p := c.P(x)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return c.P(sorted[len(sorted)-1]) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram()
+	// 5 samples in [1,10), 3 in [10,100), 2 in [100,1000).
+	for _, v := range []float64{1, 2, 5, 9, 9.9, 10, 50, 99, 100, 999} {
+		h.Add(v)
+	}
+	buckets := h.Buckets()
+	want := map[int]int{1: 5, 2: 3, 3: 2}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want 3 decades", buckets)
+	}
+	for _, b := range buckets {
+		if want[b.UpperExp] != b.Count {
+			t.Errorf("bucket <10^%d count = %d, want %d", b.UpperExp, b.Count, want[b.UpperExp])
+		}
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+}
+
+func TestLogHistogramFractionAbove(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Add(v)
+	}
+	if got := h.FractionAbove(1); got != 0.75 {
+		t.Errorf("FractionAbove(1) = %v, want 0.75", got)
+	}
+	if got := h.FractionAbove(4); got != 0 {
+		t.Errorf("FractionAbove(4) = %v, want 0", got)
+	}
+}
+
+func TestLogHistogramNonPositive(t *testing.T) {
+	h := NewLogHistogram()
+	h.Add(0)
+	h.Add(-3)
+	h.Add(1)
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+	// Non-positive samples are below every decade.
+	if got := h.FractionAbove(-100000); got < 0.3 || got > 0.34 {
+		t.Errorf("FractionAbove(min) = %v, want 1/3", got)
+	}
+}
+
+func TestCDFQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = rng.Float64() * 100
+	}
+	c := NewCDF(samples)
+	sort.Float64s(samples)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		want := samples[int(p*1000)-1+1-1] // nearest rank: ceil(p*n)-1
+		if got := c.Quantile(p); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}

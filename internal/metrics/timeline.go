@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Timeline records per-workflow slot occupancy over time. It implements
+// cluster.Observer and regenerates the slot-allocation plots of
+// Fig 14 - Fig 19: for each slot type, how many slots each workflow holds at
+// every instant.
+type Timeline struct {
+	events []tlEvent
+	maxWF  int
+}
+
+type tlEvent struct {
+	at    simtime.Time
+	wf    int
+	st    cluster.SlotType
+	delta int
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{maxWF: -1} }
+
+var _ cluster.Observer = (*Timeline)(nil)
+
+// TaskStarted implements cluster.Observer.
+func (t *Timeline) TaskStarted(now simtime.Time, ws *cluster.WorkflowState, _ workflow.JobID, st cluster.SlotType, _ time.Duration) {
+	t.add(now, ws.Index, st, +1)
+}
+
+// TaskFinished implements cluster.Observer.
+func (t *Timeline) TaskFinished(now simtime.Time, ws *cluster.WorkflowState, _ workflow.JobID, st cluster.SlotType) {
+	t.add(now, ws.Index, st, -1)
+}
+
+func (t *Timeline) add(now simtime.Time, wf int, st cluster.SlotType, delta int) {
+	t.events = append(t.events, tlEvent{at: now, wf: wf, st: st, delta: delta})
+	if wf > t.maxWF {
+		t.maxWF = wf
+	}
+}
+
+// Point is one step of a workflow's occupancy series: Running slots held
+// from time T until the next point.
+type Point struct {
+	T       simtime.Time
+	Running int
+}
+
+// Workflows returns the number of workflows observed.
+func (t *Timeline) Workflows() int { return t.maxWF + 1 }
+
+// Series returns workflow wf's occupancy step-series for slot type st,
+// with consecutive same-time events coalesced.
+func (t *Timeline) Series(wf int, st cluster.SlotType) []Point {
+	var pts []Point
+	running := 0
+	t.scan(st, func(at simtime.Time, w, delta int) {
+		if w != wf {
+			return
+		}
+		running += delta
+		if n := len(pts); n > 0 && pts[n-1].T == at {
+			pts[n-1].Running = running
+		} else {
+			pts = append(pts, Point{T: at, Running: running})
+		}
+	})
+	return pts
+}
+
+// scan walks events of type st in time order (events are appended in time
+// order by the simulator, so a stable sort preserves intra-instant order).
+func (t *Timeline) scan(st cluster.SlotType, fn func(at simtime.Time, wf, delta int)) {
+	evs := make([]tlEvent, 0, len(t.events))
+	for _, e := range t.events {
+		if e.st == st {
+			evs = append(evs, e)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	for _, e := range evs {
+		fn(e.at, e.wf, e.delta)
+	}
+}
+
+// WriteCSV emits the timeline for slot type st as CSV: a header row, then
+// one row per instant at which any allocation changed, with one column per
+// workflow holding its slot count. This is the data behind each panel of
+// Fig 14 - Fig 19.
+func (t *Timeline) WriteCSV(w io.Writer, st cluster.SlotType) error {
+	n := t.Workflows()
+	if _, err := fmt.Fprintf(w, "seconds"); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, ",wf%d_%s_slots", i, st); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+
+	running := make([]int, n)
+	var last simtime.Time
+	havePending := false
+	flush := func() error {
+		if !havePending {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "%.3f", last.Seconds()); err != nil {
+			return err
+		}
+		for _, r := range running {
+			if _, err := fmt.Fprintf(w, ",%d", r); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	var scanErr error
+	t.scan(st, func(at simtime.Time, wf, delta int) {
+		if scanErr != nil {
+			return
+		}
+		if havePending && at != last {
+			scanErr = flush()
+		}
+		running[wf] += delta
+		last = at
+		havePending = true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return flush()
+}
+
+// PeakConcurrency returns the maximum total slots of type st held
+// simultaneously across all workflows — a conservation check for tests.
+func (t *Timeline) PeakConcurrency(st cluster.SlotType) int {
+	total, peak := 0, 0
+	t.scan(st, func(_ simtime.Time, _, delta int) {
+		total += delta
+		if total > peak {
+			peak = total
+		}
+	})
+	return peak
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+func runWithTimeline(t *testing.T) (*Timeline, *cluster.Result) {
+	t.Helper()
+	tl := NewTimeline()
+	cfg := cluster.Config{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1}
+	sim, err := cluster.New(cfg, scheduler.NewFIFO(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		w := workflow.NewBuilder("wf"+string(rune('0'+i))).
+			Job("a", 4, 2, 10*time.Second, 20*time.Second).
+			Job("b", 2, 1, 10*time.Second, 20*time.Second, "a").
+			MustBuild(simtime.FromSeconds(float64(i*5)), simtime.FromSeconds(100000))
+		if err := sim.Submit(w, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, res
+}
+
+func TestTimelineSeries(t *testing.T) {
+	tl, _ := runWithTimeline(t)
+	if got := tl.Workflows(); got != 2 {
+		t.Fatalf("Workflows = %d, want 2", got)
+	}
+	for wf := 0; wf < 2; wf++ {
+		for _, st := range []cluster.SlotType{cluster.MapSlot, cluster.ReduceSlot} {
+			pts := tl.Series(wf, st)
+			if len(pts) == 0 {
+				t.Errorf("wf %d %v: empty series", wf, st)
+				continue
+			}
+			// Series must start positive, end at zero, never go negative.
+			if pts[0].Running <= 0 {
+				t.Errorf("wf %d %v: first point %+v not positive", wf, st, pts[0])
+			}
+			if last := pts[len(pts)-1]; last.Running != 0 {
+				t.Errorf("wf %d %v: final point %+v, want 0 running", wf, st, last)
+			}
+			for i, p := range pts {
+				if p.Running < 0 {
+					t.Errorf("wf %d %v: negative occupancy at %d: %+v", wf, st, i, p)
+				}
+				if i > 0 && p.T <= pts[i-1].T {
+					t.Errorf("wf %d %v: non-increasing time at %d", wf, st, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTimelinePeakWithinCapacity(t *testing.T) {
+	tl, res := runWithTimeline(t)
+	if got := tl.PeakConcurrency(cluster.MapSlot); got > res.Config.MapSlots() {
+		t.Errorf("map peak = %d, capacity %d", got, res.Config.MapSlots())
+	}
+	if got := tl.PeakConcurrency(cluster.ReduceSlot); got > res.Config.ReduceSlots() {
+		t.Errorf("reduce peak = %d, capacity %d", got, res.Config.ReduceSlots())
+	}
+	if tl.PeakConcurrency(cluster.MapSlot) == 0 {
+		t.Error("map peak = 0, want > 0")
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl, _ := runWithTimeline(t)
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb, cluster.MapSlot); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV has %d lines, want >= 3:\n%s", len(lines), sb.String())
+	}
+	if got, want := lines[0], "seconds,wf0_map_slots,wf1_map_slots"; got != want {
+		t.Errorf("header = %q, want %q", got, want)
+	}
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 2 {
+			t.Errorf("row %d has %d commas, want 2: %q", i, got, line)
+		}
+	}
+	// Every row after the last task must not exist: final row should show
+	// all-zero occupancy.
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, ",0,0") {
+		t.Errorf("final row %q does not end with zero occupancy", last)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline()
+	if tl.Workflows() != 0 {
+		t.Errorf("Workflows = %d, want 0", tl.Workflows())
+	}
+	if pts := tl.Series(0, cluster.MapSlot); len(pts) != 0 {
+		t.Errorf("Series on empty timeline = %v", pts)
+	}
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb, cluster.MapSlot); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "seconds" {
+		t.Errorf("empty CSV = %q, want header only", got)
+	}
+}

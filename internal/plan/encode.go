@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Plans travel from the client to the JobTracker and live in master-node
+// memory for the workflow's lifetime, so their size is a first-order concern
+// (Fig 13(b) of the paper: ~7 KB for a 1400-task workflow, usually under
+// 2 KB). The wire format is a compact varint encoding:
+//
+//	byte    version (1)
+//	varint  len(Policy), bytes Policy
+//	varint  Cap
+//	varint  Makespan (milliseconds)
+//	varint  TotalTasks
+//	varint  len(Ranks), then each rank
+//	varint  len(Reqs), then per entry: delta-TTD (ms) and delta-Cum
+//
+// TTD deltas are non-negative because Reqs is sorted by decreasing TTD, and
+// Cum deltas are positive because requirements are cumulative, so both pack
+// into short varints.
+
+const encodingVersion = 1
+
+// Encode serializes p. Its result's length is the plan-size metric reported
+// by the Fig 13(b) experiment.
+func (p *Plan) Encode() []byte {
+	buf := make([]byte, 0, 64+2*len(p.Reqs)+len(p.Ranks))
+	buf = append(buf, encodingVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Policy)))
+	buf = append(buf, p.Policy...)
+	buf = binary.AppendUvarint(buf, uint64(p.Cap))
+	buf = binary.AppendUvarint(buf, uint64(p.Makespan/time.Millisecond))
+	buf = binary.AppendUvarint(buf, uint64(p.TotalTasks))
+	if p.Feasible {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Ranks)))
+	for _, r := range p.Ranks {
+		buf = binary.AppendUvarint(buf, uint64(r))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Reqs)))
+	prevTTD := int64(-1)
+	prevCum := 0
+	for i, r := range p.Reqs {
+		ttdMS := int64(r.TTD / time.Millisecond)
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(ttdMS))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(prevTTD-ttdMS))
+		}
+		buf = binary.AppendUvarint(buf, uint64(r.Cum-prevCum))
+		prevTTD, prevCum = ttdMS, r.Cum
+	}
+	return buf
+}
+
+// Decode parses a plan serialized by Encode.
+func Decode(data []byte) (*Plan, error) {
+	d := decoder{buf: data}
+	if v := d.byte(); v != encodingVersion {
+		return nil, fmt.Errorf("plan: unsupported encoding version %d", v)
+	}
+	p := &Plan{}
+	p.Policy = d.str()
+	p.Cap = int(d.uvarint())
+	p.Makespan = time.Duration(d.uvarint()) * time.Millisecond
+	p.TotalTasks = int(d.uvarint())
+	p.Feasible = d.byte() == 1
+	nRanks := int(d.uvarint())
+	if d.err == nil && (nRanks < 0 || nRanks > len(data)) {
+		return nil, fmt.Errorf("plan: corrupt rank count %d", nRanks)
+	}
+	p.Ranks = make([]int, 0, nRanks)
+	for i := 0; i < nRanks && d.err == nil; i++ {
+		p.Ranks = append(p.Ranks, int(d.uvarint()))
+	}
+	nReqs := int(d.uvarint())
+	if d.err == nil && (nReqs < 0 || nReqs > len(data)) {
+		return nil, fmt.Errorf("plan: corrupt requirement count %d", nReqs)
+	}
+	p.Reqs = make([]Req, 0, nReqs)
+	var prevTTD int64
+	prevCum := 0
+	for i := 0; i < nReqs && d.err == nil; i++ {
+		var ttdMS int64
+		if i == 0 {
+			ttdMS = int64(d.uvarint())
+		} else {
+			ttdMS = prevTTD - int64(d.uvarint())
+		}
+		cum := prevCum + int(d.uvarint())
+		p.Reqs = append(p.Reqs, Req{TTD: time.Duration(ttdMS) * time.Millisecond, Cum: cum})
+		prevTTD, prevCum = ttdMS, cum
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("plan: decoding: %w", d.err)
+	}
+	return p, nil
+}
+
+// Size returns the encoded size of p in bytes.
+func (p *Plan) Size() int { return len(p.Encode()) }
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.uvarint())
+	if d.err != nil || n < 0 || n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated input")
+	}
+}

@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/priority"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		w := randomWorkflow(rng, 3+rng.Intn(20))
+		orig, err := GenerateForPolicy(w, 1+rng.Intn(30), priority.All()[trial%3])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := Decode(orig.Encode())
+		if err != nil {
+			t.Fatalf("trial %d: Decode: %v", trial, err)
+		}
+		if got.Policy != orig.Policy || got.Cap != orig.Cap || got.Feasible != orig.Feasible ||
+			got.TotalTasks != orig.TotalTasks {
+			t.Fatalf("trial %d: header mismatch: %+v vs %+v", trial, got, orig)
+		}
+		// Makespan is encoded at millisecond resolution.
+		if got.Makespan != orig.Makespan.Truncate(time.Millisecond) {
+			t.Fatalf("trial %d: Makespan = %v, want %v", trial, got.Makespan, orig.Makespan)
+		}
+		if len(got.Ranks) != len(orig.Ranks) || len(got.Reqs) != len(orig.Reqs) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range orig.Ranks {
+			if got.Ranks[i] != orig.Ranks[i] {
+				t.Fatalf("trial %d: Ranks[%d] = %d, want %d", trial, i, got.Ranks[i], orig.Ranks[i])
+			}
+		}
+		for i := range orig.Reqs {
+			if got.Reqs[i].Cum != orig.Reqs[i].Cum ||
+				got.Reqs[i].TTD != orig.Reqs[i].TTD.Truncate(time.Millisecond) {
+				t.Fatalf("trial %d: Reqs[%d] = %+v, want %+v", trial, i, got.Reqs[i], orig.Reqs[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte{99}); err == nil {
+		t.Error("Decode(bad version) succeeded")
+	}
+	// Every truncation of a valid encoding must error, never panic.
+	w := singleJob(t, 10, 5, time.Second, 2*time.Second, time.Hour)
+	p, err := GenerateForPolicy(w, 4, priority.HLF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := p.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("Decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestPlanSizeStaysSmall(t *testing.T) {
+	// The paper's Fig 13(b): ~1400-task workflows encode to about 7 KB,
+	// and typical plans stay within 2 KB.
+	rng := rand.New(rand.NewSource(5))
+	w := randomWorkflow(rng, 30) // a few hundred tasks
+	p, err := GenerateForPolicy(w, 40, priority.LPF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Size(); s > 4096 {
+		t.Errorf("plan size = %d bytes for %d tasks, want <= 4 KiB", s, p.TotalTasks)
+	}
+}

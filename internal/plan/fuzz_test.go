@@ -1,0 +1,41 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workflow"
+)
+
+// FuzzDecode checks the plan wire decoder never panics and that every
+// accepted buffer re-encodes and re-decodes stably.
+func FuzzDecode(f *testing.F) {
+	w := workflow.NewBuilder("fz").
+		Job("only", 6, 3, 10*time.Second, 20*time.Second).
+		MustBuild(0, 1<<40)
+	p, err := Generate(w, 3, "HLF", []int{0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := p.Encode()
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte{})
+	f.Add([]byte{encodingVersion})
+	f.Add([]byte{encodingVersion, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := q.Encode()
+		q2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q2.Policy != q.Policy || q2.Cap != q.Cap || len(q2.Reqs) != len(q.Reqs) || len(q2.Ranks) != len(q.Ranks) {
+			t.Fatal("re-decode changed the plan")
+		}
+	})
+}

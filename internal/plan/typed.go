@@ -1,0 +1,265 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/priority"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Caps is a two-pool resource cap: separate map and reduce slot budgets.
+// Algorithm 1 in the paper treats the cluster as a single fungible slot pool;
+// a real Hadoop-1 cluster types its slots, which makes single-pool plans
+// systematically optimistic about reduce phases. GenerateTyped completes the
+// algorithm for typed slots and is what the experiments use.
+type Caps struct {
+	Maps    int
+	Reduces int
+}
+
+// Total returns the combined slot budget.
+func (c Caps) Total() int { return c.Maps + c.Reduces }
+
+// GenerateTyped is Generate with separate map and reduce slot pools: the
+// simulated workflow's map tasks draw only from caps.Maps and reduce tasks
+// only from caps.Reduces. The work-conserving scan lets a lower-priority
+// job's reduces use idle reduce slots while a higher-priority job's maps
+// saturate the map pool, exactly as the real JobTracker dispatch does.
+func GenerateTyped(w *workflow.Workflow, caps Caps, policyName string, ranks []int) (*Plan, error) {
+	if caps.Maps <= 0 || caps.Reduces < 0 || caps.Total() <= 0 {
+		return nil, fmt.Errorf("plan: bad typed caps %+v", caps)
+	}
+	if len(ranks) != len(w.Jobs) {
+		return nil, fmt.Errorf("plan: %d ranks for %d jobs", len(ranks), len(w.Jobs))
+	}
+	s := newTypedSim(w, caps, ranks)
+	raw, makespan, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Policy:     policyName,
+		Ranks:      append([]int(nil), ranks...),
+		Cap:        caps.Total(),
+		Makespan:   makespan,
+		Feasible:   makespan <= w.RelativeDeadline(),
+		TotalTasks: w.TotalTasks(),
+	}
+	cum := 0
+	for _, r := range raw {
+		cum += r.count
+		ttd := makespan - r.at.Duration()
+		if k := len(p.Reqs); k > 0 && p.Reqs[k-1].TTD == ttd {
+			p.Reqs[k-1].Cum = cum
+		} else {
+			p.Reqs = append(p.Reqs, Req{TTD: ttd, Cum: cum})
+		}
+	}
+	if cum != p.TotalTasks {
+		return nil, fmt.Errorf("plan: typed simulation scheduled %d tasks, workflow has %d", cum, p.TotalTasks)
+	}
+	return p, nil
+}
+
+// GenerateCappedTyped finds the smallest proportional slice of the cluster's
+// typed slots under which the workflow still meets margin * deadline, and
+// returns the plan at that slice. Fallback behaviour mirrors
+// GenerateCappedMargin: if the margin target is unreachable the search
+// retries against the real deadline, and a genuinely infeasible workflow
+// gets the best-effort full plan.
+func GenerateCappedTyped(w *workflow.Workflow, cluster Caps, pol priority.Policy, margin float64) (*Plan, error) {
+	if cluster.Maps <= 0 || cluster.Reduces <= 0 {
+		return nil, fmt.Errorf("plan: bad cluster caps %+v", cluster)
+	}
+	if margin <= 0 || margin > 1 {
+		return nil, fmt.Errorf("plan: margin %v, want (0, 1]", margin)
+	}
+	ranks, err := pol.Rank(w)
+	if err != nil {
+		return nil, fmt.Errorf("plan: ranking jobs: %w", err)
+	}
+	capsFor := func(total int) Caps {
+		m := total * cluster.Maps / cluster.Total()
+		if m < 1 {
+			m = 1
+		}
+		r := total - m
+		if r < 1 {
+			r = 1
+			if m > 1 {
+				m = total - 1
+			}
+		}
+		return Caps{Maps: m, Reduces: r}
+	}
+	target := time.Duration(margin * float64(w.RelativeDeadline()))
+	full, err := GenerateTyped(w, cluster, pol.Name(), ranks)
+	if err != nil {
+		return nil, err
+	}
+	if full.Makespan > target {
+		if full.Makespan > w.RelativeDeadline() {
+			return full, nil
+		}
+		target = w.RelativeDeadline()
+	}
+	lo, hi := 2, cluster.Total() // invariant: hi meets the target
+	best := full
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		p, err := GenerateTyped(w, capsFor(mid), pol.Name(), ranks)
+		if err != nil {
+			return nil, err
+		}
+		if p.Makespan <= target {
+			best, hi = p, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, nil
+}
+
+// typedSim simulates Algorithm 1 with two slot pools.
+type typedSim struct {
+	w     *workflow.Workflow
+	ranks []int
+
+	freeMaps, freeReds int
+	remMaps, remReds   []int
+	unmet              []int
+	deps               [][]workflow.JobID
+
+	// active holds ready jobs; scanned in rank order per event.
+	active map[workflow.JobID]bool
+
+	events simtime.Queue[typedEvent]
+}
+
+type typedEvent struct {
+	freeMaps  int
+	freeReds  int
+	reduceOf  workflow.JobID // -1 if none
+	completed workflow.JobID // -1 if none
+}
+
+func newTypedSim(w *workflow.Workflow, caps Caps, ranks []int) *typedSim {
+	s := &typedSim{
+		w:        w,
+		ranks:    ranks,
+		freeMaps: caps.Maps,
+		freeReds: caps.Reduces,
+		remMaps:  make([]int, len(w.Jobs)),
+		remReds:  make([]int, len(w.Jobs)),
+		unmet:    make([]int, len(w.Jobs)),
+		deps:     w.Dependents(),
+		active:   make(map[workflow.JobID]bool),
+	}
+	for i := range w.Jobs {
+		s.remMaps[i] = w.Jobs[i].Maps
+		s.remReds[i] = w.Jobs[i].Reduces
+		s.unmet[i] = len(w.Jobs[i].Prereqs)
+	}
+	for _, r := range w.Roots() {
+		s.active[r] = true
+	}
+	// Kick the simulation with a zero event so scheduling happens at t=0.
+	s.events.Push(simtime.Epoch, typedEvent{reduceOf: -1, completed: -1})
+	return s
+}
+
+func (s *typedSim) run() ([]rawReq, time.Duration, error) {
+	var (
+		raw []rawReq
+		end simtime.Time
+	)
+	for s.events.Len() > 0 {
+		t, e, _ := s.events.Pop()
+		s.apply(e)
+		for {
+			at, ok := s.events.Peek()
+			if !ok || at != t {
+				break
+			}
+			_, e, _ := s.events.Pop()
+			s.apply(e)
+		}
+
+		// Work-conserving scan in rank order: each active job takes what
+		// its current phase can use from the matching pool.
+		for _, j := range s.activeByRank() {
+			job := &s.w.Jobs[j]
+			if s.remMaps[j] > 0 {
+				k := min(s.remMaps[j], s.freeMaps)
+				if k == 0 {
+					continue
+				}
+				raw = append(raw, rawReq{at: t, count: k})
+				s.freeMaps -= k
+				s.remMaps[j] -= k
+				done := t.Add(job.MapTime)
+				end = simtime.MaxOf(end, done)
+				if s.remMaps[j] == 0 {
+					delete(s.active, j)
+					if s.remReds[j] > 0 {
+						s.events.Push(done, typedEvent{freeMaps: k, reduceOf: j, completed: -1})
+					} else {
+						s.events.Push(done, typedEvent{freeMaps: k, reduceOf: -1, completed: j})
+					}
+				} else {
+					s.events.Push(done, typedEvent{freeMaps: k, reduceOf: -1, completed: -1})
+				}
+			} else if s.remReds[j] > 0 {
+				k := min(s.remReds[j], s.freeReds)
+				if k == 0 {
+					continue
+				}
+				raw = append(raw, rawReq{at: t, count: k})
+				s.freeReds -= k
+				s.remReds[j] -= k
+				done := t.Add(job.ReduceTime)
+				end = simtime.MaxOf(end, done)
+				if s.remReds[j] == 0 {
+					delete(s.active, j)
+					s.events.Push(done, typedEvent{freeReds: k, reduceOf: -1, completed: j})
+				} else {
+					s.events.Push(done, typedEvent{freeReds: k, reduceOf: -1, completed: -1})
+				}
+			}
+		}
+	}
+	for i := range s.w.Jobs {
+		if s.remMaps[i] > 0 || s.remReds[i] > 0 {
+			return nil, 0, fmt.Errorf("plan: job %q never fully scheduled (typed sim internal error)", s.w.Jobs[i].Name)
+		}
+	}
+	return raw, end.Duration(), nil
+}
+
+func (s *typedSim) apply(e typedEvent) {
+	s.freeMaps += e.freeMaps
+	s.freeReds += e.freeReds
+	if e.reduceOf >= 0 {
+		s.active[e.reduceOf] = true
+	}
+	if e.completed >= 0 {
+		for _, d := range s.deps[e.completed] {
+			s.unmet[d]--
+			if s.unmet[d] == 0 {
+				s.active[d] = true
+			}
+		}
+	}
+}
+
+func (s *typedSim) activeByRank() []workflow.JobID {
+	out := make([]workflow.JobID, 0, len(s.active))
+	for j := range s.active {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return s.ranks[out[a]] < s.ranks[out[b]] })
+	return out
+}

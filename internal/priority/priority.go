@@ -1,0 +1,119 @@
+// Package priority implements the intra-workflow job prioritization
+// algorithms evaluated in Section V-C of the WOHA paper. Each policy maps a
+// workflow to a rank per job; WOHA's Scheduling Plan Generator (Algorithm 1)
+// and Workflow Scheduler both consume these ranks when choosing among a
+// workflow's active jobs.
+package priority
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workflow"
+)
+
+// Policy orders the jobs of a single workflow.
+type Policy interface {
+	// Name returns the short policy name used in experiment output
+	// ("HLF", "LPF", "MPF").
+	Name() string
+	// Rank returns rank[j] for every job j, where a smaller rank means a
+	// higher priority. Ranks form a permutation of 0..len(Jobs)-1. Ties in
+	// the underlying key are broken by job ID, per the paper.
+	Rank(w *workflow.Workflow) ([]int, error)
+}
+
+// HLF is Highest Level First: jobs with longer chains of dependents (higher
+// levels) get higher priority, on the assumption that long sequences of
+// successor jobs take long to finish.
+type HLF struct{}
+
+// Name implements Policy.
+func (HLF) Name() string { return "HLF" }
+
+// Rank implements Policy.
+func (HLF) Rank(w *workflow.Workflow) ([]int, error) {
+	levels, err := w.Levels()
+	if err != nil {
+		return nil, fmt.Errorf("priority: HLF: %w", err)
+	}
+	keys := make([]float64, len(levels))
+	for i, l := range levels {
+		keys[i] = float64(l)
+	}
+	return ranksFromKeys(keys), nil
+}
+
+// LPF is Longest Path First: like HLF but weighting each job on a path by its
+// estimated length (one map time plus one reduce time), so a short chain of
+// long jobs can outrank a long chain of short ones.
+type LPF struct{}
+
+// Name implements Policy.
+func (LPF) Name() string { return "LPF" }
+
+// Rank implements Policy.
+func (LPF) Rank(w *workflow.Workflow) ([]int, error) {
+	paths, err := w.LongestPaths()
+	if err != nil {
+		return nil, fmt.Errorf("priority: LPF: %w", err)
+	}
+	keys := make([]float64, len(paths))
+	for i, p := range paths {
+		keys[i] = p.Seconds()
+	}
+	return ranksFromKeys(keys), nil
+}
+
+// MPF is Maximum Parallelism First: the job with the most direct dependents
+// gets the highest priority, maximizing the chance that the workflow has
+// schedulable tasks whenever it holds the highest workflow priority.
+type MPF struct{}
+
+// Name implements Policy.
+func (MPF) Name() string { return "MPF" }
+
+// Rank implements Policy.
+func (MPF) Rank(w *workflow.Workflow) ([]int, error) {
+	deps := w.Dependents()
+	keys := make([]float64, len(deps))
+	for i, d := range deps {
+		keys[i] = float64(len(d))
+	}
+	return ranksFromKeys(keys), nil
+}
+
+// ranksFromKeys converts per-job keys (bigger = more important) into ranks
+// (smaller = higher priority), breaking ties by job ID.
+func ranksFromKeys(keys []float64) []int {
+	ids := make([]int, len(keys))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if keys[ids[a]] != keys[ids[b]] {
+			return keys[ids[a]] > keys[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	ranks := make([]int, len(keys))
+	for r, id := range ids {
+		ranks[id] = r
+	}
+	return ranks
+}
+
+// All returns the three policies from the paper, in publication order.
+func All() []Policy {
+	return []Policy{HLF{}, LPF{}, MPF{}}
+}
+
+// ByName returns the policy with the given (case-sensitive) name.
+func ByName(name string) (Policy, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("priority: unknown policy %q (want HLF, LPF, or MPF)", name)
+}

@@ -1,0 +1,149 @@
+package priority
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// chainAndFan builds:
+//
+//	long:  a -> b -> c          (3-deep chain of short jobs)
+//	wide:  hub -> {x1 x2 x3 x4} (hub with 4 dependents)
+//	heavy: slow                 (single long job)
+func chainAndFan(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	return workflow.NewBuilder("mixed").
+		Job("a", 1, 1, time.Second, time.Second).
+		Job("b", 1, 1, time.Second, time.Second, "a").
+		Job("c", 1, 1, time.Second, time.Second, "b").
+		Job("hub", 1, 1, time.Second, time.Second).
+		Job("x1", 1, 1, time.Second, time.Second, "hub").
+		Job("x2", 1, 1, time.Second, time.Second, "hub").
+		Job("x3", 1, 1, time.Second, time.Second, "hub").
+		Job("x4", 1, 1, time.Second, time.Second, "hub").
+		Job("slow", 1, 1, 30*time.Second, 30*time.Second).
+		MustBuild(simtime.Epoch, simtime.FromSeconds(1e6))
+}
+
+func rankOf(t *testing.T, p Policy, w *workflow.Workflow, name string) int {
+	t.Helper()
+	ranks, err := p.Rank(w)
+	if err != nil {
+		t.Fatalf("%s.Rank: %v", p.Name(), err)
+	}
+	return ranks[w.JobByName(name).ID]
+}
+
+func TestHLFPrefersDeepChains(t *testing.T) {
+	w := chainAndFan(t)
+	// a is at level 2, hub at level 1, slow at level 0: HLF must rank
+	// a < hub < slow.
+	if !(rankOf(t, HLF{}, w, "a") < rankOf(t, HLF{}, w, "hub")) {
+		t.Error("HLF did not prefer the deep chain head over the hub")
+	}
+	if !(rankOf(t, HLF{}, w, "hub") < rankOf(t, HLF{}, w, "slow")) {
+		t.Error("HLF did not prefer the hub over the leaf")
+	}
+}
+
+func TestLPFWeighsJobLength(t *testing.T) {
+	w := chainAndFan(t)
+	// Path lengths: a = 6s (3 jobs x 2s), slow = 60s. LPF must prefer slow;
+	// HLF prefers a (level 2 vs 0). This is exactly the HLF→LPF improvement
+	// the paper describes.
+	if !(rankOf(t, LPF{}, w, "slow") < rankOf(t, LPF{}, w, "a")) {
+		t.Error("LPF did not prefer the long job over the short chain")
+	}
+	if !(rankOf(t, HLF{}, w, "a") < rankOf(t, HLF{}, w, "slow")) {
+		t.Error("HLF unexpectedly agreed with LPF (test workload broken)")
+	}
+}
+
+func TestMPFPrefersWideFanout(t *testing.T) {
+	w := chainAndFan(t)
+	// hub has 4 dependents, a has 1, slow has 0.
+	if !(rankOf(t, MPF{}, w, "hub") < rankOf(t, MPF{}, w, "a")) {
+		t.Error("MPF did not prefer the hub over the chain head")
+	}
+	if !(rankOf(t, MPF{}, w, "a") < rankOf(t, MPF{}, w, "slow")) {
+		t.Error("MPF did not prefer 1 dependent over 0")
+	}
+}
+
+func TestTiesBrokenByJobID(t *testing.T) {
+	// x1..x4 all have level 0, no dependents, same lengths: every policy
+	// must order them by job ID.
+	w := chainAndFan(t)
+	for _, p := range All() {
+		ranks, err := p.Rank(w)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		prev := -1
+		for _, name := range []string{"x1", "x2", "x3", "x4"} {
+			r := ranks[w.JobByName(name).ID]
+			if prev >= 0 && r <= prev {
+				t.Errorf("%s: tie between x jobs not broken by ID: %v", p.Name(), ranks)
+				break
+			}
+			prev = r
+		}
+	}
+}
+
+func TestRanksArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		b := workflow.NewBuilder("rand")
+		n := 2 + rng.Intn(40)
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = "j" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			var after []string
+			for k := 0; k < i; k++ {
+				if rng.Intn(5) == 0 {
+					after = append(after, names[k])
+				}
+			}
+			b.Job(names[i], 1+rng.Intn(20), rng.Intn(8),
+				time.Duration(1+rng.Intn(100))*time.Second,
+				time.Duration(1+rng.Intn(300))*time.Second, after...)
+		}
+		w, err := b.Build(0, simtime.FromSeconds(1e7))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, p := range All() {
+			ranks, err := p.Rank(w)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p.Name(), err)
+			}
+			seen := make([]bool, n)
+			for _, r := range ranks {
+				if r < 0 || r >= n || seen[r] {
+					t.Fatalf("trial %d %s: ranks not a permutation: %v", trial, p.Name(), ranks)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"HLF", "LPF", "MPF"} {
+		p, err := ByName(want)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", want, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q", want, p.Name())
+		}
+	}
+	if _, err := ByName("EDF"); err == nil {
+		t.Error("ByName(EDF) succeeded, want error")
+	}
+}

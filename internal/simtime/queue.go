@@ -1,0 +1,77 @@
+package simtime
+
+import "container/heap"
+
+// Queue is a deterministic future-event list: a priority queue of payloads
+// ordered by firing time, with FIFO ordering among events that share the same
+// instant. The zero value is an empty queue ready to use.
+//
+// Determinism matters because both the plan generator (Algorithm 1 of the
+// WOHA paper) and the cluster simulator schedule many events at identical
+// instants; heap ties broken by pointer order or map iteration would make
+// runs irreproducible.
+type Queue[T any] struct {
+	h eventHeap[T]
+	// seq is a monotonically increasing stamp assigned at Push time so that
+	// events pushed earlier pop earlier among equal firing times.
+	seq uint64
+}
+
+// Push schedules payload v to fire at instant at.
+func (q *Queue[T]) Push(at Time, v T) {
+	q.seq++
+	heap.Push(&q.h, event[T]{at: at, seq: q.seq, payload: v})
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue is
+// empty, in which case at and v are zero values.
+func (q *Queue[T]) Pop() (at Time, v T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	e := heap.Pop(&q.h).(event[T])
+	return e.at, e.payload, true
+}
+
+// Peek returns the firing time of the earliest event without removing it.
+// ok is false when the queue is empty.
+func (q *Queue[T]) Peek() (at Time, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+type event[T any] struct {
+	at      Time
+	seq     uint64
+	payload T
+}
+
+type eventHeap[T any] []event[T]
+
+func (h eventHeap[T]) Len() int { return len(h) }
+
+func (h eventHeap[T]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap[T]) Push(x any) { *h = append(*h, x.(event[T])) }
+
+func (h *eventHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event[T]{} // release payload for GC
+	*h = old[:n-1]
+	return e
+}

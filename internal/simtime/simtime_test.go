@@ -1,0 +1,209 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Epoch
+	t1 := t0.Add(90 * time.Second)
+	if got, want := t1.Sub(t0), 90*time.Second; got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if !t0.Before(t1) {
+		t.Errorf("Before(%v, %v) = false, want true", t0, t1)
+	}
+	if !t1.After(t0) {
+		t.Errorf("After(%v, %v) = false, want true", t1, t0)
+	}
+	if got, want := t1.String(), "1m30s"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := MaxTime.String(), "+inf"; got != want {
+		t.Errorf("MaxTime.String = %q, want %q", got, want)
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	tt := FromSeconds(2.5)
+	if got := tt.Seconds(); got != 2.5 {
+		t.Errorf("Seconds = %v, want 2.5", got)
+	}
+	if got := tt.Duration(); got != 2500*time.Millisecond {
+		t.Errorf("Duration = %v, want 2.5s", got)
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	a, b := Time(5), Time(9)
+	if got := MinTime(a, b); got != a {
+		t.Errorf("MinTime = %v, want %v", got, a)
+	}
+	if got := MinTime(b, a); got != a {
+		t.Errorf("MinTime = %v, want %v", got, a)
+	}
+	if got := MaxOf(a, b); got != b {
+		t.Errorf("MaxOf = %v, want %v", got, b)
+	}
+	if got := MaxOf(b, a); got != b {
+		t.Errorf("MaxOf = %v, want %v", got, b)
+	}
+}
+
+func TestQueueEmpty(t *testing.T) {
+	var q Queue[int]
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue reported ok")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue[string]
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+
+	var got []string
+	for {
+		_, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pop %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueueFIFOAmongTies(t *testing.T) {
+	var q Queue[int]
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Push(42, i)
+	}
+	for i := 0; i < n; i++ {
+		at, v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue exhausted after %d pops", i)
+		}
+		if at != 42 {
+			t.Fatalf("pop %d at = %v, want 42", i, at)
+		}
+		if v != i {
+			t.Fatalf("pop %d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestQueuePeekMatchesPop(t *testing.T) {
+	var q Queue[int]
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		q.Push(Time(rng.Int63n(500)), i)
+	}
+	for q.Len() > 0 {
+		peekAt, ok := q.Peek()
+		if !ok {
+			t.Fatal("Peek failed on non-empty queue")
+		}
+		popAt, _, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed on non-empty queue")
+		}
+		if peekAt != popAt {
+			t.Fatalf("Peek = %v but Pop = %v", peekAt, popAt)
+		}
+	}
+}
+
+// TestQueueSortsArbitraryInput is a property test: popping every event from
+// the queue must yield a non-decreasing sequence of firing times, regardless
+// of push order.
+func TestQueueSortsArbitraryInput(t *testing.T) {
+	f := func(times []int64) bool {
+		var q Queue[int64]
+		for _, v := range times {
+			q.Push(Time(v), v)
+		}
+		count := 0
+		first := true
+		var prev Time
+		for {
+			at, v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if !first && at < prev {
+				return false
+			}
+			first = false
+			if Time(v) != at {
+				return false
+			}
+			prev = at
+			count++
+		}
+		return count == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueMatchesSortReference drains a large random workload and compares
+// against sort.Slice on the same data.
+func TestQueueMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	times := make([]int64, n)
+	var q Queue[int]
+	for i := range times {
+		times[i] = rng.Int63n(1000)
+		q.Push(Time(times[i]), i)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for i := 0; i < n; i++ {
+		at, _, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue exhausted at %d", i)
+		}
+		if int64(at) != times[i] {
+			t.Fatalf("pop %d = %d, want %d", i, at, times[i])
+		}
+	}
+}
+
+func TestQueueInterleavedPushPop(t *testing.T) {
+	var q Queue[int]
+	q.Push(5, 5)
+	q.Push(1, 1)
+	if at, v, _ := q.Pop(); at != 1 || v != 1 {
+		t.Fatalf("got (%v,%d), want (1,1)", at, v)
+	}
+	q.Push(3, 3)
+	q.Push(2, 2)
+	wantOrder := []int{2, 3, 5}
+	for _, w := range wantOrder {
+		_, v, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("got %d ok=%v, want %d", v, ok, w)
+		}
+	}
+}

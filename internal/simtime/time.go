@@ -1,0 +1,77 @@
+// Package simtime provides virtual time primitives for discrete-event
+// simulation: a Time instant type measured from a simulation epoch, and a
+// deterministic event queue ordered by firing time with FIFO tie-breaking.
+//
+// All WOHA simulators (the client-side scheduling-plan generator and the
+// Hadoop control-plane cluster simulator) share these primitives so that runs
+// are reproducible bit-for-bit: no component reads the wall clock.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in virtual time, expressed as the duration elapsed since
+// the simulation epoch (Time(0)). The zero value is the epoch itself.
+type Time time.Duration
+
+// Common instants.
+const (
+	// Epoch is the origin of virtual time.
+	Epoch Time = 0
+	// MaxTime is the largest representable instant. It is useful as an
+	// "infinitely far in the future" sentinel for deadlines and timers.
+	MaxTime Time = Time(1<<63 - 1)
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Duration returns the duration elapsed between the epoch and t.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t as a floating-point number of seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats t as a duration since the epoch, e.g. "1m30s".
+func (t Time) String() string {
+	if t == MaxTime {
+		return "+inf"
+	}
+	return time.Duration(t).String()
+}
+
+// MinTime returns the earlier of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the later of a and b.
+func MaxOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FromSeconds converts a floating-point number of seconds since the epoch to
+// a Time. It is intended for test and configuration convenience.
+func FromSeconds(s float64) Time {
+	return Time(time.Duration(s * float64(time.Second)))
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (t Time) GoString() string { return fmt.Sprintf("simtime.Time(%s)", t) }

@@ -1,0 +1,367 @@
+package skiplist
+
+import "repro/internal/ordered"
+
+// Det is a deterministic 1-2-3 skip list (Munro, Papadakis, Sedgewick,
+// SODA '92) — the structure the WOHA paper cites for its Double Skip List.
+// Unlike the seeded List, every operation is worst-case O(log n): the list
+// maintains the invariant that between any two consecutive elements present
+// at level h+1 (including the sentinel and the open right end), the number
+// of elements present at level h is one, two, or three.
+//
+// The implementation uses the copied-separator representation: an element of
+// height k appears as one node per level, linked by down pointers.
+// Insertion pre-splits every full (size-3) gap on the way down, exactly like
+// a top-down 2-3-4 tree; deletion pre-merges every size-1 gap on the way
+// down by lowering the adjacent separator, immediately re-splitting when the
+// merged gap exceeds three. Both rebalancing moves either shorten a column
+// from the top or raise a fresh copy, so separator columns always carry a
+// single key — the property the search relies on.
+//
+// Two useful corollaries of the gap invariant, exploited below: the minimum
+// element always has height one (a taller minimum would leave an empty gap
+// against the head sentinel), and the bottom-level predecessor of any tall
+// element has height one (the key range between them is empty).
+type Det[K any] struct {
+	// head is the sentinel column's top node; head.down chains to the
+	// sentinel of each lower level, ending at the bottom level.
+	head   *detNode[K]
+	less   ordered.Less[K]
+	levels int
+	length int
+}
+
+type detNode[K any] struct {
+	key   K
+	right *detNode[K]
+	down  *detNode[K]
+	// sentinel marks head-column nodes, whose key is meaningless.
+	sentinel bool
+}
+
+var _ ordered.Set[int] = (*Det[int])(nil)
+
+// NewDet returns an empty deterministic skip list ordered by less.
+func NewDet[K any](less ordered.Less[K]) *Det[K] {
+	return &Det[K]{
+		head:   &detNode[K]{sentinel: true},
+		less:   less,
+		levels: 1,
+	}
+}
+
+// Len returns the number of keys in the list.
+func (d *Det[K]) Len() int { return d.length }
+
+// eq reports key equality under the comparator.
+func (d *Det[K]) eq(a, b K) bool { return !d.less(a, b) && !d.less(b, a) }
+
+// walk advances x rightward while its successor's key is below key.
+func (d *Det[K]) walk(x *detNode[K], key K) *detNode[K] {
+	for x.right != nil && d.less(x.right.key, key) {
+		x = x.right
+	}
+	return x
+}
+
+// gapSize counts the elements one level below x strictly between x's column
+// and x.right's column (capped at cap).
+func (d *Det[K]) gapSize(x *detNode[K], cap int) int {
+	var limit *detNode[K]
+	if x.right != nil {
+		limit = x.right.down
+	}
+	n := 0
+	for c := x.down.right; c != nil && c != limit; c = c.right {
+		n++
+		if n == cap {
+			break
+		}
+	}
+	return n
+}
+
+// raiseAt splits the gap below x by raising the gap's idx-th element
+// (0-based) as a fresh copy after x.
+func (d *Det[K]) raiseAt(x *detNode[K], idx int) {
+	mid := x.down.right
+	for i := 0; i < idx; i++ {
+		mid = mid.right
+	}
+	x.right = &detNode[K]{key: mid.key, right: x.right, down: mid}
+}
+
+// Insert adds key to the list. Inserting a key equal to an existing one is
+// a no-op (keys are unique).
+func (d *Det[K]) Insert(key K) {
+	// Grow a level when the top is full so pre-splits always have room.
+	if d.topSize() == 3 {
+		d.head = &detNode[K]{sentinel: true, down: d.head}
+		d.levels++
+	}
+	x := d.head
+	for lvl := d.levels - 1; lvl >= 1; lvl-- {
+		x = d.walk(x, key)
+		if x.right != nil && d.eq(x.right.key, key) {
+			return // already present as a separator
+		}
+		// Pre-split a full gap: raise its middle element next to x, then
+		// re-walk so the descent enters the correct sub-gap.
+		if d.gapSize(x, 3) == 3 {
+			d.raiseAt(x, 1)
+			x = d.walk(x, key)
+			if x.right != nil && d.eq(x.right.key, key) {
+				return
+			}
+		}
+		x = x.down
+	}
+	x = d.walk(x, key)
+	if x.right != nil && d.eq(x.right.key, key) {
+		return
+	}
+	x.right = &detNode[K]{key: key, right: x.right}
+	d.length++
+}
+
+// topSize counts elements on the top level (capped at 4).
+func (d *Det[K]) topSize() int {
+	n := 0
+	for c := d.head.right; c != nil; c = c.right {
+		n++
+		if n == 4 {
+			break
+		}
+	}
+	return n
+}
+
+// Delete removes key, reporting whether it was present.
+func (d *Det[K]) Delete(key K) bool {
+	if d.length == 0 {
+		return false
+	}
+	// copies collects key's separator nodes above level 0, renamed to the
+	// bottom predecessor once it is known.
+	var copies []*detNode[K]
+
+	x := d.head
+	// limit is the right wall of the gap being traversed: the lower copy of
+	// the separator we descended past. Merging must never lower the wall —
+	// it belongs to a taller column (B-tree siblings share a parent).
+	var limit *detNode[K]
+	for lvl := d.levels - 1; lvl >= 1; lvl-- {
+		var prev *detNode[K]
+		for x.right != nil && d.less(x.right.key, key) {
+			prev = x
+			x = x.right
+		}
+		// Pre-merge: the gap we are about to descend into must hold at
+		// least two elements, so that removing one (to the bottom-level
+		// deletion, the predecessor promotion, or a merge one level down)
+		// can never empty it.
+		if d.gapSize(x, 2) == 1 {
+			if x.right != nil && x.right != limit {
+				d.mergeRight(x, key)
+			} else if prev != nil {
+				x = d.mergeLeft(prev, key)
+			}
+			// A single-element top gap with no siblings needs no fixing.
+			x = d.walk(x, key)
+		}
+		if x.right != nil && d.eq(x.right.key, key) {
+			copies = append(copies, x.right)
+		}
+		if x.right != nil {
+			limit = x.right.down
+		} else {
+			limit = nil
+		}
+		x = x.down
+	}
+
+	x = d.walk(x, key)
+	target := x.right
+	if target == nil || !d.eq(target.key, key) {
+		// Not present. Rebalancing may have run, but the invariants it
+		// restores are the same ones it requires, so this is harmless.
+		return false
+	}
+	x.right = target.right
+	d.length--
+
+	// Rename key's separator copies to the bottom predecessor. The gap
+	// invariant guarantees x is a real element (a tall key always has a
+	// bottom predecessor in its own gap) of height one, so the renamed
+	// chain plus x forms a proper column.
+	if len(copies) > 0 {
+		if x.sentinel {
+			panic("skiplist: tall minimum violates the gap invariant")
+		}
+		for _, c := range copies {
+			c.key = x.key
+		}
+		copies[len(copies)-1].down = x
+	}
+
+	d.shrink()
+	return true
+}
+
+// mergeRight lowers the separator x.right into the gap below x and
+// re-splits when the merged gap exceeds three elements. The split point is
+// biased so the sub-gap the key descends into keeps at least two elements
+// (raising the plain middle of a four-gap could recreate a one-gap on the
+// descent side).
+func (d *Det[K]) mergeRight(x *detNode[K], key K) {
+	x.right = x.right.right
+	d.rebalanceMerged(x, key)
+}
+
+// mergeLeft lowers prev.right (the element the descent stands on, whose
+// right neighbor is the gap wall or the level end) into the gap below prev;
+// it returns prev, from which the descent continues.
+func (d *Det[K]) mergeLeft(prev *detNode[K], key K) *detNode[K] {
+	prev.right = prev.right.right
+	d.rebalanceMerged(prev, key)
+	return prev
+}
+
+// rebalanceMerged re-splits the just-merged gap below x when it exceeds
+// three elements, biasing the split point so the sub-gap the key descends
+// into keeps at least two elements (a plain middle split of a four-gap
+// could recreate a one-gap on the descent side).
+func (d *Det[K]) rebalanceMerged(x *detNode[K], key K) {
+	switch size := d.gapSize(x, 5); {
+	case size <= 3:
+		// A merged gap of three needs no split; every sub-path keeps >= 2.
+	case size == 4:
+		// Elements e0..e3: raise e1 (sides 1|2) when the key belongs right
+		// of e1, else raise e2 (sides 2|1).
+		e1 := x.down.right.right
+		if d.less(e1.key, key) {
+			d.raiseAt(x, 1)
+		} else {
+			d.raiseAt(x, 2)
+		}
+	default: // size == 5: raising the middle leaves 2|2
+		d.raiseAt(x, 2)
+	}
+}
+
+// shrink drops empty top levels.
+func (d *Det[K]) shrink() {
+	for d.levels > 1 && d.head.right == nil {
+		d.head = d.head.down
+		d.levels--
+	}
+}
+
+// Contains reports whether key is present.
+func (d *Det[K]) Contains(key K) bool {
+	x := d.head
+	for {
+		x = d.walk(x, key)
+		if x.right != nil && d.eq(x.right.key, key) {
+			return true
+		}
+		if x.down == nil {
+			return false
+		}
+		x = x.down
+	}
+}
+
+// Min returns the smallest key. ok is false when the list is empty.
+func (d *Det[K]) Min() (key K, ok bool) {
+	x := d.head
+	for x.down != nil {
+		x = x.down
+	}
+	if x.right == nil {
+		var zero K
+		return zero, false
+	}
+	return x.right.key, true
+}
+
+// DeleteMin removes and returns the smallest key. The minimum always has
+// height one, but the deletion still descends to pre-merge, so this is
+// O(log n) worst-case — the deterministic variant trades the seeded list's
+// O(1) expected head pop for worst-case guarantees.
+func (d *Det[K]) DeleteMin() (key K, ok bool) {
+	k, ok := d.Min()
+	if !ok {
+		var zero K
+		return zero, false
+	}
+	d.Delete(k)
+	return k, true
+}
+
+// Ascend calls fn on every key in ascending order until fn returns false.
+func (d *Det[K]) Ascend(fn func(key K) bool) {
+	x := d.head
+	for x.down != nil {
+		x = x.down
+	}
+	for c := x.right; c != nil; c = c.right {
+		if !fn(c.key) {
+			return
+		}
+	}
+}
+
+// Levels reports the current number of levels (for tests).
+func (d *Det[K]) Levels() int { return d.levels }
+
+// CheckInvariants validates the 1-2-3 gap invariant, separator columns, and
+// bottom-level order; tests call it after mutations.
+func (d *Det[K]) CheckInvariants() error {
+	h := d.head
+	for lvl := d.levels - 1; lvl >= 1; lvl-- {
+		for x := h; x != nil; x = x.right {
+			if x.down == nil {
+				return errColumn
+			}
+			if x.sentinel != x.down.sentinel {
+				return errColumn
+			}
+			if !x.sentinel && !d.eq(x.down.key, x.key) {
+				return errColumn
+			}
+			if x.right != nil && !x.right.sentinel && x != h && !d.less(x.key, x.right.key) {
+				return errOrder
+			}
+			if g := d.gapSize(x, 4); g < 1 || g > 3 {
+				return errGap
+			}
+		}
+		h = h.down
+	}
+	// Bottom level: strictly ascending, length matches.
+	n := 0
+	var prev *detNode[K]
+	for c := h.right; c != nil; c = c.right {
+		if prev != nil && !d.less(prev.key, c.key) {
+			return errOrder
+		}
+		prev = c
+		n++
+	}
+	if n != d.length {
+		return errLength
+	}
+	return nil
+}
+
+var (
+	errOrder  = errString("skiplist: level out of order")
+	errLength = errString("skiplist: length mismatch")
+	errColumn = errString("skiplist: broken separator column")
+	errGap    = errString("skiplist: gap size outside 1..3")
+)
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,307 @@
+package skiplist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newDetInt() *Det[int] { return NewDet(intLess) }
+
+func TestDetEmpty(t *testing.T) {
+	d := newDetInt()
+	if d.Len() != 0 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if _, ok := d.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := d.DeleteMin(); ok {
+		t.Error("DeleteMin on empty")
+	}
+	if d.Delete(5) {
+		t.Error("Delete on empty")
+	}
+	if d.Contains(5) {
+		t.Error("Contains on empty")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetInsertContainsAscend(t *testing.T) {
+	d := newDetInt()
+	keys := []int{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		d.Insert(k)
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d (#%d): %v", k, i, err)
+		}
+	}
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for _, k := range keys {
+		if !d.Contains(k) {
+			t.Errorf("Contains(%d) = false", k)
+		}
+	}
+	if d.Contains(10) || d.Contains(-1) {
+		t.Error("Contains reported absent key")
+	}
+	var got []int
+	d.Ascend(func(k int) bool { got = append(got, k); return true })
+	for i, k := range got {
+		if k != i {
+			t.Fatalf("Ascend[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestDetDuplicateInsertNoOp(t *testing.T) {
+	d := newDetInt()
+	for i := 0; i < 50; i++ {
+		d.Insert(i % 10)
+	}
+	if d.Len() != 10 {
+		t.Errorf("Len = %d after duplicate inserts, want 10", d.Len())
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetDeleteAllOrders(t *testing.T) {
+	const n = 64
+	orders := map[string]func(i int) int{
+		"ascending":  func(i int) int { return i },
+		"descending": func(i int) int { return n - 1 - i },
+		"stride7":    func(i int) int { return (i * 7) % n },
+	}
+	for name, ord := range orders {
+		t.Run(name, func(t *testing.T) {
+			d := newDetInt()
+			for i := 0; i < n; i++ {
+				d.Insert(i)
+			}
+			for i := 0; i < n; i++ {
+				k := ord(i)
+				if !d.Delete(k) {
+					t.Fatalf("Delete(%d) = false", k)
+				}
+				if d.Contains(k) {
+					t.Fatalf("Contains(%d) after delete", k)
+				}
+				if err := d.CheckInvariants(); err != nil {
+					t.Fatalf("after deleting %d: %v", k, err)
+				}
+			}
+			if d.Len() != 0 || d.Levels() != 1 {
+				t.Errorf("Len = %d, Levels = %d after drain", d.Len(), d.Levels())
+			}
+		})
+	}
+}
+
+func TestDetDeleteMinDrains(t *testing.T) {
+	d := newDetInt()
+	const n = 200
+	for i := n - 1; i >= 0; i-- {
+		d.Insert(i)
+	}
+	for i := 0; i < n; i++ {
+		k, ok := d.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("DeleteMin #%d = (%d, %v)", i, k, ok)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("after DeleteMin %d: %v", i, err)
+		}
+	}
+}
+
+func TestDetHeightLogarithmic(t *testing.T) {
+	d := newDetInt()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		d.Insert(i)
+	}
+	// Worst case height is log2(n) (gaps of at least 1 halve per level);
+	// allow the +2 for sentinels and the growth rule.
+	if max := int(math.Log2(n)) + 2; d.Levels() > max {
+		t.Errorf("Levels = %d for %d sequential inserts, want <= %d", d.Levels(), n, max)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetAgainstModel drives the deterministic list and a sorted-slice model
+// with an identical random operation stream, checking the 1-2-3 invariant
+// after every mutation.
+func TestDetAgainstModel(t *testing.T) {
+	d := newDetInt()
+	var model []int
+	rng := rand.New(rand.NewSource(321))
+
+	modelInsert := func(k int) {
+		i := sort.SearchInts(model, k)
+		if i < len(model) && model[i] == k {
+			return
+		}
+		model = append(model, 0)
+		copy(model[i+1:], model[i:])
+		model[i] = k
+	}
+	modelDelete := func(k int) bool {
+		i := sort.SearchInts(model, k)
+		if i < len(model) && model[i] == k {
+			model = append(model[:i], model[i+1:]...)
+			return true
+		}
+		return false
+	}
+
+	for op := 0; op < 30000; op++ {
+		k := rng.Intn(600)
+		switch rng.Intn(5) {
+		case 0, 1, 2:
+			d.Insert(k)
+			modelInsert(k)
+		case 3:
+			got, want := d.Delete(k), modelDelete(k)
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, model %v", op, k, got, want)
+			}
+		case 4:
+			got, gotOK := d.DeleteMin()
+			if wantOK := len(model) > 0; gotOK != wantOK {
+				t.Fatalf("op %d: DeleteMin ok = %v, model %v", op, gotOK, wantOK)
+			} else if gotOK {
+				if got != model[0] {
+					t.Fatalf("op %d: DeleteMin = %d, model %d", op, got, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		if d.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, d.Len(), len(model))
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		// Periodically verify full contents and membership.
+		if op%500 == 0 {
+			i := 0
+			d.Ascend(func(k int) bool {
+				if k != model[i] {
+					t.Fatalf("op %d: Ascend[%d] = %d, model %d", op, i, k, model[i])
+				}
+				i++
+				return true
+			})
+			probe := rng.Intn(600)
+			j := sort.SearchInts(model, probe)
+			want := j < len(model) && model[j] == probe
+			if got := d.Contains(probe); got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, model %v", op, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestDetSortednessProperty mirrors the randomized list's quick property.
+func TestDetSortednessProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		d := newDetInt()
+		set := map[int]bool{}
+		for _, k16 := range keys {
+			k := int(k16)
+			d.Insert(k)
+			set[k] = true
+		}
+		if d.CheckInvariants() != nil {
+			return false
+		}
+		want := make([]int, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		var got []int
+		d.Ascend(func(k int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetTallSeparatorDeletion exercises the predecessor-promotion path:
+// grow a list until some keys are tall, then delete exactly those.
+func TestDetTallSeparatorDeletion(t *testing.T) {
+	d := newDetInt()
+	const n = 512
+	for i := 0; i < n; i++ {
+		d.Insert(i)
+	}
+	// Collect tall keys (present above level 0) by walking level 1.
+	lvl1 := d.head
+	for i := 0; i < d.Levels()-1-1; i++ {
+		lvl1 = lvl1.down
+	}
+	var tall []int
+	for c := lvl1.right; c != nil; c = c.right {
+		tall = append(tall, c.key)
+	}
+	if len(tall) == 0 {
+		t.Fatal("no tall keys at n=512; structure suspicious")
+	}
+	for _, k := range tall {
+		if !d.Delete(k) {
+			t.Fatalf("Delete(tall %d) = false", k)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting tall %d: %v", k, err)
+		}
+		if d.Contains(k) {
+			t.Fatalf("Contains(%d) after delete", k)
+		}
+	}
+	if d.Len() != n-len(tall) {
+		t.Errorf("Len = %d, want %d", d.Len(), n-len(tall))
+	}
+}
+
+func BenchmarkDetInsert(b *testing.B) {
+	d := newDetInt()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Insert(rng.Int())
+	}
+}
+
+func BenchmarkDetDeleteMin(b *testing.B) {
+	d := newDetInt()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		d.Insert(rng.Int())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.DeleteMin()
+	}
+}

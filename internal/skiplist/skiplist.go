@@ -1,0 +1,172 @@
+// Package skiplist implements the ordered set backing WOHA's Double Skip
+// List (Section IV-B of the paper).
+//
+// The paper cites both Pugh's randomized skip lists and Munro-Papadakis-
+// Sedgewick deterministic skip lists. This implementation is a Pugh skip
+// list driven by a caller-seeded deterministic PRNG, which preserves the
+// properties Algorithm 2 relies on — O(log n) expected search, insertion and
+// deletion, O(1) expected head deletion, and bit-for-bit reproducible
+// behaviour for a fixed seed — without the considerably more intricate 2-3
+// rebalancing machinery of the deterministic variant.
+package skiplist
+
+import (
+	"math/rand"
+
+	"repro/internal/ordered"
+)
+
+const (
+	// maxLevel bounds tower height; 2^32 elements is far beyond any
+	// realistic workflow queue (the paper scales to "tens of thousands").
+	maxLevel = 32
+	// pBits controls the promotion probability 1/2: one random bit per
+	// level.
+	pBits = 1
+)
+
+// List is an ordered set of unique keys implemented as a skip list.
+// Construct with New; the zero value is not usable.
+type List[K any] struct {
+	head   *node[K]
+	less   ordered.Less[K]
+	rng    *rand.Rand
+	level  int // highest level in use, >= 1
+	length int
+}
+
+type node[K any] struct {
+	key  K
+	next []*node[K]
+}
+
+var _ ordered.Set[int] = (*List[int])(nil)
+
+// New returns an empty list ordered by less. Tower heights are drawn from a
+// PRNG seeded with seed, so two lists built with the same seed and the same
+// operation sequence are identical.
+func New[K any](less ordered.Less[K], seed int64) *List[K] {
+	return &List[K]{
+		head:  &node[K]{next: make([]*node[K], maxLevel)},
+		less:  less,
+		rng:   rand.New(rand.NewSource(seed)),
+		level: 1,
+	}
+}
+
+// Len returns the number of keys in the list.
+func (l *List[K]) Len() int { return l.length }
+
+// randomLevel draws a tower height with P(height >= h) = 2^-(h-1).
+func (l *List[K]) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && l.rng.Int63()&((1<<pBits)-1) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// Insert adds key to the list. Keys equal to an existing key (under less) are
+// inserted adjacent to it; callers are expected to keep keys unique.
+func (l *List[K]) Insert(key K) {
+	var update [maxLevel]*node[K]
+	x := l.head
+	for h := l.level - 1; h >= 0; h-- {
+		for x.next[h] != nil && l.less(x.next[h].key, key) {
+			x = x.next[h]
+		}
+		update[h] = x
+	}
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		for h := l.level; h < lvl; h++ {
+			update[h] = l.head
+		}
+		l.level = lvl
+	}
+	n := &node[K]{key: key, next: make([]*node[K], lvl)}
+	for h := 0; h < lvl; h++ {
+		n.next[h] = update[h].next[h]
+		update[h].next[h] = n
+	}
+	l.length++
+}
+
+// Delete removes key from the list, reporting whether it was present.
+func (l *List[K]) Delete(key K) bool {
+	var update [maxLevel]*node[K]
+	x := l.head
+	for h := l.level - 1; h >= 0; h-- {
+		for x.next[h] != nil && l.less(x.next[h].key, key) {
+			x = x.next[h]
+		}
+		update[h] = x
+	}
+	target := x.next[0]
+	if target == nil || l.less(key, target.key) {
+		return false
+	}
+	for h := 0; h < len(target.next); h++ {
+		if update[h].next[h] != target {
+			break
+		}
+		update[h].next[h] = target.next[h]
+	}
+	l.shrinkLevel()
+	l.length--
+	return true
+}
+
+// Min returns the smallest key. ok is false when the list is empty.
+func (l *List[K]) Min() (key K, ok bool) {
+	if n := l.head.next[0]; n != nil {
+		return n.key, true
+	}
+	var zero K
+	return zero, false
+}
+
+// DeleteMin removes and returns the smallest key. It runs in O(height of the
+// head node), which is O(1) in expectation — the fast path Algorithm 2
+// exploits for its frequent head pops.
+func (l *List[K]) DeleteMin() (key K, ok bool) {
+	n := l.head.next[0]
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	for h := 0; h < len(n.next); h++ {
+		l.head.next[h] = n.next[h]
+	}
+	l.shrinkLevel()
+	l.length--
+	return n.key, true
+}
+
+// Contains reports whether key is in the list.
+func (l *List[K]) Contains(key K) bool {
+	x := l.head
+	for h := l.level - 1; h >= 0; h-- {
+		for x.next[h] != nil && l.less(x.next[h].key, key) {
+			x = x.next[h]
+		}
+	}
+	n := x.next[0]
+	return n != nil && !l.less(key, n.key)
+}
+
+// Ascend calls fn on every key in ascending order until fn returns false.
+func (l *List[K]) Ascend(fn func(key K) bool) {
+	for n := l.head.next[0]; n != nil; n = n.next[0] {
+		if !fn(n.key) {
+			return
+		}
+	}
+}
+
+// shrinkLevel drops empty top levels so future searches start lower.
+func (l *List[K]) shrinkLevel() {
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+}

@@ -1,0 +1,313 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func newIntList() *List[int] { return New(intLess, 42) }
+
+func TestEmpty(t *testing.T) {
+	l := newIntList()
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+	if _, ok := l.Min(); ok {
+		t.Error("Min on empty list reported ok")
+	}
+	if _, ok := l.DeleteMin(); ok {
+		t.Error("DeleteMin on empty list reported ok")
+	}
+	if l.Delete(7) {
+		t.Error("Delete on empty list reported true")
+	}
+	if l.Contains(7) {
+		t.Error("Contains on empty list reported true")
+	}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	l := newIntList()
+	keys := []int{5, 1, 9, 3, 7}
+	for _, k := range keys {
+		l.Insert(k)
+	}
+	if l.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if !l.Contains(k) {
+			t.Errorf("Contains(%d) = false, want true", k)
+		}
+	}
+	for _, k := range []int{0, 2, 4, 6, 8, 10} {
+		if l.Contains(k) {
+			t.Errorf("Contains(%d) = true, want false", k)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	l := newIntList()
+	for _, k := range []int{4, 2, 8, 6, 0} {
+		l.Insert(k)
+	}
+	var got []int
+	l.Ascend(func(k int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{0, 2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ascend[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	l := newIntList()
+	for i := 0; i < 10; i++ {
+		l.Insert(i)
+	}
+	count := 0
+	l.Ascend(func(int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Ascend visited %d keys after early stop, want 3", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := newIntList()
+	for i := 0; i < 20; i++ {
+		l.Insert(i)
+	}
+	if !l.Delete(10) {
+		t.Fatal("Delete(10) = false, want true")
+	}
+	if l.Contains(10) {
+		t.Error("Contains(10) = true after delete")
+	}
+	if l.Delete(10) {
+		t.Error("second Delete(10) = true, want false")
+	}
+	if l.Len() != 19 {
+		t.Errorf("Len = %d, want 19", l.Len())
+	}
+}
+
+func TestDeleteMinDrains(t *testing.T) {
+	l := newIntList()
+	for _, k := range []int{3, 1, 4, 1 + 100, 5, 9, 2, 6} {
+		l.Insert(k)
+	}
+	prev := -1
+	for {
+		k, ok := l.DeleteMin()
+		if !ok {
+			break
+		}
+		if k <= prev {
+			t.Fatalf("DeleteMin returned %d after %d (not ascending)", k, prev)
+		}
+		prev = k
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len = %d after drain, want 0", l.Len())
+	}
+}
+
+func TestMinAfterMixedOps(t *testing.T) {
+	l := newIntList()
+	l.Insert(5)
+	l.Insert(3)
+	l.Insert(8)
+	if k, _ := l.Min(); k != 3 {
+		t.Errorf("Min = %d, want 3", k)
+	}
+	l.Delete(3)
+	if k, _ := l.Min(); k != 5 {
+		t.Errorf("Min = %d after Delete(3), want 5", k)
+	}
+	l.DeleteMin()
+	if k, _ := l.Min(); k != 8 {
+		t.Errorf("Min = %d after DeleteMin, want 8", k)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	build := func() []int {
+		l := New(intLess, 99)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			l.Insert(rng.Intn(10000)*2 + (i % 2)) // some near-collisions
+		}
+		var out []int
+		l.Ascend(func(k int) bool { out = append(out, k); return true })
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAgainstReferenceModel drives the skip list and a sorted-slice model
+// with the same random operation stream and checks full agreement.
+func TestAgainstReferenceModel(t *testing.T) {
+	l := newIntList()
+	var model []int
+	rng := rand.New(rand.NewSource(123))
+
+	modelInsert := func(k int) {
+		i := sort.SearchInts(model, k)
+		model = append(model, 0)
+		copy(model[i+1:], model[i:])
+		model[i] = k
+	}
+	modelDelete := func(k int) bool {
+		i := sort.SearchInts(model, k)
+		if i < len(model) && model[i] == k {
+			model = append(model[:i], model[i+1:]...)
+			return true
+		}
+		return false
+	}
+
+	present := map[int]bool{}
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(2000)
+		switch rng.Intn(4) {
+		case 0, 1: // insert (unique keys only)
+			if !present[k] {
+				l.Insert(k)
+				modelInsert(k)
+				present[k] = true
+			}
+		case 2: // delete arbitrary
+			got := l.Delete(k)
+			want := modelDelete(k)
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, model says %v", op, k, got, want)
+			}
+			delete(present, k)
+		case 3: // delete min
+			got, gotOK := l.DeleteMin()
+			var want int
+			wantOK := len(model) > 0
+			if wantOK {
+				want = model[0]
+				model = model[1:]
+			}
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("op %d: DeleteMin = (%d,%v), model (%d,%v)", op, got, gotOK, want, wantOK)
+			}
+			if gotOK {
+				delete(present, got)
+			}
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, l.Len(), len(model))
+		}
+	}
+	// Final structural agreement.
+	i := 0
+	l.Ascend(func(k int) bool {
+		if k != model[i] {
+			t.Fatalf("final Ascend[%d] = %d, model %d", i, k, model[i])
+		}
+		i++
+		return true
+	})
+	if i != len(model) {
+		t.Fatalf("Ascend visited %d, model has %d", i, len(model))
+	}
+}
+
+// TestSortednessProperty: for any input set, ascending iteration equals the
+// sorted, deduplicated input.
+func TestSortednessProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		l := newIntList()
+		seen := map[int]bool{}
+		for _, k16 := range keys {
+			k := int(k16)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			l.Insert(k)
+		}
+		want := make([]int, 0, len(seen))
+		for k := range seen {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		var got []int
+		l.Ascend(func(k int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeScaleHeight(t *testing.T) {
+	// Sanity-check that search work stays logarithmic-ish: insert 1e5 keys
+	// and verify the list level stays well under maxLevel.
+	l := newIntList()
+	for i := 0; i < 100000; i++ {
+		l.Insert(i)
+	}
+	if l.level >= maxLevel {
+		t.Errorf("level = %d, suspiciously tall for 1e5 keys", l.level)
+	}
+	if !l.Contains(99999) || !l.Contains(0) || l.Contains(100000) {
+		t.Error("membership checks failed at scale")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := newIntList()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Insert(rng.Int())
+	}
+}
+
+func BenchmarkDeleteMin(b *testing.B) {
+	l := newIntList()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		l.Insert(rng.Int())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.DeleteMin()
+	}
+}

@@ -1,0 +1,163 @@
+// Package trace synthesizes Map-Reduce job statistics matching the Yahoo!
+// WebScope trace the WOHA paper characterizes in Fig 5 and Fig 6 (4000+ jobs
+// from 2012-03-07):
+//
+//   - most map tasks finish between 10s and 100s;
+//   - more than half of the reduce tasks take over 100s, and about 10% take
+//     over 1000s;
+//   - about 30% of jobs have more than 100 mappers;
+//   - more than 60% of jobs have fewer than 10 reducers;
+//   - mappers usually outnumber reducers while reducers run longer.
+//
+// The real trace is proprietary, so we draw from log-normal marginals fitted
+// to the published CDF shapes (the paper itself only used the trace as
+// "guidelines when we generated synthetic jobs"). All draws flow through a
+// caller-seeded PRNG for reproducibility.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// JobStats describes one synthesized Map-Reduce job.
+type JobStats struct {
+	// Maps and Reduces are task counts; Maps >= 1, Reduces >= 0.
+	Maps    int
+	Reduces int
+	// MapTime and ReduceTime are per-task execution time estimates.
+	MapTime    time.Duration
+	ReduceTime time.Duration
+}
+
+// Tasks returns the job's total task count.
+func (j JobStats) Tasks() int { return j.Maps + j.Reduces }
+
+// Params are the log-normal marginal parameters. Medians are the exp(mu)
+// points; sigmas are the standard deviations of the underlying normals.
+type Params struct {
+	// MapTimeMedian and MapTimeSigma shape the map-duration marginal.
+	MapTimeMedian time.Duration
+	MapTimeSigma  float64
+	// ReduceTimeMedian and ReduceTimeSigma shape the reduce-duration
+	// marginal.
+	ReduceTimeMedian time.Duration
+	ReduceTimeSigma  float64
+	// MapCountMedian and MapCountSigma shape the mapper-count marginal.
+	MapCountMedian float64
+	MapCountSigma  float64
+	// ReduceCountMedian and ReduceCountSigma shape the reducer-count
+	// marginal.
+	ReduceCountMedian float64
+	ReduceCountSigma  float64
+	// ReduceOnlyFrac is the fraction of jobs with zero reducers (map-only
+	// jobs are common in log-filtering stages).
+	MapOnlyFrac float64
+}
+
+// DefaultParams returns marginals fitted to the paper's Fig 5 / Fig 6:
+//
+//   - map durations: median 30s, sigma 1.0 → ~75% land in [10s, 100s];
+//   - reduce durations: median 120s, sigma 1.6 → ~54% over 100s, ~9% over
+//     1000s;
+//   - map counts: median 40, sigma 1.8 → ~30% of jobs over 100 mappers;
+//   - reduce counts: median 6, sigma 1.3 → ~65% of jobs under 10 reducers.
+func DefaultParams() Params {
+	return Params{
+		MapTimeMedian:     30 * time.Second,
+		MapTimeSigma:      1.0,
+		ReduceTimeMedian:  120 * time.Second,
+		ReduceTimeSigma:   1.6,
+		MapCountMedian:    40,
+		MapCountSigma:     1.8,
+		ReduceCountMedian: 6,
+		ReduceCountSigma:  1.3,
+		MapOnlyFrac:       0.1,
+	}
+}
+
+// Generator draws jobs from the marginals.
+type Generator struct {
+	rng    *rand.Rand
+	params Params
+}
+
+// NewGenerator returns a generator with DefaultParams and the given seed.
+func NewGenerator(seed int64) *Generator {
+	return NewGeneratorParams(seed, DefaultParams())
+}
+
+// NewGeneratorParams returns a generator with custom marginals.
+func NewGeneratorParams(seed int64, p Params) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), params: p}
+}
+
+// Job draws one job.
+func (g *Generator) Job() JobStats {
+	p := g.params
+	j := JobStats{
+		Maps:       clampCount(g.logNormal(p.MapCountMedian, p.MapCountSigma)),
+		MapTime:    clampDur(g.logNormal(float64(p.MapTimeMedian), p.MapTimeSigma)),
+		ReduceTime: clampDur(g.logNormal(float64(p.ReduceTimeMedian), p.ReduceTimeSigma)),
+	}
+	if g.rng.Float64() < p.MapOnlyFrac {
+		j.Reduces = 0
+		j.ReduceTime = 0
+	} else {
+		j.Reduces = clampCount(g.logNormal(p.ReduceCountMedian, p.ReduceCountSigma))
+	}
+	return j
+}
+
+// Jobs draws n jobs.
+func (g *Generator) Jobs(n int) []JobStats {
+	out := make([]JobStats, n)
+	for i := range out {
+		out[i] = g.Job()
+	}
+	return out
+}
+
+// logNormal draws exp(N(ln median, sigma^2)).
+func (g *Generator) logNormal(median, sigma float64) float64 {
+	return median * math.Exp(sigma*g.rng.NormFloat64())
+}
+
+func clampCount(v float64) int {
+	n := int(math.Round(v))
+	if n < 1 {
+		return 1
+	}
+	// The largest Yahoo jobs run tens of thousands of tasks; cap the tail
+	// so a single draw cannot dominate an entire experiment.
+	const maxTasks = 20000
+	if n > maxTasks {
+		return maxTasks
+	}
+	return n
+}
+
+func clampDur(v float64) time.Duration {
+	d := time.Duration(v)
+	if d < time.Second {
+		return time.Second
+	}
+	const maxDur = 4 * time.Hour
+	if d > maxDur {
+		return maxDur
+	}
+	return d
+}
+
+// Scale returns a copy of p with all durations multiplied by f and count
+// medians by c. Experiments use it to shrink workloads while preserving the
+// distribution shapes.
+func (p Params) Scale(f float64, c float64) Params {
+	q := p
+	q.MapTimeMedian = time.Duration(float64(p.MapTimeMedian) * f)
+	q.ReduceTimeMedian = time.Duration(float64(p.ReduceTimeMedian) * f)
+	q.MapCountMedian *= c
+	q.ReduceCountMedian *= c
+	return q
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMarginalsMatchPaperCDFs checks the synthesized population against the
+// shape facts the paper reads off Fig 5 and Fig 6. Bounds are generous: we
+// are matching published CDF shapes, not exact values.
+func TestMarginalsMatchPaperCDFs(t *testing.T) {
+	g := NewGenerator(42)
+	const n = 4000 // the trace has "more than 4000 jobs"
+	jobs := g.Jobs(n)
+
+	frac := func(pred func(JobStats) bool) float64 {
+		c := 0
+		for _, j := range jobs {
+			if pred(j) {
+				c++
+			}
+		}
+		return float64(c) / float64(n)
+	}
+
+	// "most mappers finish between 10s to 100s"
+	if got := frac(func(j JobStats) bool {
+		return j.MapTime >= 10*time.Second && j.MapTime <= 100*time.Second
+	}); got < 0.55 {
+		t.Errorf("maps in [10s,100s] = %.2f, want >= 0.55", got)
+	}
+	// "more than half of the reducers take more than 100s"
+	withReduce := func(pred func(JobStats) bool) float64 {
+		c, tot := 0, 0
+		for _, j := range jobs {
+			if j.Reduces == 0 {
+				continue
+			}
+			tot++
+			if pred(j) {
+				c++
+			}
+		}
+		return float64(c) / float64(tot)
+	}
+	if got := withReduce(func(j JobStats) bool { return j.ReduceTime > 100*time.Second }); got < 0.45 || got > 0.7 {
+		t.Errorf("reduces > 100s = %.2f, want ~[0.45, 0.7]", got)
+	}
+	// "about 10% reducers even take more than 1000s"
+	if got := withReduce(func(j JobStats) bool { return j.ReduceTime > 1000*time.Second }); got < 0.04 || got > 0.2 {
+		t.Errorf("reduces > 1000s = %.2f, want ~[0.04, 0.2]", got)
+	}
+	// "about 30% jobs have more than 100 mappers"
+	if got := frac(func(j JobStats) bool { return j.Maps > 100 }); got < 0.2 || got > 0.45 {
+		t.Errorf("jobs > 100 maps = %.2f, want ~[0.2, 0.45]", got)
+	}
+	// "more than 60% jobs have less than 10 reducers"
+	if got := frac(func(j JobStats) bool { return j.Reduces < 10 }); got < 0.55 {
+		t.Errorf("jobs < 10 reduces = %.2f, want >= 0.55", got)
+	}
+	// "mappers usually outnumber reducers"
+	if got := withReduce(func(j JobStats) bool { return j.Maps > j.Reduces }); got < 0.6 {
+		t.Errorf("maps > reduces = %.2f, want >= 0.6", got)
+	}
+	// "reducers take much longer to finish"
+	if got := withReduce(func(j JobStats) bool { return j.ReduceTime > j.MapTime }); got < 0.6 {
+		t.Errorf("reduce longer than map = %.2f, want >= 0.6", got)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(7).Jobs(100)
+	b := NewGenerator(7).Jobs(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs across same-seed generators: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(8).Jobs(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestBoundsAndSanity(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 5000; i++ {
+		j := g.Job()
+		if j.Maps < 1 {
+			t.Fatalf("job %d: Maps = %d, want >= 1", i, j.Maps)
+		}
+		if j.Reduces < 0 {
+			t.Fatalf("job %d: negative reduces", i)
+		}
+		if j.MapTime < time.Second {
+			t.Fatalf("job %d: MapTime = %v, want >= 1s", i, j.MapTime)
+		}
+		if j.Reduces > 0 && j.ReduceTime < time.Second {
+			t.Fatalf("job %d: ReduceTime = %v with %d reduces", i, j.ReduceTime, j.Reduces)
+		}
+		if j.Reduces == 0 && j.ReduceTime != 0 {
+			t.Fatalf("job %d: map-only job has ReduceTime %v", i, j.ReduceTime)
+		}
+		if j.Tasks() != j.Maps+j.Reduces {
+			t.Fatalf("job %d: Tasks() inconsistent", i)
+		}
+	}
+}
+
+func TestMapOnlyFraction(t *testing.T) {
+	g := NewGenerator(11)
+	jobs := g.Jobs(5000)
+	mapOnly := 0
+	for _, j := range jobs {
+		if j.Reduces == 0 {
+			mapOnly++
+		}
+	}
+	got := float64(mapOnly) / float64(len(jobs))
+	if got < 0.05 || got > 0.2 {
+		t.Errorf("map-only fraction = %.3f, want ~0.1", got)
+	}
+}
+
+func TestParamsScale(t *testing.T) {
+	p := DefaultParams()
+	q := p.Scale(0.5, 2)
+	if q.MapTimeMedian != p.MapTimeMedian/2 {
+		t.Errorf("MapTimeMedian = %v, want %v", q.MapTimeMedian, p.MapTimeMedian/2)
+	}
+	if q.ReduceTimeMedian != p.ReduceTimeMedian/2 {
+		t.Errorf("ReduceTimeMedian = %v, want %v", q.ReduceTimeMedian, p.ReduceTimeMedian/2)
+	}
+	if q.MapCountMedian != p.MapCountMedian*2 {
+		t.Errorf("MapCountMedian = %v, want %v", q.MapCountMedian, p.MapCountMedian*2)
+	}
+	if q.MapTimeSigma != p.MapTimeSigma {
+		t.Errorf("sigma changed by Scale")
+	}
+}
+
+func TestExtremeDrawsClamped(t *testing.T) {
+	// A huge sigma forces the clamps to engage.
+	p := DefaultParams()
+	p.MapCountSigma = 10
+	p.MapTimeSigma = 10
+	g := NewGeneratorParams(5, p)
+	for i := 0; i < 2000; i++ {
+		j := g.Job()
+		if j.Maps > 20000 {
+			t.Fatalf("Maps = %d, clamp failed", j.Maps)
+		}
+		if j.MapTime > 4*time.Hour {
+			t.Fatalf("MapTime = %v, clamp failed", j.MapTime)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Builder constructs workflows programmatically with name-based dependency
+// references, deferring all error reporting to Build so call sites can chain
+// Job calls fluently.
+type Builder struct {
+	name   string
+	jobs   []Job
+	byName map[string]JobID
+	err    error
+}
+
+// NewBuilder starts a workflow named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]JobID)}
+}
+
+// Job appends a job with the given shape that must run after the named
+// prerequisite jobs, which must have been added already. It returns the
+// builder for chaining.
+func (b *Builder) Job(name string, maps, reduces int, mapTime, reduceTime time.Duration, after ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.byName[name]; dup {
+		b.err = fmt.Errorf("workflow %q: duplicate job name %q", b.name, name)
+		return b
+	}
+	id := JobID(len(b.jobs))
+	prereqs := make([]JobID, 0, len(after))
+	for _, dep := range after {
+		p, ok := b.byName[dep]
+		if !ok {
+			b.err = fmt.Errorf("workflow %q: job %q depends on unknown job %q", b.name, name, dep)
+			return b
+		}
+		prereqs = append(prereqs, p)
+	}
+	b.jobs = append(b.jobs, Job{
+		ID:         id,
+		Name:       name,
+		Maps:       maps,
+		Reduces:    reduces,
+		MapTime:    mapTime,
+		ReduceTime: reduceTime,
+		Prereqs:    prereqs,
+	})
+	b.byName[name] = id
+	return b
+}
+
+// Build finalizes the workflow with the given release time and absolute
+// deadline and validates it.
+func (b *Builder) Build(release, deadline simtime.Time) (*Workflow, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	w := &Workflow{Name: b.name, Jobs: b.jobs, Release: release, Deadline: deadline}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustBuild is Build for tests and examples with known-good topologies; it
+// panics on error.
+func (b *Builder) MustBuild(release, deadline simtime.Time) *Workflow {
+	w, err := b.Build(release, deadline)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,42 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXML checks the configuration parser never panics and that every
+// accepted document yields a valid, round-trippable workflow.
+func FuzzParseXML(f *testing.F) {
+	f.Add(sampleXML)
+	f.Add(`<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="1s"/></workflow>`)
+	f.Add(`<workflow name="w" release="5s" deadline="2h">
+  <job name="a" maps="3" reduces="1" map-time="10s" reduce-time="30s"><output>/o</output></job>
+  <job name="b" maps="2" map-time="5s"><input>/o/part</input></job>
+</workflow>`)
+	f.Add(`<workflow`)
+	f.Add(``)
+	f.Add(`<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="1s"><after>a</after></job></workflow>`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		w, err := ParseXMLString(doc)
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted workflow fails validation: %v\ninput: %q", err, doc)
+		}
+		out, err := MarshalXML(w)
+		if err != nil {
+			t.Fatalf("accepted workflow fails to marshal: %v", err)
+		}
+		back, err := ParseXML(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("marshaled workflow fails to reparse: %v\ndoc:\n%s", err, out)
+		}
+		if len(back.Jobs) != len(w.Jobs) || back.Name != w.Name {
+			t.Fatalf("round trip changed shape: %d/%q vs %d/%q",
+				len(back.Jobs), back.Name, len(w.Jobs), w.Name)
+		}
+	})
+}

@@ -1,0 +1,320 @@
+// Package workflow defines the WOHA workflow model from Section II of the
+// paper: a workflow W_i is a set of interdependent Map-Reduce jobs ("wjobs")
+// J_i with prerequisite sets P_i, a submission (release) time S_i, and a
+// deadline D_i. Job J_i^j has m_i^j map tasks taking M_i^j each and r_i^j
+// reduce tasks taking R_i^j each.
+//
+// The package also provides the DAG utilities every other component builds
+// on: validation (including cycle detection), dependents, levels (for HLF),
+// longest paths (for LPF), topological order, and critical-path bounds.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// JobID identifies a job within its workflow. IDs are dense indices into
+// Workflow.Jobs: job k has ID k.
+type JobID int
+
+// Job is one Map-Reduce job inside a workflow (a "wjob").
+type Job struct {
+	// ID is the job's index in Workflow.Jobs.
+	ID JobID
+	// Name is a human-readable unique name within the workflow.
+	Name string
+	// Maps is the number of map tasks (m_i^j). May be zero for a
+	// reduce-only job.
+	Maps int
+	// Reduces is the number of reduce tasks (r_i^j). May be zero for a
+	// map-only job.
+	Reduces int
+	// MapTime is the estimated execution time of one map task (M_i^j).
+	MapTime time.Duration
+	// ReduceTime is the estimated execution time of one reduce task
+	// (R_i^j).
+	ReduceTime time.Duration
+	// Prereqs lists the jobs that must finish before this job may start
+	// (P_i^j). Order is not significant; entries are unique.
+	Prereqs []JobID
+
+	// Input and Output record the dataset paths from the workflow
+	// configuration. They are informational after prerequisite inference
+	// and may be empty for programmatically built workflows.
+	Inputs []string
+	Output string
+}
+
+// Tasks returns the total number of tasks in the job.
+func (j *Job) Tasks() int { return j.Maps + j.Reduces }
+
+// Length returns the job's serial length estimate used by Longest Path
+// First: the sum of one map task's and one reduce task's execution times
+// (Section V-C of the paper).
+func (j *Job) Length() time.Duration {
+	var d time.Duration
+	if j.Maps > 0 {
+		d += j.MapTime
+	}
+	if j.Reduces > 0 {
+		d += j.ReduceTime
+	}
+	return d
+}
+
+// Workflow is a deadline-constrained DAG of Map-Reduce jobs:
+// W_i = {J_i, P_i, S_i, D_i}.
+type Workflow struct {
+	// Name identifies the workflow; unique within a run by convention.
+	Name string
+	// Jobs holds the wjobs; Jobs[k].ID == k.
+	Jobs []Job
+	// Release is the submission time S_i.
+	Release simtime.Time
+	// Deadline is the absolute deadline D_i.
+	Deadline simtime.Time
+}
+
+// RelativeDeadline returns D_i - S_i, the time budget the workflow has from
+// submission to deadline.
+func (w *Workflow) RelativeDeadline() time.Duration {
+	return w.Deadline.Sub(w.Release)
+}
+
+// TotalTasks returns the number of tasks summed over all jobs.
+func (w *Workflow) TotalTasks() int {
+	n := 0
+	for i := range w.Jobs {
+		n += w.Jobs[i].Tasks()
+	}
+	return n
+}
+
+// Roots returns the IDs of initially active jobs — those with no
+// prerequisites.
+func (w *Workflow) Roots() []JobID {
+	var roots []JobID
+	for i := range w.Jobs {
+		if len(w.Jobs[i].Prereqs) == 0 {
+			roots = append(roots, JobID(i))
+		}
+	}
+	return roots
+}
+
+// Dependents returns, for each job, the IDs of jobs that list it as a
+// prerequisite (the set D_i^j from Section IV-A).
+func (w *Workflow) Dependents() [][]JobID {
+	deps := make([][]JobID, len(w.Jobs))
+	for i := range w.Jobs {
+		for _, p := range w.Jobs[i].Prereqs {
+			deps[p] = append(deps[p], JobID(i))
+		}
+	}
+	return deps
+}
+
+// Validation errors.
+var (
+	ErrEmptyWorkflow = errors.New("workflow: no jobs")
+	ErrCycle         = errors.New("workflow: dependency cycle")
+)
+
+// Validate checks structural invariants: at least one job, consistent IDs,
+// unique non-empty names, in-range unique prerequisites, non-negative task
+// counts with positive durations where counts are positive, deadline after
+// release, and acyclicity. It returns the first problem found.
+func (w *Workflow) Validate() error {
+	if len(w.Jobs) == 0 {
+		return ErrEmptyWorkflow
+	}
+	names := make(map[string]bool, len(w.Jobs))
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if j.ID != JobID(i) {
+			return fmt.Errorf("workflow %q: job %d has ID %d, want %d", w.Name, i, j.ID, i)
+		}
+		if j.Name == "" {
+			return fmt.Errorf("workflow %q: job %d has empty name", w.Name, i)
+		}
+		if names[j.Name] {
+			return fmt.Errorf("workflow %q: duplicate job name %q", w.Name, j.Name)
+		}
+		names[j.Name] = true
+		if j.Maps < 0 || j.Reduces < 0 {
+			return fmt.Errorf("workflow %q: job %q has negative task count", w.Name, j.Name)
+		}
+		if j.Maps == 0 && j.Reduces == 0 {
+			return fmt.Errorf("workflow %q: job %q has no tasks", w.Name, j.Name)
+		}
+		if j.Maps > 0 && j.MapTime <= 0 {
+			return fmt.Errorf("workflow %q: job %q has %d maps but map time %v", w.Name, j.Name, j.Maps, j.MapTime)
+		}
+		if j.Reduces > 0 && j.ReduceTime <= 0 {
+			return fmt.Errorf("workflow %q: job %q has %d reduces but reduce time %v", w.Name, j.Name, j.Reduces, j.ReduceTime)
+		}
+		seen := make(map[JobID]bool, len(j.Prereqs))
+		for _, p := range j.Prereqs {
+			if p < 0 || int(p) >= len(w.Jobs) {
+				return fmt.Errorf("workflow %q: job %q prereq %d out of range", w.Name, j.Name, p)
+			}
+			if p == JobID(i) {
+				return fmt.Errorf("workflow %q: job %q depends on itself", w.Name, j.Name)
+			}
+			if seen[p] {
+				return fmt.Errorf("workflow %q: job %q lists prereq %d twice", w.Name, j.Name, p)
+			}
+			seen[p] = true
+		}
+	}
+	if w.Deadline <= w.Release {
+		return fmt.Errorf("workflow %q: deadline %v not after release %v", w.Name, w.Deadline, w.Release)
+	}
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a topological ordering of job IDs (prerequisites before
+// dependents), or ErrCycle if the dependency graph has a cycle. Among jobs
+// that become ready simultaneously, lower IDs come first, so the order is
+// deterministic.
+func (w *Workflow) TopoOrder() ([]JobID, error) {
+	n := len(w.Jobs)
+	indeg := make([]int, n)
+	for i := range w.Jobs {
+		indeg[i] = len(w.Jobs[i].Prereqs)
+	}
+	deps := w.Dependents()
+	// Deterministic Kahn: scan for the lowest-ID ready job. O(n^2) worst
+	// case but workflows have at most hundreds of jobs.
+	order := make([]JobID, 0, n)
+	done := make([]bool, n)
+	for len(order) < n {
+		found := false
+		for i := 0; i < n; i++ {
+			if !done[i] && indeg[i] == 0 {
+				done[i] = true
+				order = append(order, JobID(i))
+				for _, d := range deps[i] {
+					indeg[d]--
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, ErrCycle
+		}
+	}
+	return order, nil
+}
+
+// Levels computes the HLF level of every job: jobs with no dependents are at
+// level 0, and a job's level is one more than the maximum level among its
+// dependents (Section V-C). The workflow must be acyclic.
+func (w *Workflow) Levels() ([]int, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	deps := w.Dependents()
+	levels := make([]int, len(w.Jobs))
+	// Walk in reverse topological order so dependents are computed first.
+	for i := len(order) - 1; i >= 0; i-- {
+		j := order[i]
+		lvl := 0
+		for _, d := range deps[j] {
+			if levels[d]+1 > lvl {
+				lvl = levels[d] + 1
+			}
+		}
+		levels[j] = lvl
+	}
+	return levels, nil
+}
+
+// LongestPaths computes, for each job, the length of the longest downstream
+// chain starting at (and including) that job, where a job's contribution is
+// Job.Length. This is the LPF priority key.
+func (w *Workflow) LongestPaths() ([]time.Duration, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	deps := w.Dependents()
+	paths := make([]time.Duration, len(w.Jobs))
+	for i := len(order) - 1; i >= 0; i-- {
+		j := order[i]
+		var best time.Duration
+		for _, d := range deps[j] {
+			if paths[d] > best {
+				best = paths[d]
+			}
+		}
+		paths[j] = best + w.Jobs[j].Length()
+	}
+	return paths, nil
+}
+
+// CriticalPath returns the length of the longest prerequisite chain in the
+// workflow under the Job.Length serial estimate. No schedule, regardless of
+// slot count, can finish the workflow faster.
+func (w *Workflow) CriticalPath() (time.Duration, error) {
+	paths, err := w.LongestPaths()
+	if err != nil {
+		return 0, err
+	}
+	var best time.Duration
+	for _, p := range paths {
+		if p > best {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// SerialWork returns the total serial work in the workflow if every task ran
+// back to back: sum over jobs of maps*MapTime + reduces*ReduceTime. Together
+// with CriticalPath it brackets the achievable makespan.
+func (w *Workflow) SerialWork() time.Duration {
+	var total time.Duration
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		total += time.Duration(j.Maps)*j.MapTime + time.Duration(j.Reduces)*j.ReduceTime
+	}
+	return total
+}
+
+// Clone returns a deep copy of w. Simulators mutate per-run state derived
+// from workflows but never the workflow itself; Clone exists for callers that
+// want to perturb a workflow (e.g. deadline sweeps) without aliasing.
+func (w *Workflow) Clone() *Workflow {
+	c := &Workflow{
+		Name:     w.Name,
+		Jobs:     make([]Job, len(w.Jobs)),
+		Release:  w.Release,
+		Deadline: w.Deadline,
+	}
+	copy(c.Jobs, w.Jobs)
+	for i := range c.Jobs {
+		c.Jobs[i].Prereqs = append([]JobID(nil), w.Jobs[i].Prereqs...)
+		c.Jobs[i].Inputs = append([]string(nil), w.Jobs[i].Inputs...)
+	}
+	return c
+}
+
+// JobByName returns the job with the given name, or nil if absent.
+func (w *Workflow) JobByName(name string) *Job {
+	for i := range w.Jobs {
+		if w.Jobs[i].Name == name {
+			return &w.Jobs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package workflow
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// The XML configuration format mirrors Section III-B of the paper: users
+// submit a workflow as an XML file naming each wjob's jar, main class, input
+// datasets, output dataset, and the workflow deadline. WOHA "constructs
+// prerequisite set P_i based on inputs and outputs of each wjob": job B
+// depends on job A when one of B's inputs is A's output (or a path beneath
+// it, since Map-Reduce outputs are directories). An explicit <after> element
+// adds dependencies the dataset paths don't capture.
+//
+// Example:
+//
+//	<workflow name="ad-stats" release="0s" deadline="80m">
+//	  <job name="extract" maps="120" reduces="12" map-time="45s" reduce-time="180s">
+//	    <jar>/apps/extract.jar</jar>
+//	    <main-class>com.example.Extract</main-class>
+//	    <input>/data/raw/logs</input>
+//	    <output>/data/stage/extract</output>
+//	  </job>
+//	  <job name="aggregate" maps="40" reduces="4" map-time="30s" reduce-time="240s">
+//	    <input>/data/stage/extract</input>
+//	    <output>/data/out/aggregate</output>
+//	  </job>
+//	</workflow>
+
+type xmlWorkflow struct {
+	XMLName  xml.Name `xml:"workflow"`
+	Name     string   `xml:"name,attr"`
+	Release  string   `xml:"release,attr"`
+	Deadline string   `xml:"deadline,attr"`
+	Jobs     []xmlJob `xml:"job"`
+}
+
+type xmlJob struct {
+	Name       string   `xml:"name,attr"`
+	Maps       int      `xml:"maps,attr"`
+	Reduces    int      `xml:"reduces,attr"`
+	MapTime    string   `xml:"map-time,attr"`
+	ReduceTime string   `xml:"reduce-time,attr"`
+	Jar        string   `xml:"jar,omitempty"`
+	MainClass  string   `xml:"main-class,omitempty"`
+	Inputs     []string `xml:"input"`
+	Output     string   `xml:"output,omitempty"`
+	After      []string `xml:"after"`
+}
+
+// ParseXML reads a workflow configuration document from r, infers
+// prerequisites from dataset paths and <after> elements, and validates the
+// result. The deadline attribute is relative to the release attribute
+// (which defaults to the simulation epoch).
+func ParseXML(r io.Reader) (*Workflow, error) {
+	var doc xmlWorkflow
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workflow: parsing XML: %w", err)
+	}
+	return fromXML(&doc)
+}
+
+// ParseXMLString is ParseXML over an in-memory document.
+func ParseXMLString(s string) (*Workflow, error) {
+	return ParseXML(strings.NewReader(s))
+}
+
+func fromXML(doc *xmlWorkflow) (*Workflow, error) {
+	if doc.Name == "" {
+		return nil, fmt.Errorf("workflow: missing name attribute")
+	}
+	release := simtime.Epoch
+	if doc.Release != "" {
+		d, err := time.ParseDuration(doc.Release)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %q: bad release %q: %w", doc.Name, doc.Release, err)
+		}
+		release = simtime.Epoch.Add(d)
+	}
+	if doc.Deadline == "" {
+		return nil, fmt.Errorf("workflow %q: missing deadline attribute", doc.Name)
+	}
+	rel, err := time.ParseDuration(doc.Deadline)
+	if err != nil {
+		return nil, fmt.Errorf("workflow %q: bad deadline %q: %w", doc.Name, doc.Deadline, err)
+	}
+
+	w := &Workflow{
+		Name:     doc.Name,
+		Jobs:     make([]Job, 0, len(doc.Jobs)),
+		Release:  release,
+		Deadline: release.Add(rel),
+	}
+	byName := make(map[string]JobID, len(doc.Jobs))
+	byOutput := make(map[string]JobID, len(doc.Jobs))
+	for i, xj := range doc.Jobs {
+		if xj.Name == "" {
+			return nil, fmt.Errorf("workflow %q: job %d missing name", doc.Name, i)
+		}
+		if _, dup := byName[xj.Name]; dup {
+			return nil, fmt.Errorf("workflow %q: duplicate job name %q", doc.Name, xj.Name)
+		}
+		j := Job{
+			ID:      JobID(i),
+			Name:    xj.Name,
+			Maps:    xj.Maps,
+			Reduces: xj.Reduces,
+			Inputs:  xj.Inputs,
+			Output:  xj.Output,
+		}
+		if xj.MapTime != "" {
+			if j.MapTime, err = time.ParseDuration(xj.MapTime); err != nil {
+				return nil, fmt.Errorf("workflow %q: job %q map-time: %w", doc.Name, xj.Name, err)
+			}
+		}
+		if xj.ReduceTime != "" {
+			if j.ReduceTime, err = time.ParseDuration(xj.ReduceTime); err != nil {
+				return nil, fmt.Errorf("workflow %q: job %q reduce-time: %w", doc.Name, xj.Name, err)
+			}
+		}
+		byName[xj.Name] = j.ID
+		if xj.Output != "" {
+			if prev, dup := byOutput[xj.Output]; dup {
+				return nil, fmt.Errorf("workflow %q: jobs %q and %q share output %q",
+					doc.Name, doc.Jobs[prev].Name, xj.Name, xj.Output)
+			}
+			byOutput[xj.Output] = j.ID
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+
+	// Prerequisite inference: dataset paths first, then explicit <after>.
+	for i, xj := range doc.Jobs {
+		seen := make(map[JobID]bool)
+		addPrereq := func(p JobID) {
+			if p != JobID(i) && !seen[p] {
+				seen[p] = true
+				w.Jobs[i].Prereqs = append(w.Jobs[i].Prereqs, p)
+			}
+		}
+		for _, in := range xj.Inputs {
+			for out, producer := range byOutput {
+				if pathWithin(in, out) {
+					addPrereq(producer)
+				}
+			}
+		}
+		for _, name := range xj.After {
+			p, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("workflow %q: job %q lists unknown prerequisite %q", doc.Name, xj.Name, name)
+			}
+			addPrereq(p)
+		}
+		// Deterministic prerequisite order regardless of map iteration.
+		sortJobIDs(w.Jobs[i].Prereqs)
+	}
+
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// pathWithin reports whether path p equals dir or lies beneath it.
+func pathWithin(p, dir string) bool {
+	if p == dir {
+		return true
+	}
+	dir = strings.TrimSuffix(dir, "/")
+	return strings.HasPrefix(p, dir+"/")
+}
+
+func sortJobIDs(ids []JobID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// MarshalXML renders w in the configuration format accepted by ParseXML.
+// Prerequisites that are not captured by dataset paths are emitted as
+// explicit <after> elements, so ParseXML(MarshalXML(w)) reproduces w's DAG.
+func MarshalXML(w *Workflow) ([]byte, error) {
+	doc := xmlWorkflow{
+		Name:     w.Name,
+		Release:  w.Release.Duration().String(),
+		Deadline: w.RelativeDeadline().String(),
+	}
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		xj := xmlJob{
+			Name:    j.Name,
+			Maps:    j.Maps,
+			Reduces: j.Reduces,
+			Inputs:  j.Inputs,
+			Output:  j.Output,
+		}
+		if j.Maps > 0 {
+			xj.MapTime = j.MapTime.String()
+		}
+		if j.Reduces > 0 {
+			xj.ReduceTime = j.ReduceTime.String()
+		}
+		// Emit every prerequisite explicitly: it is redundant where the
+		// dataset paths already imply the edge, but keeps the round trip
+		// exact even for workflows without path metadata.
+		for _, p := range j.Prereqs {
+			xj.After = append(xj.After, w.Jobs[p].Name)
+		}
+		doc.Jobs = append(doc.Jobs, xj)
+	}
+	out, err := xml.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workflow: marshaling XML: %w", err)
+	}
+	return append(out, '\n'), nil
+}

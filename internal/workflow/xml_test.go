@@ -1,0 +1,181 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+const sampleXML = `
+<workflow name="ad-stats" release="5m" deadline="80m">
+  <job name="extract" maps="120" reduces="12" map-time="45s" reduce-time="3m">
+    <jar>/apps/extract.jar</jar>
+    <main-class>com.example.Extract</main-class>
+    <input>/data/raw/logs</input>
+    <output>/data/stage/extract</output>
+  </job>
+  <job name="sessionize" maps="60" reduces="6" map-time="30s" reduce-time="2m">
+    <input>/data/stage/extract/part-00000</input>
+    <output>/data/stage/sessions</output>
+  </job>
+  <job name="aggregate" maps="40" reduces="4" map-time="30s" reduce-time="4m">
+    <input>/data/stage/sessions</input>
+    <input>/data/dim/campaigns</input>
+    <output>/data/out/aggregate</output>
+    <after>extract</after>
+  </job>
+</workflow>`
+
+func TestParseXML(t *testing.T) {
+	w, err := ParseXMLString(sampleXML)
+	if err != nil {
+		t.Fatalf("ParseXMLString: %v", err)
+	}
+	if w.Name != "ad-stats" {
+		t.Errorf("Name = %q", w.Name)
+	}
+	if got := w.Release; got != simtime.Epoch.Add(5*time.Minute) {
+		t.Errorf("Release = %v, want 5m", got)
+	}
+	if got := w.RelativeDeadline(); got != 80*time.Minute {
+		t.Errorf("RelativeDeadline = %v, want 80m", got)
+	}
+	if len(w.Jobs) != 3 {
+		t.Fatalf("len(Jobs) = %d, want 3", len(w.Jobs))
+	}
+
+	ex := w.JobByName("extract")
+	if ex.Maps != 120 || ex.Reduces != 12 || ex.MapTime != 45*time.Second || ex.ReduceTime != 3*time.Minute {
+		t.Errorf("extract parsed as %+v", ex)
+	}
+	if len(ex.Prereqs) != 0 {
+		t.Errorf("extract prereqs = %v, want none", ex.Prereqs)
+	}
+
+	// sessionize reads a file *beneath* extract's output directory.
+	se := w.JobByName("sessionize")
+	if len(se.Prereqs) != 1 || se.Prereqs[0] != ex.ID {
+		t.Errorf("sessionize prereqs = %v, want [extract]", se.Prereqs)
+	}
+
+	// aggregate depends on sessionize via path and on extract via <after>.
+	ag := w.JobByName("aggregate")
+	if len(ag.Prereqs) != 2 || ag.Prereqs[0] != ex.ID || ag.Prereqs[1] != se.ID {
+		t.Errorf("aggregate prereqs = %v, want [extract sessionize]", ag.Prereqs)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"notXML", "not xml at all", "parsing XML"},
+		{"noName", `<workflow deadline="1m"><job name="a" maps="1" map-time="1s"><output>/o</output></job></workflow>`, "missing name"},
+		{"noDeadline", `<workflow name="w"><job name="a" maps="1" map-time="1s"/></workflow>`, "missing deadline"},
+		{"badDeadline", `<workflow name="w" deadline="eleven"><job name="a" maps="1" map-time="1s"/></workflow>`, "bad deadline"},
+		{"badRelease", `<workflow name="w" release="x" deadline="1m"><job name="a" maps="1" map-time="1s"/></workflow>`, "bad release"},
+		{"jobNoName", `<workflow name="w" deadline="1m"><job maps="1" map-time="1s"/></workflow>`, "missing name"},
+		{"dupJob", `<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="1s"/><job name="a" maps="1" map-time="1s"/></workflow>`, "duplicate job name"},
+		{"badMapTime", `<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="soon"/></workflow>`, "map-time"},
+		{"badReduceTime", `<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="1s" reduces="1" reduce-time="soon"/></workflow>`, "reduce-time"},
+		{"unknownAfter", `<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="1s"><after>ghost</after></job></workflow>`, "unknown prerequisite"},
+		{"sharedOutput", `<workflow name="w" deadline="1m"><job name="a" maps="1" map-time="1s"><output>/o</output></job><job name="b" maps="1" map-time="1s"><output>/o</output></job></workflow>`, "share output"},
+		{"noTasks", `<workflow name="w" deadline="1m"><job name="a"/></workflow>`, "no tasks"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseXMLString(tc.doc)
+			if err == nil {
+				t.Fatal("ParseXMLString returned nil error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	orig, err := ParseXMLString(sampleXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := MarshalXML(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseXML(strings.NewReader(string(out)))
+	if err != nil {
+		t.Fatalf("reparse: %v\ndocument:\n%s", err, out)
+	}
+	if back.Name != orig.Name || back.Release != orig.Release || back.Deadline != orig.Deadline {
+		t.Errorf("header mismatch: %+v vs %+v", back, orig)
+	}
+	if len(back.Jobs) != len(orig.Jobs) {
+		t.Fatalf("job count %d vs %d", len(back.Jobs), len(orig.Jobs))
+	}
+	for i := range orig.Jobs {
+		o, b := &orig.Jobs[i], &back.Jobs[i]
+		if o.Name != b.Name || o.Maps != b.Maps || o.Reduces != b.Reduces ||
+			o.MapTime != b.MapTime || o.ReduceTime != b.ReduceTime {
+			t.Errorf("job %d mismatch: %+v vs %+v", i, o, b)
+		}
+		if len(o.Prereqs) != len(b.Prereqs) {
+			t.Errorf("job %d prereqs %v vs %v", i, o.Prereqs, b.Prereqs)
+			continue
+		}
+		for k := range o.Prereqs {
+			if o.Prereqs[k] != b.Prereqs[k] {
+				t.Errorf("job %d prereq %d: %v vs %v", i, k, o.Prereqs, b.Prereqs)
+			}
+		}
+	}
+}
+
+func TestRoundTripWithoutPaths(t *testing.T) {
+	// Programmatic workflows have no dataset paths; the DAG must survive the
+	// round trip via <after> elements alone.
+	orig := diamond(t)
+	out, err := MarshalXML(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseXMLString(string(out))
+	if err != nil {
+		t.Fatalf("reparse: %v\ndocument:\n%s", err, out)
+	}
+	for i := range orig.Jobs {
+		o, b := orig.Jobs[i].Prereqs, back.Jobs[i].Prereqs
+		if len(o) != len(b) {
+			t.Fatalf("job %d prereqs %v vs %v", i, o, b)
+		}
+		for k := range o {
+			if o[k] != b[k] {
+				t.Fatalf("job %d prereqs %v vs %v", i, o, b)
+			}
+		}
+	}
+}
+
+func TestPathWithin(t *testing.T) {
+	tests := []struct {
+		p, dir string
+		want   bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a/b/c", "/a/b", true},
+		{"/a/b/c", "/a/b/", true},
+		{"/a/bc", "/a/b", false},
+		{"/a", "/a/b", false},
+		{"/x/y", "/a", false},
+	}
+	for _, tc := range tests {
+		if got := pathWithin(tc.p, tc.dir); got != tc.want {
+			t.Errorf("pathWithin(%q, %q) = %v, want %v", tc.p, tc.dir, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package woha
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/live"
+)
+
+// LiveConfig configures the concurrent mini-Hadoop (see internal/live): the
+// same schedulers running against goroutine TaskTrackers that report over
+// real heartbeat messages instead of discrete events.
+type LiveConfig = live.Config
+
+// LiveResult is the outcome of a live run.
+type LiveResult = live.Result
+
+// LiveSession wires the live cluster to a scheduler, mirroring Session.
+type LiveSession struct {
+	cfg     ClusterConfig
+	liveCfg LiveConfig
+	prio    PriorityPolicy
+	cluster *live.Cluster
+	margin  float64
+}
+
+// NewLiveSession creates a live session. Set UseTCP to route heartbeats over
+// a real TCP loopback connection via net/rpc.
+func NewLiveSession(cfg LiveConfig, sched Scheduler, useTCP bool, opts ...SessionOption) (*LiveSession, error) {
+	o := sessionOptions{margin: 0.85}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pol := o.policy
+	if pol == nil {
+		var err error
+		pol, err = sched.newPolicy(o.seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var (
+		c   *live.Cluster
+		err error
+	)
+	if useTCP {
+		c, err = live.NewTCP(cfg, pol)
+	} else {
+		c, err = live.New(cfg, pol)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &LiveSession{
+		cfg: ClusterConfig{
+			Nodes:              cfg.Nodes,
+			MapSlotsPerNode:    cfg.MapSlotsPerNode,
+			ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		},
+		liveCfg: cfg,
+		prio:    sched.priorityFor(),
+		cluster: c,
+		margin:  o.margin,
+	}, nil
+}
+
+// Submit queues a workflow, generating its plan client-side under WOHA
+// schedulers.
+func (s *LiveSession) Submit(w *Workflow) error {
+	var p *Plan
+	if s.prio != nil {
+		var err error
+		p, err = GeneratePlanTyped(w, s.cfg.MapSlots(), s.cfg.ReduceSlots(), s.prio, s.margin)
+		if err != nil {
+			return fmt.Errorf("woha: %w", err)
+		}
+	}
+	if err := s.cluster.Submit(w, p); err != nil {
+		return fmt.Errorf("woha: %w", err)
+	}
+	return nil
+}
+
+// Run executes the live cluster until every workflow completes or ctx ends,
+// then releases any TCP transport.
+func (s *LiveSession) Run(ctx context.Context) (*LiveResult, error) {
+	res, err := s.cluster.Run(ctx)
+	if cerr := s.cluster.CloseTransport(); err == nil && cerr != nil {
+		err = fmt.Errorf("woha: closing transport: %w", cerr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package woha_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	woha "repro"
+)
+
+func liveCfg() woha.LiveConfig {
+	return woha.LiveConfig{
+		Nodes:              4,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		HeartbeatInterval:  2 * time.Millisecond,
+		TimeScale:          0.0002,
+	}
+}
+
+func TestLiveSessionInProcess(t *testing.T) {
+	sess, err := woha.NewLiveSession(liveCfg(), woha.SchedulerWOHALPF, false, woha.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(etl(t, "w", 2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := sess.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses() != 0 {
+		t.Errorf("missed %d deadlines", res.DeadlineMisses())
+	}
+	if res.TasksStarted != 96 {
+		t.Errorf("TasksStarted = %d, want 96", res.TasksStarted)
+	}
+}
+
+func TestLiveSessionTCP(t *testing.T) {
+	sess, err := woha.NewLiveSession(liveCfg(), woha.SchedulerFIFO, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(etl(t, "w", 2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := sess.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflows[0].Finish == 0 {
+		t.Error("workflow never finished over TCP")
+	}
+}
+
+func TestLiveSessionUnknownScheduler(t *testing.T) {
+	if _, err := woha.NewLiveSession(liveCfg(), "nope", false); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}

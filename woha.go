@@ -1,0 +1,265 @@
+package woha
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Re-exported model types. The internal packages own the implementations;
+// these aliases are the supported public surface.
+type (
+	// Workflow is a deadline-constrained DAG of Map-Reduce jobs.
+	Workflow = workflow.Workflow
+	// Job is one Map-Reduce job ("wjob") inside a workflow.
+	Job = workflow.Job
+	// JobID indexes a job within its workflow.
+	JobID = workflow.JobID
+	// Builder constructs workflows fluently; see NewWorkflow.
+	Builder = workflow.Builder
+
+	// Plan is a WOHA scheduling plan: job ranks plus the progress
+	// requirement list F(ttd).
+	Plan = plan.Plan
+	// PlanReq is one progress requirement entry.
+	PlanReq = plan.Req
+
+	// ClusterConfig describes the simulated Hadoop-1 cluster.
+	ClusterConfig = cluster.Config
+	// Failure is one scripted TaskTracker outage (see ClusterConfig.Failures).
+	Failure = cluster.Failure
+	// Result aggregates a simulation run.
+	Result = cluster.Result
+	// WorkflowResult records one workflow's outcome.
+	WorkflowResult = cluster.WorkflowResult
+	// Policy is the pluggable WorkflowScheduler interface; implement it to
+	// bring your own scheduler, as the paper's framework intends.
+	Policy = cluster.Policy
+	// Observer receives task lifecycle callbacks.
+	Observer = cluster.Observer
+	// SlotType distinguishes map and reduce slots.
+	SlotType = cluster.SlotType
+	// WorkflowState is the runtime state a Policy sees.
+	WorkflowState = cluster.WorkflowState
+
+	// Time is an instant in virtual time.
+	Time = simtime.Time
+
+	// Timeline records per-workflow slot allocation over time.
+	Timeline = metrics.Timeline
+
+	// PriorityPolicy orders jobs within a workflow (HLF, LPF, MPF).
+	PriorityPolicy = priority.Policy
+)
+
+// Slot types.
+const (
+	MapSlot    = cluster.MapSlot
+	ReduceSlot = cluster.ReduceSlot
+)
+
+// NewWorkflow starts building a workflow named name.
+func NewWorkflow(name string) *Builder { return workflow.NewBuilder(name) }
+
+// ParseWorkflowXML reads a workflow from the XML configuration format of the
+// paper (Section III-B), inferring prerequisites from dataset paths.
+func ParseWorkflowXML(r io.Reader) (*Workflow, error) { return workflow.ParseXML(r) }
+
+// MarshalWorkflowXML renders w in the configuration format accepted by
+// ParseWorkflowXML.
+func MarshalWorkflowXML(w *Workflow) ([]byte, error) { return workflow.MarshalXML(w) }
+
+// At converts a duration since the simulation epoch into an instant.
+func At(d time.Duration) Time { return simtime.Epoch.Add(d) }
+
+// Priority policies.
+var (
+	// HLF is Highest Level First.
+	HLF PriorityPolicy = priority.HLF{}
+	// LPF is Longest Path First.
+	LPF PriorityPolicy = priority.LPF{}
+	// MPF is Maximum Parallelism First.
+	MPF PriorityPolicy = priority.MPF{}
+)
+
+// PriorityByName resolves "HLF", "LPF", or "MPF".
+func PriorityByName(name string) (PriorityPolicy, error) { return priority.ByName(name) }
+
+// GeneratePlan produces a workflow's scheduling plan against a cluster with
+// the given total slot count: job ranks under pol plus the progress
+// requirements from the resource-capped Algorithm 1 simulation.
+func GeneratePlan(w *Workflow, clusterSlots int, pol PriorityPolicy) (*Plan, error) {
+	return plan.GenerateCapped(w, clusterSlots, pol)
+}
+
+// GeneratePlanTyped is GeneratePlan with separate map and reduce slot
+// budgets and a safety margin in (0, 1]; it is what the paper-reproduction
+// experiments use (margin 0.85).
+func GeneratePlanTyped(w *Workflow, mapSlots, reduceSlots int, pol PriorityPolicy, margin float64) (*Plan, error) {
+	return plan.GenerateCappedTyped(w, plan.Caps{Maps: mapSlots, Reduces: reduceSlots}, pol, margin)
+}
+
+// Scheduler identifies one of the built-in workflow schedulers.
+type Scheduler string
+
+// Built-in schedulers: the paper's WOHA progress-based scheduler with each
+// intra-workflow priority policy, plus the three ported baselines.
+const (
+	SchedulerWOHALPF Scheduler = "WOHA-LPF"
+	SchedulerWOHAHLF Scheduler = "WOHA-HLF"
+	SchedulerWOHAMPF Scheduler = "WOHA-MPF"
+	SchedulerFIFO    Scheduler = "FIFO"
+	SchedulerFair    Scheduler = "Fair"
+	SchedulerEDF     Scheduler = "EDF"
+)
+
+// Schedulers lists every built-in scheduler name.
+func Schedulers() []Scheduler {
+	return []Scheduler{
+		SchedulerEDF, SchedulerFIFO, SchedulerFair,
+		SchedulerWOHALPF, SchedulerWOHAHLF, SchedulerWOHAMPF,
+	}
+}
+
+// priorityFor returns the WOHA intra-workflow policy, or nil for baselines.
+func (s Scheduler) priorityFor() PriorityPolicy {
+	switch s {
+	case SchedulerWOHALPF:
+		return LPF
+	case SchedulerWOHAHLF:
+		return HLF
+	case SchedulerWOHAMPF:
+		return MPF
+	default:
+		return nil
+	}
+}
+
+// newPolicy instantiates the scheduler.
+func (s Scheduler) newPolicy(seed int64) (cluster.Policy, error) {
+	switch s {
+	case SchedulerFIFO:
+		return scheduler.NewFIFO(), nil
+	case SchedulerFair:
+		return scheduler.NewFair(), nil
+	case SchedulerEDF:
+		return scheduler.NewEDF(), nil
+	case SchedulerWOHALPF, SchedulerWOHAHLF, SchedulerWOHAMPF:
+		return core.NewScheduler(core.Options{
+			Seed:       seed,
+			PolicyName: s.priorityFor().Name(),
+		}), nil
+	default:
+		return nil, fmt.Errorf("woha: unknown scheduler %q", s)
+	}
+}
+
+// SessionOption customizes a Session.
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	seed     int64
+	margin   float64
+	observer Observer
+	policy   Policy
+}
+
+// WithSeed sets the seed for the scheduler's internal PRNG.
+func WithSeed(seed int64) SessionOption {
+	return func(o *sessionOptions) { o.seed = seed }
+}
+
+// WithPlanMargin sets the safety margin used when Submit generates plans
+// (default 0.85; see plan.GenerateCappedMargin).
+func WithPlanMargin(margin float64) SessionOption {
+	return func(o *sessionOptions) { o.margin = margin }
+}
+
+// WithObserver attaches a task lifecycle observer (e.g. NewTimeline()).
+func WithObserver(obs Observer) SessionOption {
+	return func(o *sessionOptions) { o.observer = obs }
+}
+
+// WithPolicy runs the session under a custom Policy implementation instead
+// of a built-in scheduler, mirroring the paper's pluggable WorkflowScheduler.
+func WithPolicy(p Policy) SessionOption {
+	return func(o *sessionOptions) { o.policy = p }
+}
+
+// NewTimeline returns a slot-allocation recorder to pass to WithObserver.
+func NewTimeline() *Timeline { return metrics.NewTimeline() }
+
+// Session wires a simulated cluster to a scheduler and accepts workflow
+// submissions. It mirrors the paper's submission pipeline: for WOHA
+// schedulers, Submit plays the client role and generates the workflow's
+// resource-capped scheduling plan before handing both to the JobTracker.
+type Session struct {
+	cfg   ClusterConfig
+	sched Scheduler
+	prio  PriorityPolicy
+	sim   *cluster.Simulator
+	opts  sessionOptions
+}
+
+// NewSession creates a session on a cluster configured by cfg under the
+// named scheduler.
+func NewSession(cfg ClusterConfig, sched Scheduler, opts ...SessionOption) (*Session, error) {
+	o := sessionOptions{margin: 0.85}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pol := o.policy
+	if pol == nil {
+		var err error
+		pol, err = sched.newPolicy(o.seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sim, err := cluster.New(cfg, pol, o.observer)
+	if err != nil {
+		return nil, fmt.Errorf("woha: %w", err)
+	}
+	return &Session{cfg: cfg, sched: sched, prio: sched.priorityFor(), sim: sim, opts: o}, nil
+}
+
+// Submit queues a workflow. Under a WOHA scheduler the session generates the
+// workflow's typed, resource-capped scheduling plan client-side; baselines
+// receive no plan, as in the paper.
+func (s *Session) Submit(w *Workflow) error {
+	var p *Plan
+	if s.prio != nil && s.opts.policy == nil {
+		var err error
+		p, err = GeneratePlanTyped(w, s.cfg.MapSlots(), s.cfg.ReduceSlots(), s.prio, s.opts.margin)
+		if err != nil {
+			return fmt.Errorf("woha: %w", err)
+		}
+	}
+	return s.SubmitWithPlan(w, p)
+}
+
+// SubmitWithPlan queues a workflow with a caller-provided plan (may be nil).
+func (s *Session) SubmitWithPlan(w *Workflow, p *Plan) error {
+	if err := s.sim.Submit(w, p); err != nil {
+		return fmt.Errorf("woha: %w", err)
+	}
+	return nil
+}
+
+// Run executes the simulation to completion. It may be called once.
+func (s *Session) Run() (*Result, error) {
+	res, err := s.sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("woha: %w", err)
+	}
+	return res, nil
+}
