@@ -1,10 +1,11 @@
 // Command wohabench regenerates the WOHA paper's evaluation figures on the
 // simulated cluster and prints each as a table. With -timeline-dir it also
-// writes the Fig 14-19 slot-allocation CSVs.
+// writes the Fig 14-19 slot-allocation CSVs, and with -trace-out it records
+// the Fig 11 scenario as a Chrome trace-event file for Perfetto.
 //
 // Usage:
 //
-//	wohabench [-fig all|2|3|5|6|8|9|10|11|12|13a|13b] [-timeline-dir DIR]
+//	wohabench [-fig all|2|3|5|6|8|9|10|11|12|13a|13b] [-timeline-dir DIR] [-trace-out FILE]
 package main
 
 import (
@@ -14,18 +15,69 @@ import (
 	"os"
 	"path/filepath"
 
+	woha "repro"
 	"repro/internal/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (all, 2, 3, 5, 6, 8, 9, 10, 11, 12, 13a, 13b, ablations)")
 	timelineDir := flag.String("timeline-dir", "", "directory to write Fig 14-19 CSVs into (empty = skip)")
+	traceOut := flag.String("trace-out", "", "record the Fig 11 scenario under WOHA-LPF as Chrome trace-event JSON to this file (open in ui.perfetto.dev)")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		if *fig == "all" && *timelineDir == "" {
+			return // -trace-out alone: skip the full figure sweep
+		}
+	}
 
 	if err := run(*fig, *timelineDir, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wohabench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace replays the Fig 11 workload (the 33-job demo topology x3) under
+// WOHA-LPF with event capture on and renders the run as a Perfetto-loadable
+// trace with per-tracker and per-workflow tracks.
+func writeTrace(path string, out io.Writer) error {
+	ring := woha.NewEventRing(1 << 16)
+	ins := woha.NewInstrumentation(nil, ring)
+	sess, err := woha.NewSession(woha.ClusterConfig{
+		Nodes:              32,
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+	}, woha.SchedulerWOHALPF, woha.WithInstrumentation(ins))
+	if err != nil {
+		return err
+	}
+	for _, w := range experiments.DefaultFig11Config().Flows() {
+		if err := sess.Submit(w); err != nil {
+			return err
+		}
+	}
+	if _, err := sess.Run(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := ring.Events()
+	if err := woha.WriteTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: %d events written to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+		len(events), path)
+	return nil
 }
 
 var validFigs = map[string]bool{

@@ -17,10 +17,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	woha "repro"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/live"
 	"repro/internal/metrics"
@@ -42,11 +46,32 @@ func main() {
 		timeline     = flag.String("timeline", "", "write map-slot allocation CSV to this file")
 		liveMode     = flag.Bool("live", false, "run on the concurrent live mini-Hadoop instead of the discrete-event simulator")
 		timeScale    = flag.Float64("time-scale", 0.001, "live mode: wall seconds per virtual second")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
 	)
 	flag.Parse()
 
+	var (
+		ins   *woha.Instrumentation
+		mserv *metricsServer
+	)
+	if *metricsAddr != "" {
+		reg := woha.NewMetrics()
+		ins = woha.NewInstrumentation(reg, nil)
+		var err error
+		mserv, err = startMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wohasim:", err)
+			os.Exit(1)
+		}
+		defer mserv.close()
+	}
+
 	if *liveMode {
-		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *timeScale); err != nil {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *timeScale, ins); err != nil {
+			fmt.Fprintln(os.Stderr, "wohasim:", err)
+			os.Exit(1)
+		}
+		if err := mserv.dump(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
@@ -61,20 +86,66 @@ func main() {
 		SubmitterOverhead:  *submitter,
 		Noise:              *noise,
 		Seed:               *seed,
-	}, *timeline); err != nil {
+	}, *timeline, ins); err != nil {
+		fmt.Fprintln(os.Stderr, "wohasim:", err)
+		os.Exit(1)
+	}
+	if err := mserv.dump(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string) error {
+// metricsServer exposes a registry at /metrics over a real TCP listener for
+// the duration of the run.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func startMetrics(addr string, reg *woha.Metrics) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
+	return &metricsServer{ln: ln, srv: srv}, nil
+}
+
+// dump scrapes the endpoint over HTTP — through the real listener, proving
+// the exposition is served, not just renderable — and copies it to w.
+func (m *metricsServer) dump(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	resp, err := http.Get("http://" + m.ln.Addr().String() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: scraping: %w", err)
+	}
+	defer resp.Body.Close()
+	fmt.Fprintf(w, "--- final scrape of http://%s/metrics ---\n", m.ln.Addr())
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (m *metricsServer) close() {
+	if m != nil {
+		m.srv.Close()
+	}
+}
+
+func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
 	}
 
 	var tl *metrics.Timeline
-	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed)}
+	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins)}
 	if timelinePath != "" {
 		tl = woha.NewTimeline()
 		opts = append(opts, woha.WithObserver(tl))
@@ -124,7 +195,7 @@ func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath st
 }
 
 // runLive executes the workload on the concurrent mini-Hadoop.
-func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, timeScale float64) error {
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, timeScale float64, ins *woha.Instrumentation) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -139,8 +210,9 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, t
 		ReduceSlotsPerNode: reduceSlots,
 		HeartbeatInterval:  5 * time.Millisecond,
 		TimeScale:          timeScale,
+		Obs:                ins,
 	}
-	c, err := live.New(cfg, spec.New(1))
+	c, err := live.New(cfg, cluster.InstrumentPolicy(spec.New(1), ins))
 	if err != nil {
 		return err
 	}
@@ -153,6 +225,7 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, t
 			if err != nil {
 				return err
 			}
+			ins.PlanGenerated(w.Release, w.Name, p.SearchIters)
 		}
 		if err := c.Submit(w, p); err != nil {
 			return err

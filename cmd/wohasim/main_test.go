@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -29,7 +31,7 @@ func clusterCfg() woha.ClusterConfig {
 
 func TestRunXMLWorkload(t *testing.T) {
 	timeline := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(timeline); err != nil {
@@ -38,10 +40,10 @@ func TestRunXMLWorkload(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), ""); err == nil {
+	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil); err == nil {
 		t.Error("missing workload accepted")
 	}
-	if err := run(writeXML(t), "Mystery", clusterCfg(), ""); err == nil {
+	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -49,10 +51,48 @@ func TestRunErrors(t *testing.T) {
 func TestRunLiveXMLWorkload(t *testing.T) {
 	// Run the XML workload on the live mini-Hadoop at a steep compression.
 	start := time.Now()
-	if err := runLive(writeXML(t), "FIFO", 4, 2, 1, 0.00005); err != nil {
+	if err := runLive(writeXML(t), "FIFO", 4, 2, 1, 0.00005, nil); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > 20*time.Second {
 		t.Errorf("live run took %v", time.Since(start))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	// -metrics-addr :0 equivalent: serve on an ephemeral port, run an
+	// instrumented simulation, then scrape the endpoint over real HTTP.
+	reg := woha.NewMetrics()
+	ins := woha.NewInstrumentation(reg, nil)
+	srv, err := startMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := srv.dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, name := range []string{
+		"woha_heartbeat_duration_seconds",
+		"woha_tasks_assigned_total",
+		"woha_workflows_deadline_missed_total",
+	} {
+		if !strings.Contains(scrape, name) {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
+	// The run assigned tasks, so the counter must be non-zero.
+	if !regexp.MustCompile(`(?m)^woha_tasks_assigned_total [1-9]`).MatchString(scrape) {
+		t.Errorf("woha_tasks_assigned_total not incremented:\n%s", scrape)
+	}
+	if !strings.Contains(scrape, "# TYPE woha_heartbeat_duration_seconds histogram") {
+		t.Errorf("heartbeat histogram TYPE line missing:\n%s", scrape)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/simtime"
 	"repro/internal/workflow"
@@ -38,6 +39,12 @@ type Simulator struct {
 	makespan            simtime.Time
 	localMaps           int
 	remoteMaps          int
+
+	// ins is the optional runtime instrumentation; evCount holds the
+	// per-kind simulated-event counters (nil entries when uninstrumented —
+	// obs counters no-op on nil).
+	ins     *obs.Obs
+	evCount [numEventKinds]*obs.Counter
 
 	ran bool
 }
@@ -118,7 +125,14 @@ const (
 	evRecover
 	// evRetry re-runs dispatch after a delay-scheduling wait expires.
 	evRetry
+
+	numEventKinds
 )
+
+// eventKindNames label the woha_sim_events_total counter series.
+var eventKindNames = [numEventKinds]string{
+	"arrival", "activate", "complete", "heartbeat", "fail", "recover", "retry",
+}
 
 // New returns a simulator for the given cluster configuration and policy.
 // obs may be nil.
@@ -184,6 +198,21 @@ func New(cfg Config, pol Policy, obs Observer) (*Simulator, error) {
 	return s, nil
 }
 
+// SetInstrumentation attaches the runtime observability bundle: simulated
+// event counters, task-assignment and workflow lifecycle events, and
+// heartbeat dispatch latency. Call before Run; a nil o (the default) keeps
+// the hot paths at a single nil check.
+func (s *Simulator) SetInstrumentation(o *obs.Obs) {
+	s.ins = o
+	if o == nil {
+		s.evCount = [numEventKinds]*obs.Counter{}
+		return
+	}
+	for k, name := range eventKindNames {
+		s.evCount[k] = o.SimEventCounter(name)
+	}
+}
+
 // Submit queues a workflow for arrival at its release time. p is the WOHA
 // scheduling plan and may be nil for policies that do not use one. Submit
 // must be called before Run.
@@ -243,6 +272,7 @@ func (s *Simulator) Run() (*Result, error) {
 	for s.events.Len() > 0 {
 		at, e, _ := s.events.Pop()
 		s.now = at
+		s.evCount[e.kind].Inc()
 		switch e.kind {
 		case evArrival:
 			s.arrive(e.wf)
@@ -277,6 +307,7 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) arrive(wf int) {
 	ws := s.states[wf]
 	s.arrivalsLeft--
+	s.ins.WorkflowSubmitted(s.now, wf, ws.Spec.Name)
 	s.pol.WorkflowAdded(ws, s.now)
 	// Activate every root before offering slots, so the policy sees the
 	// whole ready set when the first slot is dispatched.
@@ -308,6 +339,7 @@ func (s *Simulator) activateNow(wf int, job workflow.JobID) {
 	js := &ws.Jobs[job]
 	js.Ready = true
 	js.ActivatedAt = s.now
+	s.ins.JobActivated(s.now, wf, int(job))
 	s.pol.JobActivated(ws, job, s.now)
 }
 
@@ -351,6 +383,13 @@ func (s *Simulator) complete(e event) {
 		ws.Done = true
 		ws.FinishTime = s.now
 		s.doneCount++
+		if s.ins != nil {
+			var tardiness time.Duration
+			if s.now > ws.Spec.Deadline {
+				tardiness = s.now.Sub(ws.Spec.Deadline)
+			}
+			s.ins.WorkflowCompleted(s.now, ws.Index, ws.Spec.Name, tardiness)
+		}
 		s.pol.WorkflowCompleted(ws, s.now)
 	}
 	s.makespan = simtime.MaxOf(s.makespan, s.now)
@@ -368,7 +407,18 @@ func (s *Simulator) jobCompleted(ws *WorkflowState, job workflow.JobID) {
 }
 
 func (s *Simulator) heartbeat(node int) {
+	var t0 time.Time
+	started := 0
+	if s.ins != nil {
+		t0 = time.Now()
+		started = s.tasksStarted
+	}
 	s.dispatchNode(node)
+	if s.ins != nil {
+		// The wall-clock cost of one heartbeat's worth of scheduling
+		// decisions — the quantity WOHA's O(1)-per-heartbeat claim is about.
+		s.ins.HeartbeatServed(s.now, node, time.Since(t0), s.tasksStarted-started)
+	}
 	if s.doneCount < len(s.states) || s.arrivalsLeft > 0 {
 		s.events.Push(s.now.Add(s.cfg.HeartbeatInterval), event{kind: evHeartbeat, node: node})
 	}
@@ -533,6 +583,7 @@ func (s *Simulator) offer(node int, st SlotType) bool {
 		s.reduceBusy += dur
 	}
 	s.pol.TaskStarted(ws, job, st, s.now)
+	s.ins.TaskAssigned(s.now, ws.Index, int(job), int(st), node, dur)
 	if s.obs != nil {
 		s.obs.TaskStarted(s.now, ws, job, st, dur)
 	}

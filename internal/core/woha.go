@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/priority"
 	"repro/internal/simtime"
@@ -93,6 +94,10 @@ type Options struct {
 	// Plans normally carry the policy name already; this is a display
 	// override for workflows scheduled without plans.
 	PolicyName string
+	// Obs attaches runtime observability to the scheduler's inter-workflow
+	// queue (insert/delete/head-hit counts, lag recomputations, labeled by
+	// the queue backend). nil disables instrumentation (the default).
+	Obs *obs.Obs
 }
 
 // Scheduler is the WOHA progress-based workflow scheduler: a cluster.Policy
@@ -120,9 +125,11 @@ var _ cluster.Policy = (*Scheduler)(nil)
 
 // NewScheduler returns a WOHA scheduler with the given options.
 func NewScheduler(opts Options) *Scheduler {
+	q := opts.Queue.newQueue(opts.Seed)
+	q.Instrument(opts.Obs.NewQueueStats(opts.Queue.String()))
 	return &Scheduler{
 		opts:  opts,
-		queue: opts.Queue.newQueue(opts.Seed),
+		queue: q,
 		byID:  make(map[int]*cluster.WorkflowState),
 		ranks: make(map[int][]int),
 	}

@@ -26,6 +26,7 @@ package dsl
 
 import (
 	"repro/internal/avl"
+	"repro/internal/obs"
 	"repro/internal/ordered"
 	"repro/internal/plan"
 	"repro/internal/simtime"
@@ -193,6 +194,10 @@ type Queue interface {
 	Ascend(now simtime.Time, fn func(e *Entry) bool)
 	// Len returns the number of queued workflows.
 	Len() int
+	// Instrument attaches per-operation observability counters (insert,
+	// delete, head hit, lag recomputation). nil disables (the default); the
+	// instrumented path costs one nil check per operation.
+	Instrument(stats *obs.QueueStats)
 }
 
 // ctKey orders the ct list by next-change time, ties by workflow ID.
@@ -226,6 +231,7 @@ type List struct {
 	ct      ordered.Set[ctKey]
 	prio    ordered.Set[prioKey]
 	entries map[int]*Entry
+	stats   *obs.QueueStats
 }
 
 var _ Queue = (*List)(nil)
@@ -265,8 +271,12 @@ func NewDeterministic() *List {
 // Len implements Queue.
 func (l *List) Len() int { return len(l.entries) }
 
+// Instrument implements Queue.
+func (l *List) Instrument(stats *obs.QueueStats) { l.stats = stats }
+
 // Add implements Queue.
 func (l *List) Add(e *Entry, now simtime.Time) {
+	l.stats.OnInsert(now, e.ID)
 	e.refresh(now)
 	l.entries[e.ID] = e
 	if e.nextChange != simtime.MaxTime {
@@ -289,21 +299,26 @@ func (l *List) Remove(id int) bool {
 		l.ct.Delete(ctKey{t: e.nextChange, id: e.ID})
 	}
 	l.prio.Delete(prioKey{p: e.prio, id: e.ID})
+	l.stats.OnDelete(simtime.Epoch, id)
 	return true
 }
 
 // settle re-prioritizes every workflow whose next requirement change fired at
-// or before now — the while loop of Algorithm 2 (lines 4-19).
-func (l *List) settle(now simtime.Time) {
+// or before now — the while loop of Algorithm 2 (lines 4-19). It returns the
+// number of entries re-prioritized; zero is the O(1) head-read fast path.
+func (l *List) settle(now simtime.Time) int {
+	moved := 0
 	for {
 		k, ok := l.ct.Min()
 		if !ok || k.t > now {
-			return
+			l.stats.OnLagRecomputes(moved)
+			return moved
 		}
 		l.ct.DeleteMin()
 		e := l.entries[k.id]
 		l.prio.Delete(prioKey{p: e.prio, id: e.ID})
 		e.refresh(now)
+		moved++
 		if e.nextChange != simtime.MaxTime {
 			l.ct.Insert(ctKey{t: e.nextChange, id: e.ID})
 			e.inCT = true
@@ -316,11 +331,12 @@ func (l *List) settle(now simtime.Time) {
 
 // Best implements Queue.
 func (l *List) Best(now simtime.Time) (*Entry, bool) {
-	l.settle(now)
+	settled := l.settle(now)
 	k, ok := l.prio.Min()
 	if !ok {
 		return nil, false
 	}
+	l.stats.OnHeadHit(now, k.id, settled)
 	return l.entries[k.id], true
 }
 
@@ -347,8 +363,14 @@ func (l *List) adjustProgress(id, delta int) {
 
 // Ascend implements Queue.
 func (l *List) Ascend(now simtime.Time, fn func(e *Entry) bool) {
-	l.settle(now)
+	settled := l.settle(now)
+	first := true
 	l.prio.Ascend(func(k prioKey) bool {
+		if first {
+			// The first visited entry is a head read, same as Best.
+			first = false
+			l.stats.OnHeadHit(now, k.id, settled)
+		}
 		return fn(l.entries[k.id])
 	})
 }

@@ -3,6 +3,7 @@ package dsl
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -12,6 +13,7 @@ import (
 // slot free-up. Fig 13(a) shows it collapsing beyond ~10k queued workflows.
 type Naive struct {
 	entries map[int]*Entry
+	stats   *obs.QueueStats
 }
 
 var _ Queue = (*Naive)(nil)
@@ -24,8 +26,12 @@ func NewNaive() *Naive {
 // Len implements Queue.
 func (n *Naive) Len() int { return len(n.entries) }
 
+// Instrument implements Queue.
+func (n *Naive) Instrument(stats *obs.QueueStats) { n.stats = stats }
+
 // Add implements Queue.
 func (n *Naive) Add(e *Entry, now simtime.Time) {
+	n.stats.OnInsert(now, e.ID)
 	e.refresh(now)
 	n.entries[e.ID] = e
 }
@@ -36,10 +42,12 @@ func (n *Naive) Remove(id int) bool {
 		return false
 	}
 	delete(n.entries, id)
+	n.stats.OnDelete(simtime.Epoch, id)
 	return true
 }
 
-// Best implements Queue. It recomputes every entry's priority.
+// Best implements Queue. It recomputes every entry's priority — the O(n_w)
+// rescan the DSL exists to avoid; no head hits are ever recorded here.
 func (n *Naive) Best(now simtime.Time) (*Entry, bool) {
 	var best *Entry
 	for _, e := range n.entries {
@@ -48,6 +56,7 @@ func (n *Naive) Best(now simtime.Time) (*Entry, bool) {
 			best = e
 		}
 	}
+	n.stats.OnLagRecomputes(len(n.entries))
 	return best, best != nil
 }
 
@@ -74,6 +83,7 @@ func (n *Naive) Ascend(now simtime.Time, fn func(e *Entry) bool) {
 		e.refresh(now)
 		all = append(all, e)
 	}
+	n.stats.OnLagRecomputes(len(all))
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].prio != all[j].prio {
 			return all[i].prio > all[j].prio

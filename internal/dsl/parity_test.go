@@ -1,0 +1,124 @@
+package dsl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+)
+
+// parityReqs builds the progress requirement list for one synthetic workflow:
+// total tasks spread over a few deadline checkpoints.
+func parityReqs(total int, deadline time.Duration) []plan.Req {
+	return []plan.Req{
+		{TTD: deadline * 3 / 4, Cum: total / 4},
+		{TTD: deadline / 2, Cum: total / 2},
+		{TTD: deadline / 4, Cum: 3 * total / 4},
+		{TTD: 0, Cum: total},
+	}
+}
+
+// parityEntry builds workflow i's entry. Entries are stateful (rho, cached
+// prio), so the DSL and the naive queue each get their own copy.
+func parityEntry(i int) *Entry {
+	deadline := time.Duration(10+3*i) * time.Minute
+	total := 8 + 4*(i%5)
+	return NewEntry(i, simtime.Epoch.Add(deadline), parityReqs(total, deadline))
+}
+
+// TestDSLNaiveParity drives the DSL and the naive rescan queue through an
+// identical schedule of adds, Best reads, progress updates, and removals, and
+// requires (1) identical head decisions at every step — the two backends are
+// semantically interchangeable — and (2) strictly more lag recomputations in
+// the naive queue per its obs counters, the cost difference the DSL exists to
+// eliminate (Fig 13a, observable at runtime).
+func TestDSLNaiveParity(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), nil)
+	dslStats := o.NewQueueStats("DSL")
+	naiveStats := o.NewQueueStats("Naive")
+
+	dq := New(42)
+	nq := NewNaive()
+	dq.Instrument(dslStats)
+	nq.Instrument(naiveStats)
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		now := simtime.Epoch.Add(time.Duration(i) * time.Second)
+		dq.Add(parityEntry(i), now)
+		nq.Add(parityEntry(i), now)
+	}
+
+	// Interleave head reads, scheduling progress on the chosen head, and
+	// removals at advancing times so lags keep changing.
+	removedAt := map[int]bool{}
+	for step := 0; step < 200; step++ {
+		now := simtime.Epoch.Add(time.Duration(step) * 7 * time.Second)
+		db, dok := dq.Best(now)
+		nb, nok := nq.Best(now)
+		if dok != nok {
+			t.Fatalf("step %d: Best ok mismatch: dsl=%v naive=%v", step, dok, nok)
+		}
+		if !dok {
+			break
+		}
+		if db.ID != nb.ID {
+			t.Fatalf("step %d: head mismatch: dsl=%d (lag %d) naive=%d (lag %d)",
+				step, db.ID, db.Lag(), nb.ID, nb.Lag())
+		}
+		// Advance the head's progress in both queues.
+		dq.Scheduled(db.ID, now)
+		nq.Scheduled(db.ID, now)
+		// Periodically remove a workflow, as completions do.
+		if step%17 == 16 {
+			victim := db.ID
+			if dq.Remove(victim) != nq.Remove(victim) {
+				t.Fatalf("step %d: Remove(%d) disagreed", step, victim)
+			}
+			removedAt[victim] = true
+		}
+	}
+
+	if dq.Len() != nq.Len() {
+		t.Errorf("final lengths differ: dsl=%d naive=%d", dq.Len(), nq.Len())
+	}
+
+	dslRecomputes := dslStats.LagRecomputes.Value()
+	naiveRecomputes := naiveStats.LagRecomputes.Value()
+	if naiveRecomputes <= dslRecomputes {
+		t.Errorf("naive lag recomputations (%d) not strictly greater than DSL's (%d)",
+			naiveRecomputes, dslRecomputes)
+	}
+	// The DSL serves heads from its priority list; the naive queue never can.
+	if dslStats.HeadHits.Value() == 0 {
+		t.Error("DSL recorded no head hits")
+	}
+	if naiveStats.HeadHits.Value() != 0 {
+		t.Errorf("naive queue recorded %d head hits, want 0 (it always rescans)",
+			naiveStats.HeadHits.Value())
+	}
+	if got, want := dslStats.Inserts.Value(), int64(12); got != want {
+		t.Errorf("DSL inserts = %d, want %d", got, want)
+	}
+	if got, want := naiveStats.Deletes.Value(), int64(len(removedAt)); got != want {
+		t.Errorf("naive deletes = %d, want %d", got, want)
+	}
+}
+
+// TestQueueInstrumentNilIsSafe verifies both backends run uninstrumented with
+// a nil stats handle (the default).
+func TestQueueInstrumentNilIsSafe(t *testing.T) {
+	for _, q := range []Queue{New(1), NewNaive()} {
+		q.Instrument(nil)
+		q.Add(parityEntry(0), simtime.Epoch)
+		if _, ok := q.Best(simtime.Epoch); !ok {
+			t.Fatal("Best found nothing")
+		}
+		q.Scheduled(0, simtime.Epoch)
+		if !q.Remove(0) {
+			t.Fatal("Remove failed")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/simtime"
 	"repro/internal/workflow"
@@ -33,11 +34,15 @@ type JobTracker struct {
 	// scheduling trigger, as in Hadoop).
 	released []bool
 
+	// ins is the optional runtime instrumentation; all its methods no-op on
+	// a nil receiver, so the uninstrumented hot path pays one nil check.
+	ins *obs.Obs
+
 	done chan struct{}
 }
 
 func newJobTracker(cfg Config, pol cluster.Policy) *JobTracker {
-	return &JobTracker{cfg: cfg, pol: pol, done: make(chan struct{})}
+	return &JobTracker{cfg: cfg, pol: pol, ins: cfg.Obs, done: make(chan struct{})}
 }
 
 // register records a workflow before the cluster starts.
@@ -73,9 +78,23 @@ func (jt *JobTracker) start() {
 	// initialize root readiness at release time in releaseDue.
 }
 
+// ensureClock stamps the clock origin if start() has not run, so heartbeats
+// delivered outside Run (see Cluster.DeliverHeartbeat) see sane virtual time.
+func (jt *JobTracker) ensureClock() {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if jt.clock.start.IsZero() {
+		jt.clock = virtualClock{start: time.Now(), scale: jt.cfg.TimeScale}
+	}
+}
+
 // Heartbeat is the single RPC of the control plane: a tracker reports
 // completions and free slots; the JobTracker returns assignments.
 func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
+	var t0 time.Time
+	if jt.ins != nil {
+		t0 = time.Now()
+	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	now := jt.clock.now()
@@ -86,7 +105,7 @@ func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
 	var out []Assignment
 	freeMaps, freeReds := hb.FreeMaps, hb.FreeReds
 	for freeMaps > 0 {
-		a, ok := jt.assign(cluster.MapSlot, now)
+		a, ok := jt.assign(cluster.MapSlot, hb.Tracker, now)
 		if !ok {
 			break
 		}
@@ -94,12 +113,15 @@ func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
 		freeMaps--
 	}
 	for freeReds > 0 {
-		a, ok := jt.assign(cluster.ReduceSlot, now)
+		a, ok := jt.assign(cluster.ReduceSlot, hb.Tracker, now)
 		if !ok {
 			break
 		}
 		out = append(out, a)
 		freeReds--
+	}
+	if jt.ins != nil {
+		jt.ins.HeartbeatServed(now, hb.Tracker, time.Since(t0), len(out))
 	}
 	return out
 }
@@ -112,6 +134,7 @@ func (jt *JobTracker) releaseDue(now simtime.Time) {
 			continue
 		}
 		jt.released[i] = true
+		jt.ins.WorkflowSubmitted(now, ws.Index, ws.Spec.Name)
 		jt.pol.WorkflowAdded(ws, now)
 		for _, r := range ws.Spec.Roots() {
 			jt.activate(ws, r, now)
@@ -123,11 +146,13 @@ func (jt *JobTracker) activate(ws *cluster.WorkflowState, job workflow.JobID, no
 	js := &ws.Jobs[job]
 	js.Ready = true
 	js.ActivatedAt = now
+	jt.ins.JobActivated(now, ws.Index, int(job))
 	jt.pol.JobActivated(ws, job, now)
 }
 
-// assign asks the policy for one task of the given slot type.
-func (jt *JobTracker) assign(st cluster.SlotType, now simtime.Time) (Assignment, bool) {
+// assign asks the policy for one task of the given slot type on behalf of
+// the given tracker.
+func (jt *JobTracker) assign(st cluster.SlotType, tracker int, now simtime.Time) (Assignment, bool) {
 	ws, job, ok := jt.pol.NextTask(now, st)
 	if !ok {
 		return Assignment{}, false
@@ -147,6 +172,7 @@ func (jt *JobTracker) assign(st cluster.SlotType, now simtime.Time) (Assignment,
 	ws.RunningTasks++
 	jt.started++
 	jt.seq++
+	jt.ins.TaskAssigned(now, ws.Index, int(job), int(st), tracker, dur)
 	jt.pol.TaskStarted(ws, job, st, now)
 	return Assignment{
 		ID:       TaskID{Workflow: ws.Index, Job: job, Type: st, Seq: jt.seq},
@@ -178,6 +204,13 @@ func (jt *JobTracker) complete(id TaskID, now simtime.Time) {
 		ws.Done = true
 		ws.FinishTime = now
 		jt.finish[ws.Index] = now
+		if jt.ins != nil {
+			var tardiness time.Duration
+			if now > ws.Spec.Deadline {
+				tardiness = now.Sub(ws.Spec.Deadline)
+			}
+			jt.ins.WorkflowCompleted(now, ws.Index, ws.Spec.Name, tardiness)
+		}
 		jt.pol.WorkflowCompleted(ws, now)
 		jt.remaining--
 		if jt.remaining == 0 {

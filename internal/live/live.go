@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/simtime"
 	"repro/internal/workflow"
@@ -39,18 +40,32 @@ type Config struct {
 	// estimated at D runs for D * TimeScale. 0.001 runs a 10-second task
 	// in 10ms.
 	TimeScale float64
+	// Obs attaches runtime observability to the JobTracker: heartbeat
+	// latency and assignment histograms, task-assignment and workflow
+	// lifecycle events. nil disables instrumentation (the default).
+	Obs *obs.Obs
 }
 
+// validate checks the cluster shape. Every violation reports in the uniform
+// form "live: <field> = <value>, want <constraint>".
 func (c Config) validate() error {
-	if c.Nodes <= 0 || c.MapSlotsPerNode < 0 || c.ReduceSlotsPerNode < 0 ||
-		c.MapSlotsPerNode+c.ReduceSlotsPerNode == 0 {
-		return fmt.Errorf("live: bad cluster shape %+v", c)
+	if c.Nodes <= 0 {
+		return fmt.Errorf("live: Nodes = %d, want > 0", c.Nodes)
+	}
+	if c.MapSlotsPerNode < 0 {
+		return fmt.Errorf("live: MapSlotsPerNode = %d, want >= 0", c.MapSlotsPerNode)
+	}
+	if c.ReduceSlotsPerNode < 0 {
+		return fmt.Errorf("live: ReduceSlotsPerNode = %d, want >= 0", c.ReduceSlotsPerNode)
+	}
+	if c.MapSlotsPerNode+c.ReduceSlotsPerNode == 0 {
+		return fmt.Errorf("live: MapSlotsPerNode+ReduceSlotsPerNode = 0, want > 0")
 	}
 	if c.HeartbeatInterval <= 0 {
-		return fmt.Errorf("live: heartbeat interval %v, want > 0", c.HeartbeatInterval)
+		return fmt.Errorf("live: HeartbeatInterval = %v, want > 0", c.HeartbeatInterval)
 	}
 	if c.TimeScale <= 0 {
-		return fmt.Errorf("live: time scale %v, want > 0", c.TimeScale)
+		return fmt.Errorf("live: TimeScale = %v, want > 0", c.TimeScale)
 	}
 	return nil
 }
@@ -122,6 +137,16 @@ func (c *Cluster) Submit(w *workflow.Workflow, p *plan.Plan) error {
 	}
 	c.jt.register(w, p)
 	return nil
+}
+
+// DeliverHeartbeat injects one heartbeat directly into the JobTracker,
+// bypassing the TaskTracker goroutines and any transport. It exists for
+// benchmarks and tests that measure the scheduling path in isolation; the
+// virtual clock is stamped lazily on first use so the cluster need not be
+// started.
+func (c *Cluster) DeliverHeartbeat(hb Heartbeat) []Assignment {
+	c.jt.ensureClock()
+	return c.jt.Heartbeat(hb)
 }
 
 // Run starts the cluster, waits until every submitted workflow completes (or

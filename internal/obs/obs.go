@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Standard metric names (the contract OBSERVABILITY.md documents).
+const (
+	MetricHeartbeatDuration    = "woha_heartbeat_duration_seconds"
+	MetricHeartbeatAssignments = "woha_heartbeat_assignments"
+	MetricHeartbeats           = "woha_heartbeats_total"
+	MetricTasksAssigned        = "woha_tasks_assigned_total"
+	MetricWorkflowsSubmitted   = "woha_workflows_submitted_total"
+	MetricWorkflowsCompleted   = "woha_workflows_completed_total"
+	MetricDeadlinesMissed      = "woha_workflows_deadline_missed_total"
+	MetricQueueWorkflows       = "woha_queue_workflows"
+	MetricPlanSearchIterations = "woha_plan_search_iterations"
+	MetricPlansGenerated       = "woha_plans_generated_total"
+	MetricDecisionDuration     = "woha_scheduler_decision_seconds"
+	MetricSimEvents            = "woha_sim_events_total"
+	MetricQueueInserts         = "woha_queue_inserts_total"
+	MetricQueueDeletes         = "woha_queue_deletes_total"
+	MetricQueueHeadHits        = "woha_queue_head_hits_total"
+	MetricQueueLagRecomputes   = "woha_queue_lag_recomputes_total"
+)
+
+// Obs bundles a metrics registry and an event sink into the instrumentation
+// handle the schedulers, the simulator, and the live control plane carry. A
+// nil *Obs disables everything: every method no-ops after one nil check and
+// performs no allocation, so instrumentation can stay compiled into the hot
+// paths (proven by BenchmarkHeartbeatBare).
+type Obs struct {
+	reg  *Registry
+	sink EventSink
+
+	// Pre-registered instruments for the hot paths. Fields are exported so
+	// tests and callers can read them directly; all are nil-safe.
+	HeartbeatDur         *Histogram
+	HeartbeatAssignments *Histogram
+	Heartbeats           *Counter
+	TasksAssigned        *Counter
+	WorkflowsSubmitted   *Counter
+	WorkflowsCompleted   *Counter
+	DeadlinesMissed      *Counter
+	QueueWorkflows       *Gauge
+	PlanIters            *Histogram
+	PlansGenerated       *Counter
+}
+
+// New builds an instrumentation bundle over reg and sink; either may be nil
+// (metrics-only, events-only). The standard woha_* instruments are
+// registered eagerly so every exposition carries the full catalogue even
+// before traffic arrives.
+func New(reg *Registry, sink EventSink) *Obs {
+	o := &Obs{reg: reg, sink: sink}
+	o.HeartbeatDur = reg.Histogram(MetricHeartbeatDuration,
+		"Wall-clock latency of one JobTracker heartbeat (scheduling decisions included).", DurationBuckets)
+	o.HeartbeatAssignments = reg.Histogram(MetricHeartbeatAssignments,
+		"Tasks assigned per heartbeat served.", CountBuckets)
+	o.Heartbeats = reg.Counter(MetricHeartbeats, "Heartbeats served by the JobTracker.")
+	o.TasksAssigned = reg.Counter(MetricTasksAssigned, "Tasks assigned to slots.")
+	o.WorkflowsSubmitted = reg.Counter(MetricWorkflowsSubmitted,
+		"Workflows released to the scheduling policy.")
+	o.WorkflowsCompleted = reg.Counter(MetricWorkflowsCompleted, "Workflows fully completed.")
+	o.DeadlinesMissed = reg.Counter(MetricDeadlinesMissed,
+		"Workflows that completed after their deadline.")
+	o.QueueWorkflows = reg.Gauge(MetricQueueWorkflows, "Workflows currently live in the scheduler.")
+	o.PlanIters = reg.Histogram(MetricPlanSearchIterations,
+		"Generate invocations per capped plan binary search.", IterBuckets)
+	o.PlansGenerated = reg.Counter(MetricPlansGenerated, "Scheduling plans generated.")
+	return o
+}
+
+// Registry returns the underlying registry (nil when disabled).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Emit sends e to the event sink, if any. Safe on a nil receiver.
+func (o *Obs) Emit(e Event) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	o.sink.Emit(e)
+}
+
+// HeartbeatServed records one answered heartbeat: latency and assignment
+// histograms plus a KindHeartbeatServed event.
+func (o *Obs) HeartbeatServed(now simtime.Time, tracker int, dur time.Duration, assigned int) {
+	if o == nil {
+		return
+	}
+	o.Heartbeats.Inc()
+	o.HeartbeatDur.ObserveDuration(dur)
+	o.HeartbeatAssignments.Observe(float64(assigned))
+	o.Emit(Event{Kind: KindHeartbeatServed, Time: now, Workflow: -1, Job: -1,
+		Tracker: tracker, Slot: -1, Dur: dur, N: assigned})
+}
+
+// WorkflowSubmitted records a workflow's release to the policy.
+func (o *Obs) WorkflowSubmitted(now simtime.Time, wf int, name string) {
+	if o == nil {
+		return
+	}
+	o.WorkflowsSubmitted.Inc()
+	o.QueueWorkflows.Add(1)
+	o.Emit(Event{Kind: KindWorkflowSubmitted, Time: now, Workflow: wf, Job: -1,
+		Tracker: -1, Slot: -1, Name: name})
+}
+
+// WorkflowCompleted records a workflow finishing; tardiness > 0 additionally
+// counts a deadline miss and emits KindDeadlineMissed.
+func (o *Obs) WorkflowCompleted(now simtime.Time, wf int, name string, tardiness time.Duration) {
+	if o == nil {
+		return
+	}
+	o.WorkflowsCompleted.Inc()
+	o.QueueWorkflows.Add(-1)
+	o.Emit(Event{Kind: KindWorkflowCompleted, Time: now, Workflow: wf, Job: -1,
+		Tracker: -1, Slot: -1, Name: name, Dur: tardiness})
+	if tardiness > 0 {
+		o.DeadlinesMissed.Inc()
+		o.Emit(Event{Kind: KindDeadlineMissed, Time: now, Workflow: wf, Job: -1,
+			Tracker: -1, Slot: -1, Name: name, Dur: tardiness})
+	}
+}
+
+// JobActivated records a job becoming schedulable.
+func (o *Obs) JobActivated(now simtime.Time, wf, job int) {
+	if o == nil {
+		return
+	}
+	o.Emit(Event{Kind: KindJobActivated, Time: now, Workflow: wf, Job: job,
+		Tracker: -1, Slot: -1})
+}
+
+// TaskAssigned records one task placed on a slot. tracker is the node index
+// (-1 when unknown) and dur the task's virtual duration estimate.
+func (o *Obs) TaskAssigned(now simtime.Time, wf, job, slot, tracker int, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.TasksAssigned.Inc()
+	o.Emit(Event{Kind: KindTaskAssigned, Time: now, Workflow: wf, Job: job,
+		Tracker: tracker, Slot: slot, Dur: dur})
+}
+
+// PlanGenerated records one scheduling plan: the binary-search iteration
+// histogram plus a KindPlanGenerated event.
+func (o *Obs) PlanGenerated(now simtime.Time, name string, iters int) {
+	if o == nil {
+		return
+	}
+	o.PlansGenerated.Inc()
+	o.PlanIters.Observe(float64(iters))
+	o.Emit(Event{Kind: KindPlanGenerated, Time: now, Workflow: -1, Job: -1,
+		Tracker: -1, Slot: -1, Name: name, N: iters})
+}
+
+// DecisionHistogram returns the per-policy NextTask latency histogram
+// (labeled policy=name), registering it on first use.
+func (o *Obs) DecisionHistogram(policy string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.HistogramWith(MetricDecisionDuration,
+		"Wall-clock latency of one NextTask scheduling decision.",
+		Labels{"policy": policy}, DurationBuckets)
+}
+
+// SimEventCounter returns the labeled simulator event counter for one event
+// kind name, registering it on first use.
+func (o *Obs) SimEventCounter(kind string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.CounterWith(MetricSimEvents,
+		"Discrete events processed by the cluster simulator.", Labels{"kind": kind})
+}
+
+// QueueStats bundles the per-backend operation counters of an inter-workflow
+// queue (the DSL vs naive comparison of Fig 13a, now observable at runtime).
+// All methods are safe on a nil receiver, so queues carry a QueueStats
+// pointer unconditionally and pay one nil check when uninstrumented.
+type QueueStats struct {
+	// Inserts, Deletes, HeadHits, and LagRecomputes are the labeled
+	// counters (queue=<backend>).
+	Inserts       *Counter
+	Deletes       *Counter
+	HeadHits      *Counter
+	LagRecomputes *Counter
+
+	o *Obs
+}
+
+// NewQueueStats registers the operation counters for the named queue
+// backend. Returns nil (disabled stats) on a nil receiver.
+func (o *Obs) NewQueueStats(queue string) *QueueStats {
+	if o == nil {
+		return nil
+	}
+	l := Labels{"queue": queue}
+	return &QueueStats{
+		Inserts:       o.reg.CounterWith(MetricQueueInserts, "Workflow insertions into the inter-workflow queue.", l),
+		Deletes:       o.reg.CounterWith(MetricQueueDeletes, "Workflow deletions from the inter-workflow queue.", l),
+		HeadHits:      o.reg.CounterWith(MetricQueueHeadHits, "Best calls served from the priority-list head.", l),
+		LagRecomputes: o.reg.CounterWith(MetricQueueLagRecomputes, "Per-entry lag recomputations during queue reads.", l),
+		o:             o,
+	}
+}
+
+// OnInsert records a queue insertion.
+func (q *QueueStats) OnInsert(now simtime.Time, id int) {
+	if q == nil {
+		return
+	}
+	q.Inserts.Inc()
+	q.o.Emit(Event{Kind: KindQueueInsert, Time: now, Workflow: id, Job: -1, Tracker: -1, Slot: -1})
+}
+
+// OnDelete records a queue deletion.
+func (q *QueueStats) OnDelete(now simtime.Time, id int) {
+	if q == nil {
+		return
+	}
+	q.Deletes.Inc()
+	q.o.Emit(Event{Kind: KindQueueDelete, Time: now, Workflow: id, Job: -1, Tracker: -1, Slot: -1})
+}
+
+// OnHeadHit records a Best call served from the head after re-prioritizing
+// settled entries.
+func (q *QueueStats) OnHeadHit(now simtime.Time, id, settled int) {
+	if q == nil {
+		return
+	}
+	q.HeadHits.Inc()
+	q.o.Emit(Event{Kind: KindQueueHeadHit, Time: now, Workflow: id, Job: -1,
+		Tracker: -1, Slot: -1, N: settled})
+}
+
+// OnLagRecomputes adds n per-entry lag recomputations.
+func (q *QueueStats) OnLagRecomputes(n int) {
+	if q == nil {
+		return
+	}
+	q.LagRecomputes.Add(int64(n))
+}

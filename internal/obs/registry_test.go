@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("c_total", "a counter") != c {
+		t.Error("re-registering a counter returned a new instrument")
+	}
+}
+
+func TestRegistryPanicsOnTypeMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.001"} 1`,
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 3`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		"h_seconds_count 4",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	if got, want := h.Sum(), 0.5555; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestLabeledSeriesShareOneFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterWith("ops_total", "ops", Labels{"queue": "DSL"})
+	b := r.CounterWith("ops_total", "ops", Labels{"queue": "Naive"})
+	if a == b {
+		t.Fatal("distinct label sets returned the same series")
+	}
+	a.Inc()
+	b.Add(2)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# HELP ops_total") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+	for _, line := range []string{`ops_total{queue="DSL"} 1`, `ops_total{queue="Naive"} 2`} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	l := Labels{"name": "a\"b\\c\nd"}
+	if got, want := l.render(), `{name="a\"b\\c\nd"}`; got != want {
+		t.Errorf("render = %s, want %s", got, want)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x_seconds", "h", DurationBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	// All no-op without panicking.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported non-zero values")
+	}
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Errorf("nil WriteTo = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "requests").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "h")
+	h := r.Histogram("d_seconds", "h", DurationBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBuckets(0, 2, 4) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 4)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace process IDs: one Perfetto process groups the per-tracker timeline
+// tracks, a second groups the per-workflow tracks.
+const (
+	tracePIDTrackers  = 1
+	tracePIDWorkflows = 2
+)
+
+// traceEvent is one Chrome trace-event (the JSON format ui.perfetto.dev and
+// chrome://tracing load). Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace renders an event stream as a Chrome trace-event JSON document:
+//
+//   - process "trackers": one thread per TaskTracker, with a complete slice
+//     per assigned task and an instant per heartbeat served;
+//   - process "workflows": one thread per workflow, spanning submission to
+//     completion, with instants for job activations and deadline misses.
+//
+// Timestamps are virtual (workflow) time in microseconds. Open the output at
+// ui.perfetto.dev ("Open trace file") or chrome://tracing.
+func WriteTrace(w io.Writer, events []Event) error {
+	var out []traceEvent
+	meta := func(pid int, tid int, kind, name string) {
+		out = append(out, traceEvent{
+			Name: kind, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(tracePIDTrackers, 0, "process_name", "trackers")
+	meta(tracePIDWorkflows, 0, "process_name", "workflows")
+
+	seenTracker := map[int]bool{}
+	tracker := func(id int) int {
+		// Unknown trackers share thread 0 alongside tracker 0; naming makes
+		// the merge visible rather than hiding events.
+		tid := id
+		if tid < 0 {
+			tid = 0
+		}
+		if !seenTracker[tid] {
+			seenTracker[tid] = true
+			meta(tracePIDTrackers, tid, "thread_name", fmt.Sprintf("tracker %d", tid))
+		}
+		return tid
+	}
+	seenWF := map[int]bool{}
+	wfThread := func(id int, name string) int {
+		if !seenWF[id] {
+			seenWF[id] = true
+			label := fmt.Sprintf("wf %d", id)
+			if name != "" {
+				label += " " + name
+			}
+			meta(tracePIDWorkflows, id, "thread_name", label)
+		}
+		return id
+	}
+
+	// submitted pairs each workflow's submission instant with its completion
+	// so workflows render as complete slices.
+	submitted := map[int]Event{}
+	for _, e := range events {
+		ts := e.Time.Duration().Microseconds()
+		switch e.Kind {
+		case KindTaskAssigned:
+			slot := "map"
+			if e.Slot == 1 {
+				slot = "reduce"
+			}
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wf%d/j%d %s", e.Workflow, e.Job, slot),
+				Ph:   "X", TS: ts, Dur: maxI64(e.Dur.Microseconds(), 1),
+				PID: tracePIDTrackers, TID: tracker(e.Tracker),
+				Args: map[string]any{"workflow": e.Workflow, "job": e.Job, "slot": slot},
+			})
+		case KindHeartbeatServed:
+			out = append(out, traceEvent{
+				Name: "heartbeat", Ph: "i", TS: ts, S: "t",
+				PID: tracePIDTrackers, TID: tracker(e.Tracker),
+				Args: map[string]any{"assigned": e.N, "latency_us": e.Dur.Microseconds()},
+			})
+		case KindWorkflowSubmitted:
+			wfThread(e.Workflow, e.Name)
+			submitted[e.Workflow] = e
+		case KindWorkflowCompleted:
+			tid := wfThread(e.Workflow, e.Name)
+			start, ok := submitted[e.Workflow]
+			if !ok {
+				// Completion without a recorded submission (ring overflow):
+				// degrade to an instant instead of inventing a start time.
+				out = append(out, traceEvent{
+					Name: "completed", Ph: "i", TS: ts, S: "t",
+					PID: tracePIDWorkflows, TID: tid,
+				})
+				continue
+			}
+			delete(submitted, e.Workflow)
+			name := e.Name
+			if name == "" {
+				name = fmt.Sprintf("wf %d", e.Workflow)
+			}
+			out = append(out, traceEvent{
+				Name: name, Ph: "X",
+				TS: start.Time.Duration().Microseconds(),
+				Dur: maxI64(e.Time.Sub(start.Time).Microseconds(), 1),
+				PID: tracePIDWorkflows, TID: tid,
+				Args: map[string]any{"tardiness_us": e.Dur.Microseconds()},
+			})
+		case KindDeadlineMissed:
+			out = append(out, traceEvent{
+				Name: "deadline missed", Ph: "i", TS: ts, S: "t",
+				PID: tracePIDWorkflows, TID: wfThread(e.Workflow, e.Name),
+				Args: map[string]any{"tardiness_us": e.Dur.Microseconds()},
+			})
+		case KindJobActivated:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("j%d activated", e.Job), Ph: "i", TS: ts, S: "t",
+				PID: tracePIDWorkflows, TID: wfThread(e.Workflow, ""),
+			})
+		case KindPlanGenerated:
+			out = append(out, traceEvent{
+				Name: "plan " + e.Name, Ph: "i", TS: ts, S: "t",
+				PID: tracePIDWorkflows, TID: 0,
+				Args: map[string]any{"search_iters": e.N},
+			})
+		}
+	}
+	// Workflows still open at the end of the stream render as begin events
+	// so their tracks are not silently empty.
+	for wf, start := range submitted {
+		out = append(out, traceEvent{
+			Name: start.Name, Ph: "B",
+			TS:  start.Time.Duration().Microseconds(),
+			PID: tracePIDWorkflows, TID: wf,
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

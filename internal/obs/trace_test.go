@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// decodeTrace parses WriteTrace output back into generic events.
+func decodeTrace(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func at(d time.Duration) simtime.Time { return simtime.Epoch.Add(d) }
+
+func TestWriteTraceTracksAndSlices(t *testing.T) {
+	events := []Event{
+		{Kind: KindWorkflowSubmitted, Time: at(0), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0"},
+		{Kind: KindTaskAssigned, Time: at(time.Second), Workflow: 0, Job: 2, Tracker: 1, Slot: 0, Dur: 30 * time.Second},
+		{Kind: KindTaskAssigned, Time: at(2 * time.Second), Workflow: 0, Job: 3, Tracker: 4, Slot: 1, Dur: time.Minute},
+		{Kind: KindHeartbeatServed, Time: at(2 * time.Second), Workflow: -1, Job: -1, Tracker: 1, Slot: -1, Dur: 80 * time.Microsecond, N: 1},
+		{Kind: KindJobActivated, Time: at(3 * time.Second), Workflow: 0, Job: 3, Tracker: -1, Slot: -1},
+		{Kind: KindWorkflowCompleted, Time: at(time.Minute), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", Dur: 5 * time.Second},
+		{Kind: KindDeadlineMissed, Time: at(time.Minute), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", Dur: 5 * time.Second},
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	tes := decodeTrace(t, sb.String())
+
+	find := func(ph, name string) map[string]any {
+		for _, te := range tes {
+			if te["ph"] == ph && te["name"] == name {
+				return te
+			}
+		}
+		return nil
+	}
+
+	// Both track groups are named.
+	var procNames []string
+	for _, te := range tes {
+		if te["ph"] == "M" && te["name"] == "process_name" {
+			procNames = append(procNames, te["args"].(map[string]any)["name"].(string))
+		}
+	}
+	if len(procNames) != 2 || procNames[0] != "trackers" || procNames[1] != "workflows" {
+		t.Errorf("process names = %v, want [trackers workflows]", procNames)
+	}
+
+	// Task slice on tracker 1's thread with the virtual duration.
+	task := find("X", "wf0/j2 map")
+	if task == nil {
+		t.Fatal("map task slice missing")
+	}
+	if task["pid"].(float64) != tracePIDTrackers || task["tid"].(float64) != 1 {
+		t.Errorf("task slice on pid/tid %v/%v, want %d/1", task["pid"], task["tid"], tracePIDTrackers)
+	}
+	if task["dur"].(float64) != 30e6 {
+		t.Errorf("task dur = %v µs, want 3e7", task["dur"])
+	}
+	if find("X", "wf0/j3 reduce") == nil {
+		t.Error("reduce task slice missing")
+	}
+
+	// The workflow renders as one complete slice spanning submit→complete.
+	wf := find("X", "w0")
+	if wf == nil {
+		t.Fatal("workflow slice missing")
+	}
+	if wf["ts"].(float64) != 0 || wf["dur"].(float64) != 60e6 {
+		t.Errorf("workflow slice ts/dur = %v/%v, want 0/6e7", wf["ts"], wf["dur"])
+	}
+	if wf["pid"].(float64) != tracePIDWorkflows {
+		t.Errorf("workflow slice pid = %v, want %d", wf["pid"], tracePIDWorkflows)
+	}
+
+	// Instants: heartbeat on the tracker track, miss + activation on the
+	// workflow track.
+	for _, name := range []string{"heartbeat", "deadline missed", "j3 activated"} {
+		if find("i", name) == nil {
+			t.Errorf("instant %q missing", name)
+		}
+	}
+}
+
+func TestWriteTraceUnmatchedCompletionAndOpenWorkflow(t *testing.T) {
+	events := []Event{
+		// Completion with no submission in the stream (ring overflow).
+		{Kind: KindWorkflowCompleted, Time: at(time.Second), Workflow: 7, Job: -1, Tracker: -1, Slot: -1, Name: "lost"},
+		// Submission never completed by stream end.
+		{Kind: KindWorkflowSubmitted, Time: at(2 * time.Second), Workflow: 8, Job: -1, Tracker: -1, Slot: -1, Name: "open"},
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	tes := decodeTrace(t, sb.String())
+	var gotInstant, gotBegin bool
+	for _, te := range tes {
+		if te["ph"] == "i" && te["name"] == "completed" && te["tid"].(float64) == 7 {
+			gotInstant = true
+		}
+		if te["ph"] == "B" && te["name"] == "open" && te["tid"].(float64) == 8 {
+			gotBegin = true
+		}
+	}
+	if !gotInstant {
+		t.Error("unmatched completion should degrade to an instant")
+	}
+	if !gotBegin {
+		t.Error("open workflow should flush as a begin event")
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	tes := decodeTrace(t, sb.String())
+	// Just the two process_name metadata records.
+	if len(tes) != 2 {
+		t.Errorf("empty trace has %d events, want 2 metadata records", len(tes))
+	}
+}

@@ -61,6 +61,10 @@ type Plan struct {
 	Feasible bool
 	// TotalTasks is the workflow's task count; equals the last Req's Cum.
 	TotalTasks int
+	// SearchIters counts the Algorithm 1 simulations run to produce this
+	// plan: 1 for a direct Generate, 1 + the binary-search probe count for
+	// the capped generators. Diagnostic only; not part of the encoded plan.
+	SearchIters int
 }
 
 // RequiredAt returns F(ttd): the number of tasks that must have been
@@ -95,12 +99,13 @@ func Generate(w *workflow.Workflow, n int, policyName string, ranks []int) (*Pla
 		return nil, err
 	}
 	p := &Plan{
-		Policy:     policyName,
-		Ranks:      append([]int(nil), ranks...),
-		Cap:        n,
-		Makespan:   makespan,
-		Feasible:   makespan <= w.RelativeDeadline(),
-		TotalTasks: w.TotalTasks(),
+		Policy:      policyName,
+		Ranks:       append([]int(nil), ranks...),
+		Cap:         n,
+		Makespan:    makespan,
+		Feasible:    makespan <= w.RelativeDeadline(),
+		TotalTasks:  w.TotalTasks(),
+		SearchIters: 1,
 	}
 	// Translate event occurrence times into time-to-deadline and make the
 	// requirement counts cumulative (Algorithm 1, lines 37-39).
@@ -161,6 +166,7 @@ func GenerateCappedMargin(w *workflow.Workflow, clusterSlots int, pol priority.P
 	if err != nil {
 		return nil, err
 	}
+	iters := 1
 	if full.Makespan > target {
 		// The whole cluster misses the margin target. Retry against the
 		// real deadline: a plan capped for the actual deadline demands far
@@ -181,12 +187,14 @@ func GenerateCappedMargin(w *workflow.Workflow, clusterSlots int, pol priority.P
 		if err != nil {
 			return nil, err
 		}
+		iters++
 		if p.Makespan <= target {
 			best, hi = p, mid
 		} else {
 			lo = mid + 1
 		}
 	}
+	best.SearchIters = iters
 	return best, nil
 }
 

@@ -41,12 +41,13 @@ func GenerateTyped(w *workflow.Workflow, caps Caps, policyName string, ranks []i
 		return nil, err
 	}
 	p := &Plan{
-		Policy:     policyName,
-		Ranks:      append([]int(nil), ranks...),
-		Cap:        caps.Total(),
-		Makespan:   makespan,
-		Feasible:   makespan <= w.RelativeDeadline(),
-		TotalTasks: w.TotalTasks(),
+		Policy:      policyName,
+		Ranks:       append([]int(nil), ranks...),
+		Cap:         caps.Total(),
+		Makespan:    makespan,
+		Feasible:    makespan <= w.RelativeDeadline(),
+		TotalTasks:  w.TotalTasks(),
+		SearchIters: 1,
 	}
 	cum := 0
 	for _, r := range raw {
@@ -100,6 +101,7 @@ func GenerateCappedTyped(w *workflow.Workflow, cluster Caps, pol priority.Policy
 	if err != nil {
 		return nil, err
 	}
+	iters := 1
 	if full.Makespan > target {
 		if full.Makespan > w.RelativeDeadline() {
 			return full, nil
@@ -114,12 +116,14 @@ func GenerateCappedTyped(w *workflow.Workflow, cluster Caps, pol priority.Policy
 		if err != nil {
 			return nil, err
 		}
+		iters++
 		if p.Makespan <= target {
 			best, hi = p, mid
 		} else {
 			lo = mid + 1
 		}
 	}
+	best.SearchIters = iters
 	return best, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/live"
 )
 
@@ -22,6 +23,7 @@ type LiveSession struct {
 	prio    PriorityPolicy
 	cluster *live.Cluster
 	margin  float64
+	ins     *Instrumentation
 }
 
 // NewLiveSession creates a live session. Set UseTCP to route heartbeats over
@@ -34,11 +36,14 @@ func NewLiveSession(cfg LiveConfig, sched Scheduler, useTCP bool, opts ...Sessio
 	pol := o.policy
 	if pol == nil {
 		var err error
-		pol, err = sched.newPolicy(o.seed)
+		pol, err = sched.newPolicy(o.seed, o.obs)
 		if err != nil {
 			return nil, err
 		}
 	}
+	pol = cluster.InstrumentPolicy(pol, o.obs)
+	// The JobTracker reads its instrumentation from the config.
+	cfg.Obs = o.obs
 	var (
 		c   *live.Cluster
 		err error
@@ -61,6 +66,7 @@ func NewLiveSession(cfg LiveConfig, sched Scheduler, useTCP bool, opts ...Sessio
 		prio:    sched.priorityFor(),
 		cluster: c,
 		margin:  o.margin,
+		ins:     o.obs,
 	}, nil
 }
 
@@ -74,6 +80,7 @@ func (s *LiveSession) Submit(w *Workflow) error {
 		if err != nil {
 			return fmt.Errorf("woha: %w", err)
 		}
+		s.ins.PlanGenerated(w.Release, w.Name, p.SearchIters)
 	}
 	if err := s.cluster.Submit(w, p); err != nil {
 		return fmt.Errorf("woha: %w", err)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/priority"
 	"repro/internal/scheduler"
@@ -59,6 +60,36 @@ type (
 
 	// PriorityPolicy orders jobs within a workflow (HLF, LPF, MPF).
 	PriorityPolicy = priority.Policy
+
+	// Instrumentation bundles the runtime observability layer: a metrics
+	// registry plus an event sink. Pass it via WithInstrumentation; see
+	// OBSERVABILITY.md.
+	Instrumentation = obs.Obs
+	// Metrics is a registry of counters, gauges and histograms with
+	// Prometheus text exposition (WriteTo / Handler).
+	Metrics = obs.Registry
+	// ObsEvent is one typed scheduler event (see EventSink).
+	ObsEvent = obs.Event
+	// EventSink receives the structured scheduler event stream.
+	EventSink = obs.EventSink
+	// EventRing is a bounded in-memory EventSink keeping the newest events.
+	EventRing = obs.Ring
+	// EventKind discriminates ObsEvent records.
+	EventKind = obs.Kind
+)
+
+// Event kinds carried by the scheduler event stream (ObsEvent.Kind).
+const (
+	KindWorkflowSubmitted = obs.KindWorkflowSubmitted
+	KindWorkflowCompleted = obs.KindWorkflowCompleted
+	KindDeadlineMissed    = obs.KindDeadlineMissed
+	KindJobActivated      = obs.KindJobActivated
+	KindTaskAssigned      = obs.KindTaskAssigned
+	KindHeartbeatServed   = obs.KindHeartbeatServed
+	KindQueueInsert       = obs.KindQueueInsert
+	KindQueueDelete       = obs.KindQueueDelete
+	KindQueueHeadHit      = obs.KindQueueHeadHit
+	KindPlanGenerated     = obs.KindPlanGenerated
 )
 
 // Slot types.
@@ -144,8 +175,8 @@ func (s Scheduler) priorityFor() PriorityPolicy {
 	}
 }
 
-// newPolicy instantiates the scheduler.
-func (s Scheduler) newPolicy(seed int64) (cluster.Policy, error) {
+// newPolicy instantiates the scheduler. ins may be nil.
+func (s Scheduler) newPolicy(seed int64, ins *obs.Obs) (cluster.Policy, error) {
 	switch s {
 	case SchedulerFIFO:
 		return scheduler.NewFIFO(), nil
@@ -157,6 +188,7 @@ func (s Scheduler) newPolicy(seed int64) (cluster.Policy, error) {
 		return core.NewScheduler(core.Options{
 			Seed:       seed,
 			PolicyName: s.priorityFor().Name(),
+			Obs:        ins,
 		}), nil
 	default:
 		return nil, fmt.Errorf("woha: unknown scheduler %q", s)
@@ -171,6 +203,7 @@ type sessionOptions struct {
 	margin   float64
 	observer Observer
 	policy   Policy
+	obs      *obs.Obs
 }
 
 // WithSeed sets the seed for the scheduler's internal PRNG.
@@ -195,8 +228,39 @@ func WithPolicy(p Policy) SessionOption {
 	return func(o *sessionOptions) { o.policy = p }
 }
 
+// WithInstrumentation attaches the runtime observability layer: scheduler
+// metrics flow into ins's registry and typed events into its sink. A nil ins
+// is allowed and disables instrumentation.
+func WithInstrumentation(ins *Instrumentation) SessionOption {
+	return func(o *sessionOptions) { o.obs = ins }
+}
+
 // NewTimeline returns a slot-allocation recorder to pass to WithObserver.
 func NewTimeline() *Timeline { return metrics.NewTimeline() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewEventRing returns a bounded event sink keeping the newest n events
+// (n <= 0 selects a default size).
+func NewEventRing(n int) *EventRing { return obs.NewRing(n) }
+
+// NewJSONLSink returns an event sink writing one JSON object per line to w.
+// Check its Err method after the run for write failures.
+func NewJSONLSink(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewInstrumentation bundles a registry and an event sink (either may be
+// nil) into an Instrumentation for WithInstrumentation. It eagerly registers
+// the standard woha_* instruments so exposition is complete even before any
+// activity.
+func NewInstrumentation(reg *Metrics, sink EventSink) *Instrumentation {
+	return obs.New(reg, sink)
+}
+
+// WriteTrace renders events as Chrome trace-event JSON loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing, with per-tracker and per-workflow
+// timeline tracks.
+func WriteTrace(w io.Writer, events []ObsEvent) error { return obs.WriteTrace(w, events) }
 
 // Session wires a simulated cluster to a scheduler and accepts workflow
 // submissions. It mirrors the paper's submission pipeline: for WOHA
@@ -220,15 +284,17 @@ func NewSession(cfg ClusterConfig, sched Scheduler, opts ...SessionOption) (*Ses
 	pol := o.policy
 	if pol == nil {
 		var err error
-		pol, err = sched.newPolicy(o.seed)
+		pol, err = sched.newPolicy(o.seed, o.obs)
 		if err != nil {
 			return nil, err
 		}
 	}
+	pol = cluster.InstrumentPolicy(pol, o.obs)
 	sim, err := cluster.New(cfg, pol, o.observer)
 	if err != nil {
 		return nil, fmt.Errorf("woha: %w", err)
 	}
+	sim.SetInstrumentation(o.obs)
 	return &Session{cfg: cfg, sched: sched, prio: sched.priorityFor(), sim: sim, opts: o}, nil
 }
 
@@ -243,6 +309,7 @@ func (s *Session) Submit(w *Workflow) error {
 		if err != nil {
 			return fmt.Errorf("woha: %w", err)
 		}
+		s.opts.obs.PlanGenerated(w.Release, w.Name, p.SearchIters)
 	}
 	return s.SubmitWithPlan(w, p)
 }
