@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench-plan
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrent subsystems: observability fan-out, the live
+# (RPC) job tracker, and the parallel/cached planner.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/...
+
+# Tier-1 gate plus static analysis and race checks — run before every PR.
+verify: build test vet race
+
+# Regenerate the committed planner throughput numbers.
+bench-plan:
+	$(GO) run ./cmd/wohabench -bench-out BENCH_plan.json

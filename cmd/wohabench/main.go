@@ -3,9 +3,14 @@
 // writes the Fig 14-19 slot-allocation CSVs, and with -trace-out it records
 // the Fig 11 scenario as a Chrome trace-event file for Perfetto.
 //
+// With -bench-out it instead benchmarks plan-generation throughput
+// (sequential vs parallel vs cached planner; see internal/planner) and
+// writes the numbers as JSON.
+//
 // Usage:
 //
 //	wohabench [-fig all|2|3|5|6|8|9|10|11|12|13a|13b] [-timeline-dir DIR] [-trace-out FILE]
+//	wohabench -bench-out BENCH_plan.json
 package main
 
 import (
@@ -23,7 +28,16 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (all, 2, 3, 5, 6, 8, 9, 10, 11, 12, 13a, 13b, ablations)")
 	timelineDir := flag.String("timeline-dir", "", "directory to write Fig 14-19 CSVs into (empty = skip)")
 	traceOut := flag.String("trace-out", "", "record the Fig 11 scenario under WOHA-LPF as Chrome trace-event JSON to this file (open in ui.perfetto.dev)")
+	benchOut := flag.String("bench-out", "", "benchmark plan-generation throughput and write the JSON report to this file (- for stdout); skips the figure sweep")
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := runPlanBench(*benchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, os.Stdout); err != nil {

@@ -70,6 +70,39 @@ func TestWriteTrace(t *testing.T) {
 	}
 }
 
+func TestRunPlanBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := runPlanBench(path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report planBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(report.Modes) != 3 {
+		t.Fatalf("report has %d modes, want 3", len(report.Modes))
+	}
+	for _, m := range report.Modes {
+		if m.PlansPerSec <= 0 || m.NsPerPlan <= 0 {
+			t.Errorf("mode %s has empty measurements: %+v", m.Name, m)
+		}
+	}
+	if warm := report.Modes[2]; warm.AvgSearchIters != 0 {
+		t.Errorf("warm-cache avg simulations = %v, want 0 (all hits)", warm.AvgSearchIters)
+	}
+	if report.SpeedupWarmCache <= 1 {
+		t.Errorf("warm-cache speedup = %.2fx, want > 1x", report.SpeedupWarmCache)
+	}
+	if !strings.Contains(sb.String(), "speedup:") {
+		t.Errorf("summary missing speedup line:\n%s", sb.String())
+	}
+}
+
 func TestRunFig13bAndTimelines(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder

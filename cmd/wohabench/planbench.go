@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/priority"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+	"repro/internal/workload"
+)
+
+// The -bench-out mode measures workflow-admission throughput: how fast the
+// planner subsystem turns workflows into resource-capped scheduling plans.
+// It drives the Yahoo-derived 61-workflow population plus the Fig 7 topology
+// through three planner configurations — the seed-equivalent sequential
+// path, the speculative parallel search, and a warm structural cache — and
+// writes the numbers as JSON so runs are comparable across commits.
+
+// planBenchReport is the JSON document -bench-out writes.
+type planBenchReport struct {
+	// GoMaxProcs records the core budget: parallel-search speedup is
+	// bounded by it (on a single-core host expect ~1x from parallelism,
+	// with cache and pooling wins unaffected).
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+	Corpus     struct {
+		Workflows   int     `json:"workflows"`
+		ClusterMaps int     `json:"cluster_map_slots"`
+		ClusterReds int     `json:"cluster_reduce_slots"`
+		Policy      string  `json:"policy"`
+		Margin      float64 `json:"margin"`
+	} `json:"corpus"`
+	Modes []planBenchMode `json:"modes"`
+	// Speedups are sequential ns/plan divided by the mode's ns/plan.
+	SpeedupParallel  float64 `json:"speedup_parallel_x"`
+	SpeedupWarmCache float64 `json:"speedup_warm_cache_x"`
+}
+
+type planBenchMode struct {
+	Name           string  `json:"name"`
+	PlansPerSec    float64 `json:"plans_per_sec"`
+	NsPerPlan      int64   `json:"ns_per_plan"`
+	AllocsPerPlan  int64   `json:"allocs_per_plan"`
+	BytesPerPlan   int64   `json:"bytes_per_plan"`
+	AvgSearchIters float64 `json:"avg_search_iters"`
+}
+
+var planBenchCluster = plan.Caps{Maps: 300, Reduces: 180}
+
+func planBenchCorpus() ([]*workflow.Workflow, error) {
+	flows, err := workload.Yahoo(workload.DefaultYahooConfig())
+	if err != nil {
+		return nil, err
+	}
+	flows = append(flows, workload.Fig7("fig7", 1.0, simtime.Epoch, simtime.Epoch.Add(45*time.Minute)))
+	return flows, nil
+}
+
+// runPlanBench measures the three configurations and writes the JSON report
+// to path ("-" for stdout), echoing a summary table to out.
+func runPlanBench(path string, out io.Writer) error {
+	flows, err := planBenchCorpus()
+	if err != nil {
+		return err
+	}
+	pol := priority.HLF{}
+
+	var report planBenchReport
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.GoVersion = runtime.Version()
+	report.Corpus.Workflows = len(flows)
+	report.Corpus.ClusterMaps = planBenchCluster.Maps
+	report.Corpus.ClusterReds = planBenchCluster.Reduces
+	report.Corpus.Policy = pol.Name()
+	report.Corpus.Margin = planner.DefaultMargin
+
+	modes := []struct {
+		name string
+		mk   func() *planner.Planner
+		warm bool
+	}{
+		{"sequential", func() *planner.Planner { return planner.New(planner.Config{}) }, false},
+		{"parallel", func() *planner.Planner {
+			return planner.New(planner.Config{Workers: runtime.GOMAXPROCS(0)})
+		}, false},
+		{"warm-cache", func() *planner.Planner {
+			return planner.New(planner.Config{Workers: runtime.GOMAXPROCS(0), CacheSize: 2 * len(flows)})
+		}, true},
+	}
+	for _, m := range modes {
+		pl := m.mk()
+		if m.warm {
+			for _, w := range flows {
+				if _, err := pl.Plan(w, planBenchCluster, pol); err != nil {
+					return fmt.Errorf("warming %s: %w", m.name, err)
+				}
+			}
+		}
+		// Average SearchIters over one full corpus pass (cache hits report
+		// 0: they run no simulations).
+		var iters int
+		for _, w := range flows {
+			p, err := pl.Plan(w, planBenchCluster, pol)
+			if err != nil {
+				return fmt.Errorf("%s: planning %s: %w", m.name, w.Name, err)
+			}
+			iters += p.SearchIters
+		}
+
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Plan(flows[i%len(flows)], planBenchCluster, pol); err != nil {
+					b.Fatalf("Plan: %v", err)
+				}
+			}
+		})
+		ns := r.NsPerOp()
+		report.Modes = append(report.Modes, planBenchMode{
+			Name:           m.name,
+			PlansPerSec:    1e9 / float64(ns),
+			NsPerPlan:      ns,
+			AllocsPerPlan:  r.AllocsPerOp(),
+			BytesPerPlan:   r.AllocedBytesPerOp(),
+			AvgSearchIters: float64(iters) / float64(len(flows)),
+		})
+	}
+	seq := float64(report.Modes[0].NsPerPlan)
+	report.SpeedupParallel = seq / float64(report.Modes[1].NsPerPlan)
+	report.SpeedupWarmCache = seq / float64(report.Modes[2].NsPerPlan)
+
+	doc, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if path == "-" {
+		if _, err := out.Write(doc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(path, doc, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "plan benchmark (%d workflows, %d map + %d reduce slots, GOMAXPROCS=%d):\n",
+		len(flows), planBenchCluster.Maps, planBenchCluster.Reduces, report.GoMaxProcs)
+	for _, m := range report.Modes {
+		fmt.Fprintf(out, "  %-11s %10.0f plans/sec  %7d allocs/plan  %6.1f avg simulations/plan\n",
+			m.Name, m.PlansPerSec, m.AllocsPerPlan, m.AvgSearchIters)
+	}
+	fmt.Fprintf(out, "  speedup: parallel %.2fx, warm cache %.2fx (vs sequential)\n",
+		report.SpeedupParallel, report.SpeedupWarmCache)
+	if path != "-" {
+		fmt.Fprintf(out, "report written to %s\n", path)
+	}
+	return nil
+}

@@ -1,21 +1,30 @@
 // Command wohaplan plays the WOHA client's Scheduling Plan Generator: it
-// reads a workflow XML configuration, generates the resource-capped
-// scheduling plan, and prints the job ordering and progress requirement
-// list (plus the encoded plan size the master node would store).
+// reads one or more workflow XML configurations, generates each
+// resource-capped scheduling plan, and prints the job ordering and progress
+// requirement list (plus the encoded plan size the master node would store).
+//
+// Plans are produced through the planner service (internal/planner), so a
+// batch of files can probe candidate caps in parallel (-parallel) and reuse
+// plans across structurally identical workflows (-cache); both paths emit
+// byte-identical plans to the sequential generator.
 //
 // Example:
 //
 //	wohaplan -map-slots 200 -reduce-slots 200 -policy LPF pipeline.xml
+//	wohaplan -parallel 0 -cache 128 batch/*.xml
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	woha "repro"
+	"repro/internal/plan"
+	"repro/internal/planner"
 )
 
 func main() {
@@ -24,19 +33,49 @@ func main() {
 		reduceSlots = flag.Int("reduce-slots", 200, "cluster reduce slots")
 		policyName  = flag.String("policy", "LPF", "intra-workflow job priority: HLF, LPF, or MPF")
 		margin      = flag.Float64("margin", 0.85, "plan safety margin in (0,1]")
+		parallel    = flag.Int("parallel", 1, "concurrent Algorithm 1 probes per cap search (0 = one per core)")
+		cacheSize   = flag.Int("cache", 0, "structural plan cache capacity (0 = disabled)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wohaplan [flags] workflow.xml")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: wohaplan [flags] workflow.xml [more.xml ...]")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *policyName, *mapSlots, *reduceSlots, *margin); err != nil {
+	if err := run(flag.Args(), *policyName, *mapSlots, *reduceSlots, *margin, *parallel, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "wohaplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, policyName string, mapSlots, reduceSlots int, margin float64) error {
+func run(paths []string, policyName string, mapSlots, reduceSlots int, margin float64, parallel, cacheSize int) error {
+	pol, err := woha.PriorityByName(policyName)
+	if err != nil {
+		return err
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	pl := planner.New(planner.Config{Workers: parallel, CacheSize: cacheSize, Margin: margin})
+	caps := plan.Caps{Maps: mapSlots, Reduces: reduceSlots}
+	if caps.Maps <= 0 || caps.Reduces <= 0 {
+		return fmt.Errorf("bad slot counts %d map / %d reduce", mapSlots, reduceSlots)
+	}
+	if margin <= 0 || margin > 1 {
+		return fmt.Errorf("margin %v outside (0, 1]", margin)
+	}
+
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := planOne(pl, path, caps, pol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func planOne(pl *planner.Planner, path string, caps plan.Caps, pol woha.PriorityPolicy) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -46,19 +85,19 @@ func run(path, policyName string, mapSlots, reduceSlots int, margin float64) err
 	if err != nil {
 		return err
 	}
-	pol, err := woha.PriorityByName(policyName)
-	if err != nil {
-		return err
-	}
-	p, err := woha.GeneratePlanTyped(w, mapSlots, reduceSlots, pol, margin)
+	p, err := pl.Plan(w, caps, pol)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("workflow %q: %d jobs, %d tasks, relative deadline %v\n",
 		w.Name, len(w.Jobs), w.TotalTasks(), w.RelativeDeadline())
-	fmt.Printf("plan: policy %s, resource cap %d slots, simulated makespan %v, feasible %v, encoded %d bytes\n\n",
-		p.Policy, p.Cap, p.Makespan.Round(time.Second), p.Feasible, p.Size())
+	source := fmt.Sprintf("%d simulations", p.SearchIters)
+	if p.SearchIters == 0 {
+		source = "plan cache hit"
+	}
+	fmt.Printf("plan: policy %s, resource cap %d slots, simulated makespan %v, feasible %v, encoded %d bytes (%s)\n\n",
+		p.Policy, p.Cap, p.Makespan.Round(time.Second), p.Feasible, p.Size(), source)
 
 	fmt.Println("job ordering (highest priority first):")
 	order := make([]int, len(p.Ranks))

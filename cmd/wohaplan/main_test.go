@@ -21,19 +21,28 @@ func writeXML(t *testing.T) string {
 }
 
 func TestRunPrintsPlan(t *testing.T) {
-	if err := run(writeXML(t), "LPF", 20, 10, 0.85); err != nil {
+	if err := run([]string{writeXML(t)}, "LPF", 20, 10, 0.85, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatchParallelCached(t *testing.T) {
+	// A batch of identical files through the parallel searcher and the
+	// cache: the second and third files are cache hits.
+	path := writeXML(t)
+	if err := run([]string{path, path, path}, "LPF", 20, 10, 0.85, 4, 16); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.xml", "LPF", 20, 10, 0.85); err == nil {
+	if err := run([]string{"/nonexistent.xml"}, "LPF", 20, 10, 0.85, 1, 0); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(writeXML(t), "ZZZ", 20, 10, 0.85); err == nil {
+	if err := run([]string{writeXML(t)}, "ZZZ", 20, 10, 0.85, 1, 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if err := run(writeXML(t), "LPF", 20, 10, 2.0); err == nil {
+	if err := run([]string{writeXML(t)}, "LPF", 20, 10, 2.0, 1, 0); err == nil {
 		t.Error("bad margin accepted")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	woha "repro"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/plan"
+	"repro/internal/planner"
 	"repro/internal/workload"
 )
 
@@ -47,8 +49,11 @@ func main() {
 		liveMode     = flag.Bool("live", false, "run on the concurrent live mini-Hadoop instead of the discrete-event simulator")
 		timeScale    = flag.Float64("time-scale", 0.001, "live mode: wall seconds per virtual second")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
+		planWorkers  = flag.Int("plan-workers", 1, "concurrent Algorithm 1 probes per plan search (0 = one per core)")
+		planCache    = flag.Int("plan-cache", 0, "structural plan cache capacity (0 = disabled)")
 	)
 	flag.Parse()
+	po := planOpts{workers: *planWorkers, cache: *planCache}
 
 	var (
 		ins   *woha.Instrumentation
@@ -67,7 +72,7 @@ func main() {
 	}
 
 	if *liveMode {
-		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *timeScale, ins); err != nil {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *timeScale, ins, po); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
@@ -86,7 +91,7 @@ func main() {
 		SubmitterOverhead:  *submitter,
 		Noise:              *noise,
 		Seed:               *seed,
-	}, *timeline, ins); err != nil {
+	}, *timeline, ins, po); err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
 		os.Exit(1)
 	}
@@ -138,14 +143,42 @@ func (m *metricsServer) close() {
 	}
 }
 
-func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation) error {
+// planOpts carries the planner tuning flags: concurrent probes per cap
+// search (0 = one per core) and structural cache capacity (0 = off).
+type planOpts struct {
+	workers, cache int
+}
+
+func (po planOpts) sessionOptions() []woha.SessionOption {
+	return []woha.SessionOption{
+		woha.WithPlannerWorkers(po.workers),
+		woha.WithPlanCache(po.cache),
+	}
+}
+
+// planner builds the equivalent internal planner for paths that generate
+// plans outside a Session (live mode).
+func (po planOpts) planner(ins *woha.Instrumentation) *planner.Planner {
+	workers := po.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return planner.New(planner.Config{
+		Workers:   workers,
+		CacheSize: po.cache,
+		Margin:    experiments.PlanMargin,
+		Obs:       ins,
+	})
+}
+
+func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, po planOpts) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
 	}
 
 	var tl *metrics.Timeline
-	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins)}
+	opts := append([]woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins)}, po.sessionOptions()...)
 	if timelinePath != "" {
 		tl = woha.NewTimeline()
 		opts = append(opts, woha.WithObserver(tl))
@@ -154,10 +187,8 @@ func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath st
 	if err != nil {
 		return err
 	}
-	for _, w := range flows {
-		if err := sess.Submit(w); err != nil {
-			return err
-		}
+	if err := sess.SubmitAll(flows); err != nil {
+		return err
 	}
 	res, err := sess.Run()
 	if err != nil {
@@ -195,7 +226,7 @@ func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath st
 }
 
 // runLive executes the workload on the concurrent mini-Hadoop.
-func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, timeScale float64, ins *woha.Instrumentation) error {
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, timeScale float64, ins *woha.Instrumentation, po planOpts) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -216,12 +247,11 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, t
 	if err != nil {
 		return err
 	}
+	pl := po.planner(ins)
 	for _, w := range flows {
 		var p *plan.Plan
 		if spec.IsWOHA() {
-			p, err = plan.GenerateCappedTyped(w,
-				plan.Caps{Maps: nodes * mapSlots, Reduces: nodes * reduceSlots},
-				spec.Priority, experiments.PlanMargin)
+			p, err = pl.Plan(w, plan.Caps{Maps: nodes * mapSlots, Reduces: nodes * reduceSlots}, spec.Priority)
 			if err != nil {
 				return err
 			}

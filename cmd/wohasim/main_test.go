@@ -31,7 +31,7 @@ func clusterCfg() woha.ClusterConfig {
 
 func TestRunXMLWorkload(t *testing.T) {
 	timeline := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(timeline); err != nil {
@@ -39,11 +39,18 @@ func TestRunXMLWorkload(t *testing.T) {
 	}
 }
 
+func TestRunXMLWorkloadParallelCachedPlans(t *testing.T) {
+	// Same workload through the parallel, cached planner path.
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil); err == nil {
+	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}); err == nil {
 		t.Error("missing workload accepted")
 	}
-	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil); err == nil {
+	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -51,7 +58,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunLiveXMLWorkload(t *testing.T) {
 	// Run the XML workload on the live mini-Hadoop at a steep compression.
 	start := time.Now()
-	if err := runLive(writeXML(t), "FIFO", 4, 2, 1, 0.00005, nil); err != nil {
+	if err := runLive(writeXML(t), "FIFO", 4, 2, 1, 0.00005, nil, planOpts{workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > 20*time.Second {
@@ -70,7 +77,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	defer srv.close()
 
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -83,6 +90,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"woha_heartbeat_duration_seconds",
 		"woha_tasks_assigned_total",
 		"woha_workflows_deadline_missed_total",
+		"woha_planner_plans_total",
+		"woha_planner_cache_misses_total",
 	} {
 		if !strings.Contains(scrape, name) {
 			t.Errorf("scrape missing %s", name)

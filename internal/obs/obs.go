@@ -24,6 +24,15 @@ const (
 	MetricQueueDeletes         = "woha_queue_deletes_total"
 	MetricQueueHeadHits        = "woha_queue_head_hits_total"
 	MetricQueueLagRecomputes   = "woha_queue_lag_recomputes_total"
+
+	// Planner subsystem (internal/planner): cached, parallel plan generation.
+	MetricPlannerPlans           = "woha_planner_plans_total"
+	MetricPlannerCacheHits       = "woha_planner_cache_hits_total"
+	MetricPlannerCacheMisses     = "woha_planner_cache_misses_total"
+	MetricPlannerCacheEvictions  = "woha_planner_cache_evictions_total"
+	MetricPlannerProbes          = "woha_planner_probes_total"
+	MetricPlannerProbesCancelled = "woha_planner_probes_cancelled_total"
+	MetricPlannerPlanDuration    = "woha_planner_plan_duration_seconds"
 )
 
 // Obs bundles a metrics registry and an event sink into the instrumentation
@@ -249,4 +258,59 @@ func (q *QueueStats) OnLagRecomputes(n int) {
 		return
 	}
 	q.LagRecomputes.Add(int64(n))
+}
+
+// PlannerStats bundles the instruments of the plan-generation service
+// (internal/planner): structural-cache effectiveness, speculative probe
+// accounting, and end-to-end plan latency. All methods are safe on a nil
+// receiver, so the planner carries a PlannerStats pointer unconditionally.
+type PlannerStats struct {
+	// Plans counts plans served (cache hits included).
+	Plans *Counter
+	// CacheHits, CacheMisses, and CacheEvictions describe the structural
+	// plan cache.
+	CacheHits      *Counter
+	CacheMisses    *Counter
+	CacheEvictions *Counter
+	// Probes counts Algorithm 1 simulations executed by cap searches;
+	// ProbesCancelled counts speculative probes skipped because a
+	// concurrent result already narrowed the search past them.
+	Probes          *Counter
+	ProbesCancelled *Counter
+	// PlanDur is the wall-clock latency of one planner request.
+	PlanDur *Histogram
+}
+
+// NewPlannerStats registers the planner instruments. Returns nil (disabled
+// stats) on a nil receiver.
+func (o *Obs) NewPlannerStats() *PlannerStats {
+	if o == nil {
+		return nil
+	}
+	return &PlannerStats{
+		Plans:          o.reg.Counter(MetricPlannerPlans, "Plans served by the planner (cache hits included)."),
+		CacheHits:      o.reg.Counter(MetricPlannerCacheHits, "Planner structural-cache hits."),
+		CacheMisses:    o.reg.Counter(MetricPlannerCacheMisses, "Planner structural-cache misses."),
+		CacheEvictions: o.reg.Counter(MetricPlannerCacheEvictions, "Plans evicted from the planner cache (LRU)."),
+		Probes:         o.reg.Counter(MetricPlannerProbes, "Algorithm 1 simulations executed by planner cap searches."),
+		ProbesCancelled: o.reg.Counter(MetricPlannerProbesCancelled,
+			"Speculative probes cancelled before running because the search had already narrowed past them."),
+		PlanDur: o.reg.Histogram(MetricPlannerPlanDuration,
+			"Wall-clock latency of one planner request.", DurationBuckets),
+	}
+}
+
+// OnPlan records one served plan: latency plus whether the structural cache
+// supplied it.
+func (s *PlannerStats) OnPlan(dur time.Duration, cached bool) {
+	if s == nil {
+		return
+	}
+	s.Plans.Inc()
+	s.PlanDur.ObserveDuration(dur)
+	if cached {
+		s.CacheHits.Inc()
+	} else {
+		s.CacheMisses.Inc()
+	}
 }

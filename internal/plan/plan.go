@@ -20,11 +20,20 @@
 // other workflows compete for slots (Fig 2), GenerateCapped binary-searches
 // the smallest resource cap under which the simulated makespan still meets
 // the deadline and builds the plan at that cap.
+//
+// Plan generation is the expensive half of workflow admission (each capped
+// plan runs O(log slots) Algorithm 1 simulations), so the simulators recycle
+// their state: all per-run buffers (event queue, active-job structures,
+// per-job counters, dependent adjacency, raw requirement list) live in
+// sync.Pool-managed sim objects with pre-sized reset methods, making repeated
+// probes near-zero-alloc. internal/planner builds on this with concurrent
+// probing and a structural plan cache.
 package plan
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/priority"
@@ -62,8 +71,11 @@ type Plan struct {
 	// TotalTasks is the workflow's task count; equals the last Req's Cum.
 	TotalTasks int
 	// SearchIters counts the Algorithm 1 simulations run to produce this
-	// plan: 1 for a direct Generate, 1 + the binary-search probe count for
-	// the capped generators. Diagnostic only; not part of the encoded plan.
+	// plan: 1 for a direct Generate, 1 + the probe count for the capped
+	// generators (speculative parallel probes included, so the Fig 2 cost
+	// accounting holds however the search was executed). A plan served
+	// from a cache reports 0. Diagnostic only; not part of the encoded
+	// plan.
 	SearchIters int
 }
 
@@ -82,10 +94,21 @@ func (p *Plan) RequiredAt(ttd time.Duration) int {
 	return p.Reqs[i-1].Cum
 }
 
+// Clone returns a deep copy of p. Plans are treated as immutable once handed
+// to the scheduler; Clone exists for caches and tests that must hand out
+// independently mutable copies.
+func (p *Plan) Clone() *Plan {
+	c := *p
+	c.Ranks = append([]int(nil), p.Ranks...)
+	c.Reqs = append([]Req(nil), p.Reqs...)
+	return &c
+}
+
 // Generate runs Algorithm 1: it simulates w executing alone on n slots with
 // jobs prioritized by ranks (smaller rank = higher priority) and returns the
 // resulting plan. ranks must be a permutation as produced by a
-// priority.Policy.
+// priority.Policy. Generate is safe for concurrent use; simulator state is
+// drawn from an internal pool.
 func Generate(w *workflow.Workflow, n int, policyName string, ranks []int) (*Plan, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("plan: resource cap %d, want > 0", n)
@@ -93,22 +116,35 @@ func Generate(w *workflow.Workflow, n int, policyName string, ranks []int) (*Pla
 	if len(ranks) != len(w.Jobs) {
 		return nil, fmt.Errorf("plan: %d ranks for %d jobs", len(ranks), len(w.Jobs))
 	}
-	sim := newGenSim(w, n, ranks)
-	raw, makespan, err := sim.run()
+	s := genSimPool.Get().(*genSim)
+	defer genSimPool.Put(s)
+	return generateWith(s, w, n, policyName, ranks)
+}
+
+// generateWith runs Algorithm 1 on an explicit simulator, so benchmarks can
+// compare pooled against freshly allocated state.
+func generateWith(s *genSim, w *workflow.Workflow, n int, policyName string, ranks []int) (*Plan, error) {
+	s.reset(w, n, ranks)
+	raw, makespan, err := s.run()
 	if err != nil {
 		return nil, err
 	}
+	return assemble(w, policyName, ranks, n, makespan, raw)
+}
+
+// assemble translates a simulation's raw scheduling events into a Plan:
+// event occurrence times become time-to-deadline and the requirement counts
+// become cumulative (Algorithm 1, lines 37-39).
+func assemble(w *workflow.Workflow, policyName string, ranks []int, totalCap int, makespan time.Duration, raw []rawReq) (*Plan, error) {
 	p := &Plan{
 		Policy:      policyName,
 		Ranks:       append([]int(nil), ranks...),
-		Cap:         n,
+		Cap:         totalCap,
 		Makespan:    makespan,
 		Feasible:    makespan <= w.RelativeDeadline(),
 		TotalTasks:  w.TotalTasks(),
 		SearchIters: 1,
 	}
-	// Translate event occurrence times into time-to-deadline and make the
-	// requirement counts cumulative (Algorithm 1, lines 37-39).
 	cum := 0
 	for _, r := range raw {
 		cum += r.count
@@ -151,6 +187,14 @@ func GenerateCapped(w *workflow.Workflow, clusterSlots int, pol priority.Policy)
 // below 1 absorbs both effects. margin must be in (0, 1]. The experiments
 // use 0.85.
 func GenerateCappedMargin(w *workflow.Workflow, clusterSlots int, pol priority.Policy, margin float64) (*Plan, error) {
+	return GenerateCappedMarginWith(w, clusterSlots, pol, margin, nil)
+}
+
+// GenerateCappedMarginWith is GenerateCappedMargin with an explicit cap
+// searcher; a nil search uses SequentialSearch. Any conforming searcher (see
+// CapSearcher) yields a byte-identical plan, so internal/planner can probe
+// caps concurrently without changing results.
+func GenerateCappedMarginWith(w *workflow.Workflow, clusterSlots int, pol priority.Policy, margin float64, search CapSearcher) (*Plan, error) {
 	if clusterSlots <= 0 {
 		return nil, fmt.Errorf("plan: cluster has %d slots, want > 0", clusterSlots)
 	}
@@ -166,7 +210,6 @@ func GenerateCappedMargin(w *workflow.Workflow, clusterSlots int, pol priority.P
 	if err != nil {
 		return nil, err
 	}
-	iters := 1
 	if full.Makespan > target {
 		// The whole cluster misses the margin target. Retry against the
 		// real deadline: a plan capped for the actual deadline demands far
@@ -179,26 +222,25 @@ func GenerateCappedMargin(w *workflow.Workflow, clusterSlots int, pol priority.P
 		}
 		target = w.RelativeDeadline()
 	}
-	lo, hi := 1, clusterSlots // invariant: hi meets the target
-	best := full
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		p, err := Generate(w, mid, pol.Name(), ranks)
-		if err != nil {
-			return nil, err
-		}
-		iters++
-		if p.Makespan <= target {
-			best, hi = p, mid
-		} else {
-			lo = mid + 1
-		}
+	if search == nil {
+		search = SequentialSearch
 	}
-	best.SearchIters = iters
+	best, probes, err := search(1, clusterSlots, target, func(mid int) (*Plan, error) {
+		return Generate(w, mid, pol.Name(), ranks)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		best = full
+	}
+	best.SearchIters = 1 + probes
 	return best, nil
 }
 
-// genSim is the Algorithm 1 simulator state.
+// genSim is the Algorithm 1 simulator state. Every buffer is retained across
+// runs (reset pre-sizes rather than re-allocates), so pooled sims make
+// repeated probes of the same or similar workflows nearly allocation-free.
 type genSim struct {
 	w     *workflow.Workflow
 	ranks []int
@@ -207,11 +249,14 @@ type genSim struct {
 	remMaps []int
 	remReds []int
 	unmet   []int
-	deps    [][]workflow.JobID
+	deps    depCSR
 
 	active activeHeap
 	events simtime.Queue[genEvent]
+	raw    []rawReq
 }
+
+var genSimPool = sync.Pool{New: func() any { return new(genSim) }}
 
 // genEvent is a FREE or ADD event from Algorithm 1. slots > 0 frees slots;
 // activate re-queues a job for its reduce phase or, for completions,
@@ -232,25 +277,33 @@ type rawReq struct {
 	count int
 }
 
-func newGenSim(w *workflow.Workflow, n int, ranks []int) *genSim {
-	s := &genSim{
-		w:       w,
-		ranks:   ranks,
-		remMaps: make([]int, len(w.Jobs)),
-		remReds: make([]int, len(w.Jobs)),
-		unmet:   make([]int, len(w.Jobs)),
-		deps:    w.Dependents(),
-	}
+// reset prepares s to simulate w on n slots under ranks, reusing all
+// retained buffers. The dependent adjacency is rebuilt only when w changes,
+// so the probes of one capped search share a single construction.
+func (s *genSim) reset(w *workflow.Workflow, n int, ranks []int) {
+	s.deps.build(w)
+	s.w = w
+	s.ranks = ranks
+	s.free = 0
+	nj := len(w.Jobs)
+	s.remMaps = resize(s.remMaps, nj)
+	s.remReds = resize(s.remReds, nj)
+	s.unmet = resize(s.unmet, nj)
+	s.active.items = s.active.items[:0]
+	s.events.Reset()
+	s.raw = s.raw[:0]
 	for i := range w.Jobs {
 		s.remMaps[i] = w.Jobs[i].Maps
 		s.remReds[i] = w.Jobs[i].Reduces
 		s.unmet[i] = len(w.Jobs[i].Prereqs)
 	}
-	for _, r := range w.Roots() {
-		s.activate(r)
+	// Roots activate in job-ID order, as Workflow.Roots reports them.
+	for i := range w.Jobs {
+		if s.unmet[i] == 0 {
+			s.activate(workflow.JobID(i))
+		}
 	}
 	s.events.Push(simtime.Epoch, genEvent{slots: n, reduceOf: -1, completed: -1})
-	return s
 }
 
 func (s *genSim) activate(j workflow.JobID) {
@@ -258,10 +311,7 @@ func (s *genSim) activate(j workflow.JobID) {
 }
 
 func (s *genSim) run() ([]rawReq, time.Duration, error) {
-	var (
-		raw []rawReq
-		end simtime.Time
-	)
+	var end simtime.Time
 	for s.events.Len() > 0 {
 		t, e, _ := s.events.Pop()
 		s.apply(e)
@@ -282,7 +332,7 @@ func (s *genSim) run() ([]rawReq, time.Duration, error) {
 			job := &s.w.Jobs[j]
 			if s.remMaps[j] > 0 {
 				k := min(s.remMaps[j], s.free)
-				raw = append(raw, rawReq{at: t, count: k})
+				s.raw = append(s.raw, rawReq{at: t, count: k})
 				s.free -= k
 				s.remMaps[j] -= k
 				done := t.Add(job.MapTime)
@@ -298,7 +348,7 @@ func (s *genSim) run() ([]rawReq, time.Duration, error) {
 				}
 			} else {
 				k := min(s.remReds[j], s.free)
-				raw = append(raw, rawReq{at: t, count: k})
+				s.raw = append(s.raw, rawReq{at: t, count: k})
 				s.free -= k
 				s.remReds[j] -= k
 				done := t.Add(job.ReduceTime)
@@ -316,7 +366,7 @@ func (s *genSim) run() ([]rawReq, time.Duration, error) {
 			return nil, 0, fmt.Errorf("plan: job %q never fully scheduled (internal error)", s.w.Jobs[i].Name)
 		}
 	}
-	return raw, end.Duration(), nil
+	return s.raw, end.Duration(), nil
 }
 
 func (s *genSim) apply(e genEvent) {
@@ -326,13 +376,71 @@ func (s *genSim) apply(e genEvent) {
 		s.activate(e.reduceOf)
 	}
 	if e.completed >= 0 {
-		for _, d := range s.deps[e.completed] {
+		for _, d := range s.deps.of(e.completed) {
 			s.unmet[d]--
 			if s.unmet[d] == 0 {
 				s.activate(d)
 			}
 		}
 	}
+}
+
+// depCSR is the dependent adjacency (Workflow.Dependents) in compressed
+// sparse row form: one flat edge list instead of a slice per job, rebuilt
+// only when the workflow changes and reusing its arrays otherwise.
+type depCSR struct {
+	w    *workflow.Workflow
+	head []int32
+	list []workflow.JobID
+	fill []int32
+}
+
+// build (re)derives the adjacency for w. The per-job edge order matches
+// Workflow.Dependents: dependents appear in increasing job-ID order.
+func (d *depCSR) build(w *workflow.Workflow) {
+	if d.w == w && d.head != nil {
+		return
+	}
+	d.w = w
+	n := len(w.Jobs)
+	d.head = resize(d.head, n+1)
+	for i := range d.head {
+		d.head[i] = 0
+	}
+	edges := 0
+	for i := range w.Jobs {
+		edges += len(w.Jobs[i].Prereqs)
+		for _, p := range w.Jobs[i].Prereqs {
+			d.head[p+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		d.head[i] += d.head[i-1]
+	}
+	d.list = resize(d.list, edges)
+	// Fill via a cursor per job; iterating dependents in increasing ID
+	// order keeps each job's edge list sorted.
+	d.fill = resize(d.fill, n)
+	copy(d.fill, d.head[:n])
+	for i := range w.Jobs {
+		for _, p := range w.Jobs[i].Prereqs {
+			d.list[d.fill[p]] = workflow.JobID(i)
+			d.fill[p]++
+		}
+	}
+}
+
+// of returns job j's dependents.
+func (d *depCSR) of(j workflow.JobID) []workflow.JobID {
+	return d.list[d.head[j]:d.head[j+1]]
+}
+
+// resize returns s with length n, reusing its backing array when possible.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // activeJob is an entry in the active-job heap, ordered by rank.

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"time"
@@ -132,6 +133,35 @@ func TestRequiredAt(t *testing.T) {
 	for _, tc := range tests {
 		if got := p.RequiredAt(tc.ttd); got != tc.want {
 			t.Errorf("RequiredAt(%v) = %d, want %d", tc.ttd, got, tc.want)
+		}
+	}
+}
+
+func TestRequiredAtEdgeCases(t *testing.T) {
+	// A plan with no requirements (e.g. decoded from an empty plan) demands
+	// nothing at any ttd, including at and past the deadline.
+	empty := &Plan{}
+	for _, ttd := range []time.Duration{-time.Hour, 0, time.Nanosecond, time.Hour} {
+		if got := empty.RequiredAt(ttd); got != 0 {
+			t.Errorf("empty plan: RequiredAt(%v) = %d, want 0", ttd, got)
+		}
+	}
+
+	single := &Plan{Reqs: []Req{{TTD: 10 * time.Second, Cum: 7}}}
+	tests := []struct {
+		ttd  time.Duration
+		want int
+	}{
+		{10*time.Second + time.Nanosecond, 0}, // just beyond the first entry
+		{10 * time.Second, 7},                 // exactly at the boundary
+		{10*time.Second - time.Nanosecond, 7},
+		{0, 7}, // at the deadline instant
+		{-time.Second, 7},
+		{1 << 62, 0}, // ttd beyond any entry: nothing due yet
+	}
+	for _, tc := range tests {
+		if got := single.RequiredAt(tc.ttd); got != tc.want {
+			t.Errorf("single entry: RequiredAt(%v) = %d, want %d", tc.ttd, got, tc.want)
 		}
 	}
 }
@@ -324,6 +354,50 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestPooledSimMatchesFresh interleaves pooled generations across workflows
+// of very different sizes with generations on freshly allocated simulator
+// state: reused (and re-sized) buffers must never leak results between runs.
+func TestPooledSimMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	flows := []*workflow.Workflow{
+		randomWorkflow(rng, 40),
+		randomWorkflow(rng, 3),
+		randomWorkflow(rng, 25),
+		singleJob(t, 5, 2, 9*time.Second, 21*time.Second, time.Hour),
+	}
+	for round := 0; round < 3; round++ {
+		for _, w := range flows {
+			ranks, err := (priority.LPF{}).Rank(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := Generate(w, 17, "LPF", ranks)
+			if err != nil {
+				t.Fatalf("pooled Generate: %v", err)
+			}
+			fresh, err := generateWith(new(genSim), w, 17, "LPF", ranks)
+			if err != nil {
+				t.Fatalf("fresh Generate: %v", err)
+			}
+			if !bytes.Equal(pooled.Encode(), fresh.Encode()) {
+				t.Fatalf("round %d, %s: pooled plan differs from fresh-state plan", round, w.Name)
+			}
+
+			pooledT, err := GenerateTyped(w, Caps{Maps: 11, Reduces: 6}, "LPF", ranks)
+			if err != nil {
+				t.Fatalf("pooled GenerateTyped: %v", err)
+			}
+			freshT, err := generateTypedWith(new(typedSim), w, Caps{Maps: 11, Reduces: 6}, "LPF", ranks)
+			if err != nil {
+				t.Fatalf("fresh GenerateTyped: %v", err)
+			}
+			if !bytes.Equal(pooledT.Encode(), freshT.Encode()) {
+				t.Fatalf("round %d, %s: pooled typed plan differs from fresh-state plan", round, w.Name)
+			}
+		}
+	}
+}
+
 func BenchmarkGenerate(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	w := randomWorkflow(rng, 30)
@@ -335,6 +409,26 @@ func BenchmarkGenerate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Generate(w, 40, "LPF", ranks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateFreshState is BenchmarkGenerate without simulator
+// pooling: every iteration simulates on newly allocated state, as the seed
+// implementation did. The allocs/op gap against BenchmarkGenerate is the
+// pooling win.
+func BenchmarkGenerateFreshState(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	w := randomWorkflow(rng, 30)
+	ranks, err := (priority.LPF{}).Rank(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := generateWith(new(genSim), w, 40, "LPF", ranks); err != nil {
 			b.Fatal(err)
 		}
 	}

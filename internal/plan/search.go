@@ -1,0 +1,46 @@
+package plan
+
+import "time"
+
+// Probe runs one Algorithm 1 simulation at a candidate resource cap and
+// returns the resulting plan. Probes are pure: the same cap always yields the
+// same plan, and concurrent invocations are safe.
+type Probe func(cap int) (*Plan, error)
+
+// CapSearcher executes the resource-cap bisection of Section IV-A over the
+// interval [lo, hi]: find the plan the sequential binary search settles on,
+// probing caps as needed, and report how many probes actually ran.
+//
+// The contract is exact equivalence with SequentialSearch: an implementation
+// may evaluate extra caps speculatively or concurrently, but the (lo, hi)
+// narrowing decisions must follow the sequential bisection on the same probe
+// results, so the returned plan — and therefore its encoded bytes — is
+// identical however the search is executed. best is nil when no probed cap
+// met the target (the caller falls back to its full-cluster plan); probes
+// counts every simulation actually executed, keeping the paper's Fig 2
+// plan-cost accounting honest even for speculative searches.
+//
+// Probe errors encountered on the bisection path abort the search. Errors on
+// speculative caps the sequential search would never visit must not.
+type CapSearcher func(lo, hi int, target time.Duration, probe Probe) (best *Plan, probes int, err error)
+
+// SequentialSearch is the seed implementation of CapSearcher: the plain
+// binary search of GenerateCappedMargin, one probe at a time.
+func SequentialSearch(lo, hi int, target time.Duration, probe Probe) (*Plan, int, error) {
+	var best *Plan
+	probes := 0
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		p, err := probe(mid)
+		if err != nil {
+			return nil, probes, err
+		}
+		probes++
+		if p.Makespan <= target {
+			best, hi = p, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, probes, nil
+}

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/priority"
@@ -28,6 +29,8 @@ func (c Caps) Total() int { return c.Maps + c.Reduces }
 // only from caps.Reduces. The work-conserving scan lets a lower-priority
 // job's reduces use idle reduce slots while a higher-priority job's maps
 // saturate the map pool, exactly as the real JobTracker dispatch does.
+// GenerateTyped is safe for concurrent use; simulator state is drawn from an
+// internal pool.
 func GenerateTyped(w *workflow.Workflow, caps Caps, policyName string, ranks []int) (*Plan, error) {
 	if caps.Maps <= 0 || caps.Reduces < 0 || caps.Total() <= 0 {
 		return nil, fmt.Errorf("plan: bad typed caps %+v", caps)
@@ -35,34 +38,39 @@ func GenerateTyped(w *workflow.Workflow, caps Caps, policyName string, ranks []i
 	if len(ranks) != len(w.Jobs) {
 		return nil, fmt.Errorf("plan: %d ranks for %d jobs", len(ranks), len(w.Jobs))
 	}
-	s := newTypedSim(w, caps, ranks)
+	s := typedSimPool.Get().(*typedSim)
+	defer typedSimPool.Put(s)
+	return generateTypedWith(s, w, caps, policyName, ranks)
+}
+
+// generateTypedWith runs the typed simulation on an explicit simulator, so
+// benchmarks can compare pooled against freshly allocated state.
+func generateTypedWith(s *typedSim, w *workflow.Workflow, caps Caps, policyName string, ranks []int) (*Plan, error) {
+	s.reset(w, caps, ranks)
 	raw, makespan, err := s.run()
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{
-		Policy:      policyName,
-		Ranks:       append([]int(nil), ranks...),
-		Cap:         caps.Total(),
-		Makespan:    makespan,
-		Feasible:    makespan <= w.RelativeDeadline(),
-		TotalTasks:  w.TotalTasks(),
-		SearchIters: 1,
+	return assemble(w, policyName, ranks, caps.Total(), makespan, raw)
+}
+
+// TypedCapsFor maps a total slot budget onto typed caps in the cluster's
+// map:reduce proportion, never letting either pool drop below one slot. It is
+// the slice function GenerateCappedTyped bisects over, exported so external
+// searchers probe exactly the same ladder of typed caps.
+func TypedCapsFor(cluster Caps, total int) Caps {
+	m := total * cluster.Maps / cluster.Total()
+	if m < 1 {
+		m = 1
 	}
-	cum := 0
-	for _, r := range raw {
-		cum += r.count
-		ttd := makespan - r.at.Duration()
-		if k := len(p.Reqs); k > 0 && p.Reqs[k-1].TTD == ttd {
-			p.Reqs[k-1].Cum = cum
-		} else {
-			p.Reqs = append(p.Reqs, Req{TTD: ttd, Cum: cum})
+	r := total - m
+	if r < 1 {
+		r = 1
+		if m > 1 {
+			m = total - 1
 		}
 	}
-	if cum != p.TotalTasks {
-		return nil, fmt.Errorf("plan: typed simulation scheduled %d tasks, workflow has %d", cum, p.TotalTasks)
-	}
-	return p, nil
+	return Caps{Maps: m, Reduces: r}
 }
 
 // GenerateCappedTyped finds the smallest proportional slice of the cluster's
@@ -72,6 +80,14 @@ func GenerateTyped(w *workflow.Workflow, caps Caps, policyName string, ranks []i
 // retries against the real deadline, and a genuinely infeasible workflow
 // gets the best-effort full plan.
 func GenerateCappedTyped(w *workflow.Workflow, cluster Caps, pol priority.Policy, margin float64) (*Plan, error) {
+	return GenerateCappedTypedWith(w, cluster, pol, margin, nil)
+}
+
+// GenerateCappedTypedWith is GenerateCappedTyped with an explicit cap
+// searcher; a nil search uses SequentialSearch. Any conforming searcher (see
+// CapSearcher) yields a byte-identical plan, so internal/planner can probe
+// caps concurrently without changing results.
+func GenerateCappedTypedWith(w *workflow.Workflow, cluster Caps, pol priority.Policy, margin float64, search CapSearcher) (*Plan, error) {
 	if cluster.Maps <= 0 || cluster.Reduces <= 0 {
 		return nil, fmt.Errorf("plan: bad cluster caps %+v", cluster)
 	}
@@ -82,52 +98,36 @@ func GenerateCappedTyped(w *workflow.Workflow, cluster Caps, pol priority.Policy
 	if err != nil {
 		return nil, fmt.Errorf("plan: ranking jobs: %w", err)
 	}
-	capsFor := func(total int) Caps {
-		m := total * cluster.Maps / cluster.Total()
-		if m < 1 {
-			m = 1
-		}
-		r := total - m
-		if r < 1 {
-			r = 1
-			if m > 1 {
-				m = total - 1
-			}
-		}
-		return Caps{Maps: m, Reduces: r}
-	}
 	target := time.Duration(margin * float64(w.RelativeDeadline()))
 	full, err := GenerateTyped(w, cluster, pol.Name(), ranks)
 	if err != nil {
 		return nil, err
 	}
-	iters := 1
 	if full.Makespan > target {
 		if full.Makespan > w.RelativeDeadline() {
 			return full, nil
 		}
 		target = w.RelativeDeadline()
 	}
-	lo, hi := 2, cluster.Total() // invariant: hi meets the target
-	best := full
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		p, err := GenerateTyped(w, capsFor(mid), pol.Name(), ranks)
-		if err != nil {
-			return nil, err
-		}
-		iters++
-		if p.Makespan <= target {
-			best, hi = p, mid
-		} else {
-			lo = mid + 1
-		}
+	if search == nil {
+		search = SequentialSearch
 	}
-	best.SearchIters = iters
+	best, probes, err := search(2, cluster.Total(), target, func(mid int) (*Plan, error) {
+		return GenerateTyped(w, TypedCapsFor(cluster, mid), pol.Name(), ranks)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		best = full
+	}
+	best.SearchIters = 1 + probes
 	return best, nil
 }
 
-// typedSim simulates Algorithm 1 with two slot pools.
+// typedSim simulates Algorithm 1 with two slot pools. Like genSim, all its
+// buffers are retained across runs so pooled sims make repeated probes
+// nearly allocation-free.
 type typedSim struct {
 	w     *workflow.Workflow
 	ranks []int
@@ -135,13 +135,19 @@ type typedSim struct {
 	freeMaps, freeReds int
 	remMaps, remReds   []int
 	unmet              []int
-	deps               [][]workflow.JobID
+	deps               depCSR
 
-	// active holds ready jobs; scanned in rank order per event.
-	active map[workflow.JobID]bool
+	// active holds ready jobs sorted by ascending rank (ranks are a
+	// permutation, so the order is total and deterministic); scan holds the
+	// per-event snapshot scanned while active mutates.
+	active []workflow.JobID
+	scan   []workflow.JobID
 
 	events simtime.Queue[typedEvent]
+	raw    []rawReq
 }
+
+var typedSimPool = sync.Pool{New: func() any { return new(typedSim) }}
 
 type typedEvent struct {
 	freeMaps  int
@@ -150,36 +156,54 @@ type typedEvent struct {
 	completed workflow.JobID // -1 if none
 }
 
-func newTypedSim(w *workflow.Workflow, caps Caps, ranks []int) *typedSim {
-	s := &typedSim{
-		w:        w,
-		ranks:    ranks,
-		freeMaps: caps.Maps,
-		freeReds: caps.Reduces,
-		remMaps:  make([]int, len(w.Jobs)),
-		remReds:  make([]int, len(w.Jobs)),
-		unmet:    make([]int, len(w.Jobs)),
-		deps:     w.Dependents(),
-		active:   make(map[workflow.JobID]bool),
-	}
+// reset prepares s to simulate w under caps and ranks, reusing all retained
+// buffers; the dependent adjacency is rebuilt only when w changes.
+func (s *typedSim) reset(w *workflow.Workflow, caps Caps, ranks []int) {
+	s.deps.build(w)
+	s.w = w
+	s.ranks = ranks
+	s.freeMaps = caps.Maps
+	s.freeReds = caps.Reduces
+	nj := len(w.Jobs)
+	s.remMaps = resize(s.remMaps, nj)
+	s.remReds = resize(s.remReds, nj)
+	s.unmet = resize(s.unmet, nj)
+	s.active = s.active[:0]
+	s.events.Reset()
+	s.raw = s.raw[:0]
 	for i := range w.Jobs {
 		s.remMaps[i] = w.Jobs[i].Maps
 		s.remReds[i] = w.Jobs[i].Reduces
 		s.unmet[i] = len(w.Jobs[i].Prereqs)
 	}
-	for _, r := range w.Roots() {
-		s.active[r] = true
+	for i := range w.Jobs {
+		if s.unmet[i] == 0 {
+			s.activate(workflow.JobID(i))
+		}
 	}
 	// Kick the simulation with a zero event so scheduling happens at t=0.
 	s.events.Push(simtime.Epoch, typedEvent{reduceOf: -1, completed: -1})
-	return s
+}
+
+// activate inserts j into the rank-sorted active list.
+func (s *typedSim) activate(j workflow.JobID) {
+	r := s.ranks[j]
+	i := sort.Search(len(s.active), func(k int) bool { return s.ranks[s.active[k]] > r })
+	s.active = append(s.active, 0)
+	copy(s.active[i+1:], s.active[i:])
+	s.active[i] = j
+}
+
+// deactivate removes j from the active list.
+func (s *typedSim) deactivate(j workflow.JobID) {
+	r := s.ranks[j]
+	i := sort.Search(len(s.active), func(k int) bool { return s.ranks[s.active[k]] >= r })
+	copy(s.active[i:], s.active[i+1:])
+	s.active = s.active[:len(s.active)-1]
 }
 
 func (s *typedSim) run() ([]rawReq, time.Duration, error) {
-	var (
-		raw []rawReq
-		end simtime.Time
-	)
+	var end simtime.Time
 	for s.events.Len() > 0 {
 		t, e, _ := s.events.Pop()
 		s.apply(e)
@@ -193,21 +217,23 @@ func (s *typedSim) run() ([]rawReq, time.Duration, error) {
 		}
 
 		// Work-conserving scan in rank order: each active job takes what
-		// its current phase can use from the matching pool.
-		for _, j := range s.activeByRank() {
+		// its current phase can use from the matching pool. Scan a
+		// snapshot because exhausted jobs leave the active list mid-scan.
+		s.scan = append(s.scan[:0], s.active...)
+		for _, j := range s.scan {
 			job := &s.w.Jobs[j]
 			if s.remMaps[j] > 0 {
 				k := min(s.remMaps[j], s.freeMaps)
 				if k == 0 {
 					continue
 				}
-				raw = append(raw, rawReq{at: t, count: k})
+				s.raw = append(s.raw, rawReq{at: t, count: k})
 				s.freeMaps -= k
 				s.remMaps[j] -= k
 				done := t.Add(job.MapTime)
 				end = simtime.MaxOf(end, done)
 				if s.remMaps[j] == 0 {
-					delete(s.active, j)
+					s.deactivate(j)
 					if s.remReds[j] > 0 {
 						s.events.Push(done, typedEvent{freeMaps: k, reduceOf: j, completed: -1})
 					} else {
@@ -221,13 +247,13 @@ func (s *typedSim) run() ([]rawReq, time.Duration, error) {
 				if k == 0 {
 					continue
 				}
-				raw = append(raw, rawReq{at: t, count: k})
+				s.raw = append(s.raw, rawReq{at: t, count: k})
 				s.freeReds -= k
 				s.remReds[j] -= k
 				done := t.Add(job.ReduceTime)
 				end = simtime.MaxOf(end, done)
 				if s.remReds[j] == 0 {
-					delete(s.active, j)
+					s.deactivate(j)
 					s.events.Push(done, typedEvent{freeReds: k, reduceOf: -1, completed: j})
 				} else {
 					s.events.Push(done, typedEvent{freeReds: k, reduceOf: -1, completed: -1})
@@ -240,30 +266,21 @@ func (s *typedSim) run() ([]rawReq, time.Duration, error) {
 			return nil, 0, fmt.Errorf("plan: job %q never fully scheduled (typed sim internal error)", s.w.Jobs[i].Name)
 		}
 	}
-	return raw, end.Duration(), nil
+	return s.raw, end.Duration(), nil
 }
 
 func (s *typedSim) apply(e typedEvent) {
 	s.freeMaps += e.freeMaps
 	s.freeReds += e.freeReds
 	if e.reduceOf >= 0 {
-		s.active[e.reduceOf] = true
+		s.activate(e.reduceOf)
 	}
 	if e.completed >= 0 {
-		for _, d := range s.deps[e.completed] {
+		for _, d := range s.deps.of(e.completed) {
 			s.unmet[d]--
 			if s.unmet[d] == 0 {
-				s.active[d] = true
+				s.activate(d)
 			}
 		}
 	}
-}
-
-func (s *typedSim) activeByRank() []workflow.JobID {
-	out := make([]workflow.JobID, 0, len(s.active))
-	for j := range s.active {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(a, b int) bool { return s.ranks[out[a]] < s.ranks[out[b]] })
-	return out
 }

@@ -227,3 +227,21 @@ func BenchmarkGenerateTyped(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGenerateTypedFreshState simulates on newly allocated state every
+// iteration; the gap to BenchmarkGenerateTyped is the pooling win.
+func BenchmarkGenerateTypedFreshState(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	w := randomWorkflow(rng, 30)
+	ranks, err := priority.LPF{}.Rank(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := generateTypedWith(new(typedSim), w, Caps{Maps: 30, Reduces: 15}, "LPF", ranks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

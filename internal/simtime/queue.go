@@ -1,7 +1,5 @@
 package simtime
 
-import "container/heap"
-
 // Queue is a deterministic future-event list: a priority queue of payloads
 // ordered by firing time, with FIFO ordering among events that share the same
 // instant. The zero value is an empty queue ready to use.
@@ -10,8 +8,13 @@ import "container/heap"
 // WOHA paper) and the cluster simulator schedule many events at identical
 // instants; heap ties broken by pointer order or map iteration would make
 // runs irreproducible.
+//
+// The heap is implemented by hand rather than over container/heap: the
+// standard interface boxes every pushed event into an `any`, which costs one
+// allocation per event — the dominant cost of an Algorithm 1 probe, run
+// O(log slots) times per admitted workflow.
 type Queue[T any] struct {
-	h eventHeap[T]
+	h []event[T]
 	// seq is a monotonically increasing stamp assigned at Push time so that
 	// events pushed earlier pop earlier among equal firing times.
 	seq uint64
@@ -20,7 +23,8 @@ type Queue[T any] struct {
 // Push schedules payload v to fire at instant at.
 func (q *Queue[T]) Push(at Time, v T) {
 	q.seq++
-	heap.Push(&q.h, event[T]{at: at, seq: q.seq, payload: v})
+	q.h = append(q.h, event[T]{at: at, seq: q.seq, payload: v})
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. ok is false when the queue is
@@ -30,8 +34,15 @@ func (q *Queue[T]) Pop() (at Time, v T, ok bool) {
 		var zero T
 		return 0, zero, false
 	}
-	e := heap.Pop(&q.h).(event[T])
-	return e.at, e.payload, true
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = event[T]{} // release payload for GC
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.at, top.payload, true
 }
 
 // Peek returns the firing time of the earliest event without removing it.
@@ -46,32 +57,56 @@ func (q *Queue[T]) Peek() (at Time, ok bool) {
 // Len returns the number of pending events.
 func (q *Queue[T]) Len() int { return len(q.h) }
 
+// Reset empties the queue while keeping its backing storage, so a pooled
+// simulator can reuse one queue across runs without re-allocating. Payloads
+// still queued are zeroed to release anything they reference.
+func (q *Queue[T]) Reset() {
+	for i := range q.h {
+		q.h[i] = event[T]{}
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+}
+
 type event[T any] struct {
 	at      Time
 	seq     uint64
 	payload T
-}
-
-type eventHeap[T any] []event[T]
-
-func (h eventHeap[T]) Len() int { return len(h) }
-
-func (h eventHeap[T]) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap[T]) Push(x any) { *h = append(*h, x.(event[T])) }
-
-func (h *eventHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event[T]{} // release payload for GC
-	*h = old[:n-1]
-	return e
 }

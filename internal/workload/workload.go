@@ -130,6 +130,19 @@ type YahooConfig struct {
 	// DeadlineFloor is the minimum relative deadline: production SLOs are
 	// set in minutes or hours even for small workflows.
 	DeadlineFloor time.Duration
+	// Planner, when non-nil, serves the makespan estimates behind deadline
+	// assignment (pass a *planner.Planner). Random DAGs rarely repeat a
+	// shape, but template-heavy or recurring populations estimate each
+	// shape once; a nil Planner runs the seed plan.GenerateForPolicy path.
+	Planner Estimator
+}
+
+// Estimator is the slice of the planner service deadline assignment needs:
+// an uncapped Algorithm 1 makespan estimate at a reference slot count.
+// *planner.Planner implements it; workload deliberately depends on the
+// interface only, so the planner package can test against workload corpora.
+type Estimator interface {
+	Estimate(w *workflow.Workflow, slots int, pol priority.Policy) (*plan.Plan, error)
 }
 
 // DefaultYahooConfig matches the paper's composition with task statistics
@@ -223,7 +236,7 @@ func assignDeadlines(rng *rand.Rand, flows []*workflow.Workflow, cfg YahooConfig
 			if !inTight[i] {
 				continue
 			}
-			p, err := plan.GenerateForPolicy(w, cfg.ReferenceSlots, priority.HLF{})
+			p, err := estimate(cfg.Planner, w, cfg.ReferenceSlots)
 			if err != nil {
 				return err
 			}
@@ -244,7 +257,7 @@ func assignDeadlines(rng *rand.Rand, flows []*workflow.Workflow, cfg YahooConfig
 	case DeadlineStretch:
 		for _, w := range flows {
 			stretch := cfg.StretchMin + rng.Float64()*(cfg.StretchMax-cfg.StretchMin)
-			if err := AssignDeadline(w, cfg.ReferenceSlots, stretch); err != nil {
+			if err := AssignDeadlineWith(cfg.Planner, w, cfg.ReferenceSlots, stretch); err != nil {
 				return err
 			}
 			if rel := w.RelativeDeadline(); rel < cfg.DeadlineFloor {
@@ -334,12 +347,28 @@ func RandomDAG(rng *rand.Rand, gen *trace.Generator, name string, size int, rele
 // client would estimate against the full cluster. stretch <= 1 yields an
 // unmeetable-under-contention deadline; larger values add slack.
 func AssignDeadline(w *workflow.Workflow, slots int, stretch float64) error {
-	p, err := plan.GenerateForPolicy(w, slots, priority.HLF{})
+	return AssignDeadlineWith(nil, w, slots, stretch)
+}
+
+// AssignDeadlineWith is AssignDeadline with the makespan estimate served by
+// pl (nil falls back to a direct, uncached Algorithm 1 run). The two paths
+// produce identical deadlines; pl only avoids re-simulating repeated shapes.
+func AssignDeadlineWith(pl Estimator, w *workflow.Workflow, slots int, stretch float64) error {
+	p, err := estimate(pl, w, slots)
 	if err != nil {
 		return fmt.Errorf("workload: assigning deadline for %q: %w", w.Name, err)
 	}
 	w.Deadline = w.Release.Add(time.Duration(stretch * float64(p.Makespan)))
 	return nil
+}
+
+// estimate is the single-slot-pool HLF makespan estimate deadline assignment
+// rests on, planner-cached when a planner is supplied.
+func estimate(pl Estimator, w *workflow.Workflow, slots int) (*plan.Plan, error) {
+	if pl != nil {
+		return pl.Estimate(w, slots, priority.HLF{})
+	}
+	return plan.GenerateForPolicy(w, slots, priority.HLF{})
 }
 
 // Recur builds n instances of a recurring workflow: instance k is released

@@ -3,6 +3,7 @@ package woha
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/cluster"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/planner"
 	"repro/internal/priority"
 	"repro/internal/scheduler"
 	"repro/internal/simtime"
@@ -199,11 +201,13 @@ func (s Scheduler) newPolicy(seed int64, ins *obs.Obs) (cluster.Policy, error) {
 type SessionOption func(*sessionOptions)
 
 type sessionOptions struct {
-	seed     int64
-	margin   float64
-	observer Observer
-	policy   Policy
-	obs      *obs.Obs
+	seed        int64
+	margin      float64
+	observer    Observer
+	policy      Policy
+	obs         *obs.Obs
+	planWorkers int
+	planCache   int
 }
 
 // WithSeed sets the seed for the scheduler's internal PRNG.
@@ -215,6 +219,29 @@ func WithSeed(seed int64) SessionOption {
 // (default 0.85; see plan.GenerateCappedMargin).
 func WithPlanMargin(margin float64) SessionOption {
 	return func(o *sessionOptions) { o.margin = margin }
+}
+
+// WithPlannerWorkers sets how many Algorithm 1 probes Submit's plan
+// generation may run concurrently (and the across-workflow concurrency of
+// SubmitAll). n <= 0 selects one worker per core; the default is 1
+// (sequential, the seed behaviour). Any worker count produces byte-identical
+// plans — see internal/planner.
+func WithPlannerWorkers(n int) SessionOption {
+	return func(o *sessionOptions) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		o.planWorkers = n
+	}
+}
+
+// WithPlanCache enables the structural plan cache with room for n plans
+// (n <= 0 disables, the default). Workflows sharing a DAG shape, task
+// statistics, policy, and relative deadline — recurring instances,
+// template-stamped copies — are served one simulated plan; see
+// internal/planner.
+func WithPlanCache(n int) SessionOption {
+	return func(o *sessionOptions) { o.planCache = n }
 }
 
 // WithObserver attaches a task lifecycle observer (e.g. NewTimeline()).
@@ -267,11 +294,12 @@ func WriteTrace(w io.Writer, events []ObsEvent) error { return obs.WriteTrace(w,
 // schedulers, Submit plays the client role and generates the workflow's
 // resource-capped scheduling plan before handing both to the JobTracker.
 type Session struct {
-	cfg   ClusterConfig
-	sched Scheduler
-	prio  PriorityPolicy
-	sim   *cluster.Simulator
-	opts  sessionOptions
+	cfg     ClusterConfig
+	sched   Scheduler
+	prio    PriorityPolicy
+	sim     *cluster.Simulator
+	opts    sessionOptions
+	planner *planner.Planner
 }
 
 // NewSession creates a session on a cluster configured by cfg under the
@@ -295,7 +323,16 @@ func NewSession(cfg ClusterConfig, sched Scheduler, opts ...SessionOption) (*Ses
 		return nil, fmt.Errorf("woha: %w", err)
 	}
 	sim.SetInstrumentation(o.obs)
-	return &Session{cfg: cfg, sched: sched, prio: sched.priorityFor(), sim: sim, opts: o}, nil
+	s := &Session{cfg: cfg, sched: sched, prio: sched.priorityFor(), sim: sim, opts: o}
+	if s.prio != nil && o.policy == nil {
+		s.planner = planner.New(planner.Config{
+			Workers:   o.planWorkers,
+			CacheSize: o.planCache,
+			Margin:    o.margin,
+			Obs:       o.obs,
+		})
+	}
+	return s, nil
 }
 
 // Submit queues a workflow. Under a WOHA scheduler the session generates the
@@ -303,15 +340,41 @@ func NewSession(cfg ClusterConfig, sched Scheduler, opts ...SessionOption) (*Ses
 // receive no plan, as in the paper.
 func (s *Session) Submit(w *Workflow) error {
 	var p *Plan
-	if s.prio != nil && s.opts.policy == nil {
+	if s.planner != nil {
 		var err error
-		p, err = GeneratePlanTyped(w, s.cfg.MapSlots(), s.cfg.ReduceSlots(), s.prio, s.opts.margin)
+		p, err = s.planner.Plan(w, plan.Caps{Maps: s.cfg.MapSlots(), Reduces: s.cfg.ReduceSlots()}, s.prio)
 		if err != nil {
 			return fmt.Errorf("woha: %w", err)
 		}
 		s.opts.obs.PlanGenerated(w.Release, w.Name, p.SearchIters)
 	}
 	return s.SubmitWithPlan(w, p)
+}
+
+// SubmitAll queues a batch of workflows in order. Under a WOHA scheduler the
+// batch's plans are generated through the session planner — concurrently
+// across workflows when WithPlannerWorkers allows — before any submission,
+// so a failed plan leaves the session untouched.
+func (s *Session) SubmitAll(flows []*Workflow) error {
+	if s.planner == nil {
+		for _, w := range flows {
+			if err := s.Submit(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	plans, err := s.planner.PlanAll(flows, plan.Caps{Maps: s.cfg.MapSlots(), Reduces: s.cfg.ReduceSlots()}, s.prio)
+	if err != nil {
+		return fmt.Errorf("woha: %w", err)
+	}
+	for i, w := range flows {
+		s.opts.obs.PlanGenerated(w.Release, w.Name, plans[i].SearchIters)
+		if err := s.SubmitWithPlan(w, plans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SubmitWithPlan queues a workflow with a caller-provided plan (may be nil).
