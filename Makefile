@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench-plan
+.PHONY: build test vet race verify bench-plan bench-sim bench-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,9 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrent subsystems: observability fan-out, the live
-# (RPC) job tracker, and the parallel/cached planner.
+# (RPC) job tracker, the parallel/cached planner, and the scenario runner.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/...
+	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/...
 
 # Tier-1 gate plus static analysis and race checks — run before every PR.
 verify: build test vet race
@@ -22,3 +22,13 @@ verify: build test vet race
 # Regenerate the committed planner throughput numbers.
 bench-plan:
 	$(GO) run ./cmd/wohabench -bench-out BENCH_plan.json
+
+# Regenerate the committed simulation throughput numbers (Fig 8 corpus,
+# serial vs 8-worker runner).
+bench-sim:
+	$(GO) run ./cmd/wohabench -sim-bench-out BENCH_sim.json
+
+# One-iteration pass over every benchmark: proves they still run without
+# paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

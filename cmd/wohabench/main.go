@@ -5,12 +5,15 @@
 //
 // With -bench-out it instead benchmarks plan-generation throughput
 // (sequential vs parallel vs cached planner; see internal/planner) and
-// writes the numbers as JSON.
+// writes the numbers as JSON. With -sim-bench-out it benchmarks simulation
+// throughput over the Fig 8 corpus (serial vs 8-worker runner; see
+// internal/runner).
 //
 // Usage:
 //
 //	wohabench [-fig all|2|3|5|6|8|9|10|11|12|13a|13b] [-timeline-dir DIR] [-trace-out FILE]
 //	wohabench -bench-out BENCH_plan.json
+//	wohabench -sim-bench-out BENCH_sim.json
 package main
 
 import (
@@ -29,10 +32,19 @@ func main() {
 	timelineDir := flag.String("timeline-dir", "", "directory to write Fig 14-19 CSVs into (empty = skip)")
 	traceOut := flag.String("trace-out", "", "record the Fig 11 scenario under WOHA-LPF as Chrome trace-event JSON to this file (open in ui.perfetto.dev)")
 	benchOut := flag.String("bench-out", "", "benchmark plan-generation throughput and write the JSON report to this file (- for stdout); skips the figure sweep")
+	simBenchOut := flag.String("sim-bench-out", "", "benchmark simulation throughput over the Fig 8 corpus (serial vs 8 workers) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	flag.Parse()
 
 	if *benchOut != "" {
 		if err := runPlanBench(*benchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *simBenchOut != "" {
+		if err := runSimBench(*simBenchOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wohabench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/runner"
+)
+
+// The -sim-bench-out mode measures simulation throughput: how fast the
+// discrete-event cluster replays the Fig 8 experiment corpus (six schedulers
+// x three cluster sizes over the 61-workflow Yahoo population). Plans are
+// generated once up front so the numbers isolate the simulator hot path, and
+// the corpus is timed serially and over an 8-worker pool — the runner
+// guarantees identical results either way, so the ratio is pure wall-clock.
+
+// simBenchReport is the JSON document -sim-bench-out writes.
+type simBenchReport struct {
+	// GoMaxProcs records the core budget: the parallel speedup is bounded
+	// by it (on a single-core host expect ~1x from parallelism; re-baseline
+	// on a multi-core host to see the pool win).
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+	Corpus     struct {
+		Cells         int `json:"cells"`
+		Schedulers    int `json:"schedulers"`
+		ClusterSizes  int `json:"cluster_sizes"`
+		Workflows     int `json:"workflows_per_cell"`
+		EventsPerPass int `json:"simulated_events_per_pass"`
+	} `json:"corpus"`
+	Modes []simBenchMode `json:"modes"`
+	// SpeedupParallel is serial ns/pass divided by the pool's ns/pass.
+	SpeedupParallel float64 `json:"speedup_parallel_x"`
+	Note            string  `json:"note,omitempty"`
+}
+
+type simBenchMode struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	NsPerScenario   int64   `json:"ns_per_scenario"`
+	NsPerSimEvent   float64 `json:"ns_per_simulated_event"`
+	NsPerPass       int64   `json:"ns_per_pass"`
+}
+
+// simBenchCells builds the Fig 8 corpus with every cell's plans generated
+// eagerly and memoized, so repeated passes time only the simulator.
+func simBenchCells() ([]runner.Cell, error) {
+	cells, err := experiments.Fig8Cells(experiments.DefaultFig8Config())
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		if cells[i].Plans == nil {
+			continue
+		}
+		plans, err := cells[i].Plans()
+		if err != nil {
+			return nil, fmt.Errorf("pre-generating plans for %s: %w", cells[i].Name, err)
+		}
+		cells[i].Plans = func() ([]*plan.Plan, error) { return plans, nil }
+	}
+	return cells, nil
+}
+
+// runSimBench measures the corpus serially and over an 8-worker pool and
+// writes the JSON report to path ("-" for stdout), echoing a summary to out.
+func runSimBench(path string, out io.Writer) error {
+	cells, err := simBenchCells()
+	if err != nil {
+		return err
+	}
+
+	var report simBenchReport
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.GoVersion = runtime.Version()
+	report.Corpus.Cells = len(cells)
+	report.Corpus.Schedulers = len(experiments.AllSchedulers())
+	report.Corpus.ClusterSizes = len(experiments.DefaultFig8Config().Sizes)
+	report.Corpus.Workflows = len(cells[0].Flows)
+	if report.GoMaxProcs < 8 {
+		report.Note = fmt.Sprintf("measured with GOMAXPROCS=%d: the 8-worker pool cannot beat serial without cores to run on; re-baseline on a multi-core host", report.GoMaxProcs)
+	}
+
+	// Warmup pass: verifies the corpus runs clean, fills the simulator pool,
+	// and counts the simulated events a pass replays.
+	results, err := runner.New(runner.Config{Workers: 1}).RunAll(cells)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		report.Corpus.EventsPerPass += res.SimulatedEvents
+	}
+
+	for _, m := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel-8", 8},
+	} {
+		run := runner.New(runner.Config{Workers: m.workers})
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := run.RunAll(cells); err != nil {
+					b.Fatalf("RunAll: %v", err)
+				}
+			}
+		})
+		nsPass := r.NsPerOp()
+		nsScenario := nsPass / int64(len(cells))
+		report.Modes = append(report.Modes, simBenchMode{
+			Name:            m.name,
+			Workers:         m.workers,
+			ScenariosPerSec: 1e9 / float64(nsScenario),
+			NsPerScenario:   nsScenario,
+			NsPerSimEvent:   float64(nsPass) / float64(report.Corpus.EventsPerPass),
+			NsPerPass:       nsPass,
+		})
+	}
+	report.SpeedupParallel = float64(report.Modes[0].NsPerPass) / float64(report.Modes[1].NsPerPass)
+
+	doc, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if path == "-" {
+		if _, err := out.Write(doc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(path, doc, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "sim benchmark (%d cells, %d simulated events/pass, GOMAXPROCS=%d):\n",
+		len(cells), report.Corpus.EventsPerPass, report.GoMaxProcs)
+	for _, m := range report.Modes {
+		fmt.Fprintf(out, "  %-11s %8.1f scenarios/sec  %6.0f ns/simulated-event\n",
+			m.Name, m.ScenariosPerSec, m.NsPerSimEvent)
+	}
+	fmt.Fprintf(out, "  speedup: parallel-8 %.2fx (vs serial)\n", report.SpeedupParallel)
+	if report.Note != "" {
+		fmt.Fprintf(out, "  note: %s\n", report.Note)
+	}
+	if path != "-" {
+		fmt.Fprintf(out, "report written to %s\n", path)
+	}
+	return nil
+}

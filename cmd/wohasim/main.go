@@ -51,6 +51,8 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
 		planWorkers  = flag.Int("plan-workers", 1, "concurrent Algorithm 1 probes per plan search (0 = one per core)")
 		planCache    = flag.Int("plan-cache", 0, "structural plan cache capacity (0 = disabled)")
+		replicas     = flag.Int("replicas", 1, "replay the run once per seed (seed, seed+1, ...) and report per-seed outcomes")
+		replicaWork  = flag.Int("replica-workers", 0, "concurrent replicas (0 = one per core, 1 = serial; results identical either way)")
 	)
 	flag.Parse()
 	po := planOpts{workers: *planWorkers, cache: *planCache}
@@ -83,7 +85,7 @@ func main() {
 		return
 	}
 
-	if err := run(*workloadName, *schedName, woha.ClusterConfig{
+	cfg := woha.ClusterConfig{
 		Nodes:              *nodes,
 		MapSlotsPerNode:    *mapSlots,
 		ReduceSlotsPerNode: *reduceSlots,
@@ -91,7 +93,18 @@ func main() {
 		SubmitterOverhead:  *submitter,
 		Noise:              *noise,
 		Seed:               *seed,
-	}, *timeline, ins, po); err != nil {
+	}
+	var err error
+	if *replicas > 1 {
+		if *timeline != "" {
+			err = fmt.Errorf("-timeline records a single run; drop it or -replicas")
+		} else {
+			err = runReplicas(*workloadName, *schedName, cfg, *replicas, *replicaWork, ins, po)
+		}
+	} else {
+		err = run(*workloadName, *schedName, cfg, *timeline, ins, po)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
 		os.Exit(1)
 	}
@@ -222,6 +235,41 @@ func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath st
 		}
 		fmt.Printf("map-slot timeline written to %s\n", timelinePath)
 	}
+	return nil
+}
+
+// runReplicas replays the workload once per seed (cfg.Seed, cfg.Seed+1, ...)
+// through the parallel runner and reports the per-seed outcome spread.
+func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replicas, workers int, ins *woha.Instrumentation, po planOpts) error {
+	flows, err := buildWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	seeds := make([]int64, replicas)
+	for i := range seeds {
+		seeds[i] = cfg.Seed + int64(i)
+	}
+	opts := append(po.sessionOptions(), woha.WithInstrumentation(ins))
+	results, err := woha.RunSeeds(cfg, woha.Scheduler(schedName), flows, seeds, workers, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheduler %s on %d nodes (%d map + %d reduce slots), %d workflows, %d replicas\n",
+		schedName, cfg.Nodes, cfg.MapSlots(), cfg.ReduceSlots(), len(flows), replicas)
+	fmt.Printf("%-8s %8s %14s %14s %12s %10s\n", "seed", "misses", "max-tard", "total-tard", "makespan", "util")
+	var missSum int
+	var tardSum time.Duration
+	for i, res := range results {
+		missSum += res.DeadlineMisses()
+		tardSum += res.TotalTardiness()
+		fmt.Printf("%-8d %5d/%-2d %13.0fs %13.0fs %11.0fs %10.3f\n",
+			seeds[i], res.DeadlineMisses(), len(res.Workflows),
+			res.MaxTardiness().Seconds(), res.TotalTardiness().Seconds(),
+			res.Makespan.Duration().Seconds(), res.Utilization())
+	}
+	fmt.Printf("mean: %.2f misses, %.0fs total tardiness over %d seeds\n",
+		float64(missSum)/float64(replicas), tardSum.Seconds()/float64(replicas), replicas)
 	return nil
 }
 

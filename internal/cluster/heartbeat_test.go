@@ -1,0 +1,189 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// TestHeartbeatBusySuppression pins the dormant-node optimization: a node
+// with every slot occupied and speculation off stops ticking until a
+// completion wakes it. One map slot, zero reduce slots, one 50s map task:
+// the run needs the t=0 dispatch heartbeat and the completion — not the ~50
+// intermediate 1s ticks the naive re-arm would process.
+func TestHeartbeatBusySuppression(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 0,
+		HeartbeatInterval: time.Second,
+	}
+	w := workflow.NewBuilder("w").
+		Job("j", 1, 0, 50*time.Second, 0).
+		MustBuild(0, simtime.FromSeconds(100))
+	res := run(t, cfg, scheduler.NewFIFO(), w)
+
+	if got, want := res.Workflows[0].Finish, simtime.FromSeconds(50); got != want {
+		t.Errorf("Finish = %v, want %v", got, want)
+	}
+	// Arrival + dispatch heartbeat + completion, plus a constant few: far
+	// below the ~53 events an unsuppressed run processes.
+	if res.SimulatedEvents >= 10 {
+		t.Errorf("SimulatedEvents = %d, want < 10 (busy node must not keep ticking)", res.SimulatedEvents)
+	}
+}
+
+// TestHeartbeatDrainedSkipsToArrival pins the drained-cluster optimization:
+// when every arrived workflow is done but later releases are pending, ticks
+// jump to the next release instead of idling across the gap — without
+// shifting the heartbeat phase grid (the second workflow's timing stays
+// on-grid and exact).
+func TestHeartbeatDrainedSkipsToArrival(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 1, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		HeartbeatInterval: 4 * time.Second,
+	}
+	mk := func(name string, rel simtime.Time) *workflow.Workflow {
+		return workflow.NewBuilder(name).
+			Job("j", 1, 1, 5*time.Second, 5*time.Second).
+			MustBuild(rel, rel.Add(1000*time.Second))
+	}
+	// W1 at t=0: map dispatched at the t=0 tick (0-5), reduce at the t=8
+	// tick (8-13). W2 at t=100 (on the 4s grid): map 100-105, reduce 108-113.
+	res := run(t, cfg, scheduler.NewFIFO(), mk("w1", 0), mk("w2", simtime.FromSeconds(100)))
+
+	if got, want := res.Workflows[0].Finish, simtime.FromSeconds(13); got != want {
+		t.Errorf("w1 Finish = %v, want %v", got, want)
+	}
+	if got, want := res.Workflows[1].Finish, simtime.FromSeconds(113); got != want {
+		t.Errorf("w2 Finish = %v, want %v", got, want)
+	}
+	// The 13s..100s gap holds no events under skip-ahead; idling through it
+	// would add ~21 ticks.
+	if res.SimulatedEvents >= 25 {
+		t.Errorf("SimulatedEvents = %d, want < 25 (drained node must skip to the next arrival)", res.SimulatedEvents)
+	}
+}
+
+// TestHeartbeatOffGridArrival covers the skip-ahead rounding: an arrival off
+// the heartbeat grid must be served at the next on-grid tick after it, not
+// at the arrival instant.
+func TestHeartbeatOffGridArrival(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 0,
+		HeartbeatInterval: 4 * time.Second,
+	}
+	w := workflow.NewBuilder("w").
+		Job("j", 1, 0, 5*time.Second, 0).
+		MustBuild(simtime.FromSeconds(10), simtime.FromSeconds(1000))
+	res := run(t, cfg, scheduler.NewFIFO(), w)
+
+	// Release 10s is between ticks 8 and 12: dispatch at 12, finish at 17.
+	if got, want := res.Workflows[0].Finish, simtime.FromSeconds(17); got != want {
+		t.Errorf("Finish = %v, want %v (off-grid arrival must wait for the next tick)", got, want)
+	}
+}
+
+// TestSameSeedTwiceIdentical replays one configuration twice — noise,
+// stragglers, speculation, failures, heartbeats all on — and demands
+// identical Results. This pins the determinism of speculation victim choice
+// (the overdue heap breaks elapsed-time ties by attempt sequence) and of the
+// pooled simulator state across reuse.
+func TestSameSeedTwiceIdentical(t *testing.T) {
+	mk := func() *cluster.Result {
+		cfg := cluster.Config{
+			Nodes: 6, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+			Noise: 0.6, Seed: 11,
+			StragglerProb: 0.2, StragglerFactor: 4,
+			SpeculativeSlowdown: 1.2,
+			HeartbeatInterval:   3 * time.Second,
+			Failures: []cluster.Failure{
+				{Node: 2, At: simtime.FromSeconds(60), Downtime: 45 * time.Second},
+			},
+		}
+		w1 := workflow.NewBuilder("w1").
+			Job("a", 10, 3, 30*time.Second, 60*time.Second).
+			Job("b", 6, 2, 25*time.Second, 50*time.Second, "a").
+			MustBuild(0, simtime.FromSeconds(1e6))
+		w2 := workflow.NewBuilder("w2").
+			Job("a", 8, 2, 40*time.Second, 30*time.Second).
+			MustBuild(simtime.FromSeconds(20), simtime.FromSeconds(1e6))
+		sim, err := cluster.New(cfg, scheduler.NewFIFO(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []*workflow.Workflow{w1, w2} {
+			if err := sim.Submit(w, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Release() // second run draws this pooled state back out
+		return res
+	}
+	first := mk()
+	second := mk()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("same seed diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestHeartbeatSpeculationFailureConservation combines heartbeat-driven
+// dispatch with node failures and speculation — the three paths that retire
+// attempts — and checks logical-task conservation: every workflow finishes,
+// observer pairing balances, and concurrency never exceeds capacity.
+func TestHeartbeatSpeculationFailureConservation(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		cfg := cluster.Config{
+			Nodes: 5, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+			Noise: 0.6, Seed: int64(200 + trial),
+			SpeculativeSlowdown: 1.2,
+			HeartbeatInterval:   3 * time.Second,
+			Failures: []cluster.Failure{
+				{Node: trial % 5, At: simtime.FromSeconds(40), Downtime: 60 * time.Second},
+				{Node: (trial + 3) % 5, At: simtime.FromSeconds(100), Downtime: 50 * time.Second},
+			},
+		}
+		obs := &countingObserver{}
+		sim, err := cluster.New(cfg, scheduler.NewFIFO(), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i := 0; i < 2; i++ {
+			w := workflow.NewBuilder("w"+string(rune('0'+i))).
+				Job("a", 8, 2, 30*time.Second, 60*time.Second).
+				Job("b", 5, 1, 20*time.Second, 40*time.Second, "a").
+				MustBuild(simtime.FromSeconds(float64(10*i)), simtime.FromSeconds(1e6))
+			total += w.TotalTasks()
+			if err := sim.Submit(w, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range res.Workflows {
+			if w.Finish == 0 {
+				t.Fatalf("trial %d: %s never finished", trial, w.Name)
+			}
+		}
+		if res.TasksStarted < total {
+			t.Fatalf("trial %d: attempts %d < tasks %d", trial, res.TasksStarted, total)
+		}
+		if obs.started != obs.finished || obs.running != 0 {
+			t.Fatalf("trial %d: observer imbalance started=%d finished=%d running=%d",
+				trial, obs.started, obs.finished, obs.running)
+		}
+		if obs.maxRunning > cfg.TotalSlots() {
+			t.Fatalf("trial %d: concurrency %d exceeded %d slots", trial, obs.maxRunning, cfg.TotalSlots())
+		}
+	}
+}

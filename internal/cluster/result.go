@@ -40,6 +40,9 @@ type Result struct {
 	// LocalMaps and RemoteMaps split map assignments by data locality;
 	// both are zero when locality modeling is off.
 	LocalMaps, RemoteMaps int
+	// SimulatedEvents counts the discrete events the run processed — the
+	// denominator for ns/simulated-event throughput reporting.
+	SimulatedEvents int
 }
 
 func (s *Simulator) result() *Result {
@@ -52,6 +55,8 @@ func (s *Simulator) result() *Result {
 		TasksStarted: s.tasksStarted,
 		LocalMaps:    s.localMaps,
 		RemoteMaps:   s.remoteMaps,
+
+		SimulatedEvents: s.eventCount,
 	}
 	for _, ws := range s.states {
 		wr := WorkflowResult{

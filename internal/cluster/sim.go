@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -27,12 +29,26 @@ type Simulator struct {
 	arrivalsLeft int
 	doneCount    int
 	taskSeq      int
+	// eventCount tallies every discrete event processed (Result.SimulatedEvents).
+	eventCount int
 	// specWake is the earliest armed speculative wake-up (MaxTime = none),
 	// preventing duplicate retry events.
 	specWake simtime.Time
 	// attempts locates every running attempt by sequence number, for twin
 	// cleanup under speculative execution.
 	attempts map[int]attemptRef
+
+	// freeIdx[st] indexes the nodes that are up with at least one free slot
+	// of type st, so dispatch finds a slot without scanning every node.
+	freeIdx [2]nodeSet
+	// overdue[st] orders running attempts of type st by straggler-threshold
+	// crossing, so speculate pops its victim instead of scanning attempts.
+	overdue [2]specHeap
+	// arrivalTimes holds every submitted release time, sorted at Run;
+	// arrIdx counts arrivals already delivered, so the next pending arrival
+	// is an O(1) lookup for heartbeat skip-ahead.
+	arrivalTimes []simtime.Time
+	arrIdx       int
 
 	mapBusy, reduceBusy time.Duration
 	tasksStarted        int
@@ -42,17 +58,33 @@ type Simulator struct {
 
 	// ins is the optional runtime instrumentation; evCount holds the
 	// per-kind simulated-event counters (nil entries when uninstrumented —
-	// obs counters no-op on nil).
-	ins     *obs.Obs
-	evCount [numEventKinds]*obs.Counter
+	// obs counters no-op on nil), and the dispatch counters below track the
+	// hot-path work the free-slot index and heartbeat suppression save.
+	ins          *obs.Obs
+	evCount      [numEventKinds]*obs.Counter
+	offerCount   *obs.Counter
+	hbSupBusy    *obs.Counter
+	hbSupDrained *obs.Counter
+	specWakeups  *obs.Counter
 
 	ran bool
 }
+
+// simPool recycles simulator state — node tables, task-attempt maps, the
+// event queue, and both hot-path indexes — across runs. New draws from it
+// and Release returns to it, so repeated-scenario workloads (the experiment
+// runner, benches) stop paying per-run allocation for per-run state.
+var simPool = sync.Pool{New: func() any { return new(Simulator) }}
 
 type nodeState struct {
 	freeMap    int
 	freeReduce int
 	down       bool
+	// hbArmed reports whether a heartbeat event for this node is pending
+	// (heartbeat mode only). A dormant node — fully busy with speculation
+	// off, or idle with every live workflow done — stays unarmed until a
+	// completion, recovery, or arrival makes a tick useful again.
+	hbArmed bool
 	// running tracks in-flight tasks by sequence number, so completions of
 	// tasks lost to a failure are recognized as stale and ignored.
 	running map[int]runningTask
@@ -171,22 +203,6 @@ func New(cfg Config, pol Policy, obs Observer) (*Simulator, error) {
 	if pol == nil {
 		return nil, fmt.Errorf("cluster: nil policy")
 	}
-	s := &Simulator{
-		cfg:      cfg,
-		pol:      pol,
-		obs:      obs,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		nodes:    make([]nodeState, cfg.Nodes),
-		attempts: make(map[int]attemptRef),
-		specWake: simtime.MaxTime,
-	}
-	for i := range s.nodes {
-		s.nodes[i] = nodeState{
-			freeMap:    cfg.MapSlotsPerNode,
-			freeReduce: cfg.ReduceSlotsPerNode,
-			running:    make(map[int]runningTask),
-		}
-	}
 	for _, f := range cfg.Failures {
 		if f.Node < 0 || f.Node >= cfg.Nodes {
 			return nil, fmt.Errorf("cluster: failure on node %d of %d", f.Node, cfg.Nodes)
@@ -195,7 +211,88 @@ func New(cfg Config, pol Policy, obs Observer) (*Simulator, error) {
 			return nil, fmt.Errorf("cluster: bad failure schedule %+v", f)
 		}
 	}
+	s := simPool.Get().(*Simulator)
+	s.reset(cfg, pol, obs)
 	return s, nil
+}
+
+// reset reinitializes every field for a fresh run, reusing the backing
+// storage a pooled simulator brings along.
+func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
+	s.cfg, s.pol, s.obs = cfg, pol, obs
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		s.rng.Seed(cfg.Seed)
+	}
+	for i := range s.states {
+		s.states[i] = nil
+	}
+	s.states = s.states[:0]
+	for len(s.nodes) < cfg.Nodes {
+		s.nodes = append(s.nodes, nodeState{})
+	}
+	s.nodes = s.nodes[:cfg.Nodes]
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.freeMap, n.freeReduce = cfg.MapSlotsPerNode, cfg.ReduceSlotsPerNode
+		n.down, n.hbArmed = false, false
+		if n.running == nil {
+			n.running = make(map[int]runningTask)
+		} else {
+			clear(n.running)
+		}
+	}
+	if cfg.MapSlotsPerNode > 0 {
+		s.freeIdx[MapSlot].fill(cfg.Nodes)
+	} else {
+		s.freeIdx[MapSlot].reset(cfg.Nodes)
+	}
+	if cfg.ReduceSlotsPerNode > 0 {
+		s.freeIdx[ReduceSlot].fill(cfg.Nodes)
+	} else {
+		s.freeIdx[ReduceSlot].reset(cfg.Nodes)
+	}
+	s.overdue[MapSlot].reset()
+	s.overdue[ReduceSlot].reset()
+	s.events.Reset()
+	s.now = simtime.Epoch
+	s.arrivalsLeft, s.doneCount, s.taskSeq, s.eventCount = 0, 0, 0, 0
+	s.specWake = simtime.MaxTime
+	if s.attempts == nil {
+		s.attempts = make(map[int]attemptRef)
+	} else {
+		clear(s.attempts)
+	}
+	s.arrivalTimes = s.arrivalTimes[:0]
+	s.arrIdx = 0
+	s.mapBusy, s.reduceBusy = 0, 0
+	s.tasksStarted = 0
+	s.makespan = simtime.Epoch
+	s.localMaps, s.remoteMaps = 0, 0
+	s.SetInstrumentation(nil)
+	s.ran = false
+}
+
+// Release returns the simulator's internal state to the package pool for
+// reuse by a later New. Call it after Run when executing many scenarios
+// (Result is self-contained and stays valid); the simulator must not be
+// used afterwards. Release is optional — an unreleased simulator is simply
+// collected.
+func (s *Simulator) Release() {
+	s.pol, s.obs, s.ins = nil, nil, nil
+	for i := range s.states {
+		s.states[i] = nil
+	}
+	s.states = s.states[:0]
+	for i := range s.nodes {
+		clear(s.nodes[i].running)
+	}
+	clear(s.attempts)
+	s.events.Reset()
+	s.evCount = [numEventKinds]*obs.Counter{}
+	s.offerCount, s.hbSupBusy, s.hbSupDrained, s.specWakeups = nil, nil, nil, nil
+	simPool.Put(s)
 }
 
 // SetInstrumentation attaches the runtime observability bundle: simulated
@@ -206,11 +303,16 @@ func (s *Simulator) SetInstrumentation(o *obs.Obs) {
 	s.ins = o
 	if o == nil {
 		s.evCount = [numEventKinds]*obs.Counter{}
+		s.offerCount, s.hbSupBusy, s.hbSupDrained, s.specWakeups = nil, nil, nil, nil
 		return
 	}
 	for k, name := range eventKindNames {
 		s.evCount[k] = o.SimEventCounter(name)
 	}
+	s.offerCount = o.SimDispatchOffers()
+	s.hbSupBusy = o.SimHeartbeatsSuppressed("busy")
+	s.hbSupDrained = o.SimHeartbeatsSuppressed("drained")
+	s.specWakeups = o.SimSpecWakeups()
 }
 
 // Submit queues a workflow for arrival at its release time. p is the WOHA
@@ -240,6 +342,7 @@ func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
 	}
 	s.states = append(s.states, ws)
 	s.events.Push(w.Release, event{kind: evArrival, wf: ws.Index})
+	s.arrivalTimes = append(s.arrivalTimes, w.Release)
 	s.arrivalsLeft++
 	return nil
 }
@@ -255,12 +358,15 @@ func (s *Simulator) Run() (*Result, error) {
 	if len(s.states) == 0 {
 		return s.result(), nil
 	}
+	slices.Sort(s.arrivalTimes)
 	if s.cfg.HeartbeatInterval > 0 {
 		// Stagger heartbeats evenly across the interval, as a real fleet's
-		// unsynchronized trackers would.
+		// unsynchronized trackers would. Each node's ticks stay on its own
+		// phase grid (Epoch + offset + k*interval) for the whole run, so
+		// suppression and skip-ahead can never shift the tick times a node
+		// would naturally have fired at.
 		for i := range s.nodes {
-			offset := time.Duration(int64(s.cfg.HeartbeatInterval) * int64(i) / int64(len(s.nodes)))
-			s.events.Push(simtime.Epoch.Add(offset), event{kind: evHeartbeat, node: i})
+			s.armHeartbeat(i, simtime.Epoch.Add(s.hbOffset(i)))
 		}
 	}
 	for _, f := range s.cfg.Failures {
@@ -272,6 +378,7 @@ func (s *Simulator) Run() (*Result, error) {
 	for s.events.Len() > 0 {
 		at, e, _ := s.events.Pop()
 		s.now = at
+		s.eventCount++
 		s.evCount[e.kind].Inc()
 		switch e.kind {
 		case evArrival:
@@ -307,6 +414,7 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) arrive(wf int) {
 	ws := s.states[wf]
 	s.arrivalsLeft--
+	s.arrIdx++
 	s.ins.WorkflowSubmitted(s.now, wf, ws.Spec.Name)
 	s.pol.WorkflowAdded(ws, s.now)
 	// Activate every root before offering slots, so the policy sees the
@@ -353,7 +461,7 @@ func (s *Simulator) complete(e event) {
 	}
 	delete(node.running, e.seq)
 	delete(s.attempts, e.seq)
-	node.release(e.st)
+	s.releaseSlot(e.node, e.st)
 	if rt.twin != 0 {
 		s.killAttempt(rt.twin)
 	}
@@ -393,6 +501,7 @@ func (s *Simulator) complete(e event) {
 		s.pol.WorkflowCompleted(ws, s.now)
 	}
 	s.makespan = simtime.MaxOf(s.makespan, s.now)
+	s.wakeNode(e.node)
 	s.dispatchAll()
 }
 
@@ -407,6 +516,7 @@ func (s *Simulator) jobCompleted(ws *WorkflowState, job workflow.JobID) {
 }
 
 func (s *Simulator) heartbeat(node int) {
+	s.nodes[node].hbArmed = false
 	var t0 time.Time
 	started := 0
 	if s.ins != nil {
@@ -419,9 +529,88 @@ func (s *Simulator) heartbeat(node int) {
 		// decisions — the quantity WOHA's O(1)-per-heartbeat claim is about.
 		s.ins.HeartbeatServed(s.now, node, time.Since(t0), s.tasksStarted-started)
 	}
-	if s.doneCount < len(s.states) || s.arrivalsLeft > 0 {
-		s.events.Push(s.now.Add(s.cfg.HeartbeatInterval), event{kind: evHeartbeat, node: node})
+	s.rearmHeartbeat(node)
+}
+
+// armHeartbeat schedules node's next heartbeat tick.
+func (s *Simulator) armHeartbeat(node int, at simtime.Time) {
+	s.nodes[node].hbArmed = true
+	s.events.Push(at, event{kind: evHeartbeat, node: node})
+}
+
+// rearmHeartbeat decides when node ticks next. The default is one interval
+// from now; two cases suppress ticks that provably cannot schedule work:
+//
+//   - drained: every live workflow is done, so no completion or activation
+//     can occur before the next arrival — sleep straight to the first
+//     on-grid tick that can see it (arrival events at the same instant pop
+//     first, having been pushed at Submit).
+//   - busy: the node has no free slot of either type, so a tick cannot
+//     place work on it; stay dormant until a completion or recovery wakes
+//     it (wakeNode). Only valid with speculation off — an all-busy node's
+//     tick can still launch speculative twins on other nodes' free slots.
+func (s *Simulator) rearmHeartbeat(node int) {
+	if s.doneCount == len(s.states) {
+		return // run complete; let the event queue drain
 	}
+	if s.doneCount == s.arrIdx {
+		// Every arrived workflow is done, so only the next arrival
+		// (arrivalsLeft > 0 here) can create schedulable work.
+		s.hbSupDrained.Inc()
+		s.armHeartbeat(node, s.nextTick(node, s.nextArrival()))
+		return
+	}
+	n := &s.nodes[node]
+	if s.cfg.SpeculativeSlowdown == 0 && n.freeMap == 0 && n.freeReduce == 0 {
+		s.hbSupBusy.Inc()
+		return
+	}
+	s.armHeartbeat(node, s.now.Add(s.cfg.HeartbeatInterval))
+}
+
+// wakeNode re-arms a dormant node after a completion, recovery, or
+// kill frees capacity or work. The tick lands on the node's own phase grid;
+// a tick coinciding with the waking event is served immediately after it.
+// No-op outside heartbeat mode or when the node is already armed.
+func (s *Simulator) wakeNode(node int) {
+	if s.cfg.HeartbeatInterval <= 0 || s.nodes[node].hbArmed {
+		return
+	}
+	if s.doneCount == len(s.states) {
+		return
+	}
+	at := s.now
+	if s.doneCount == s.arrIdx {
+		// Only a future arrival can put work on this node.
+		if na := s.nextArrival(); na > at {
+			at = na
+		}
+	}
+	s.armHeartbeat(node, s.nextTick(node, at))
+}
+
+// nextTick returns the first tick of node's staggered heartbeat grid at or
+// after t. If t falls beyond the current instant's tick, ticks in between
+// are skipped — they could not have scheduled anything.
+func (s *Simulator) nextTick(node int, t simtime.Time) simtime.Time {
+	first := simtime.Epoch.Add(s.hbOffset(node))
+	if t <= first {
+		return first
+	}
+	iv := int64(s.cfg.HeartbeatInterval)
+	k := (int64(t.Sub(first)) + iv - 1) / iv
+	return first.Add(time.Duration(k * iv))
+}
+
+// hbOffset is node's phase within the heartbeat interval (the Run stagger).
+func (s *Simulator) hbOffset(node int) time.Duration {
+	return time.Duration(int64(s.cfg.HeartbeatInterval) * int64(node) / int64(len(s.nodes)))
+}
+
+// nextArrival returns the release time of the next pending arrival. Only
+// valid while arrivalsLeft > 0.
+func (s *Simulator) nextArrival() simtime.Time {
+	return s.arrivalTimes[s.arrIdx]
 }
 
 // fail takes a node down: its running tasks are lost and re-queued as
@@ -433,6 +622,8 @@ func (s *Simulator) fail(nodeIdx int) {
 	}
 	node.down = true
 	node.freeMap, node.freeReduce = 0, 0
+	s.freeIdx[MapSlot].clear(nodeIdx)
+	s.freeIdx[ReduceSlot].clear(nodeIdx)
 	for seq, rt := range node.running {
 		delete(node.running, seq)
 		delete(s.attempts, seq)
@@ -483,6 +674,13 @@ func (s *Simulator) recover(nodeIdx int) {
 	node.down = false
 	node.freeMap = s.cfg.MapSlotsPerNode
 	node.freeReduce = s.cfg.ReduceSlotsPerNode
+	if node.freeMap > 0 {
+		s.freeIdx[MapSlot].set(nodeIdx)
+	}
+	if node.freeReduce > 0 {
+		s.freeIdx[ReduceSlot].set(nodeIdx)
+	}
+	s.wakeNode(nodeIdx)
 	s.dispatchAll()
 }
 
@@ -495,11 +693,10 @@ func (s *Simulator) dispatchAll() {
 	for _, st := range []SlotType{MapSlot, ReduceSlot} {
 		node := 0
 		for {
-			// Find a node with a free slot of this type.
-			for node < len(s.nodes) && s.nodes[node].free(st) == 0 {
-				node++
-			}
-			if node == len(s.nodes) {
+			// Find a node with a free slot of this type. The index walks
+			// the same lowest-index-first order the old O(nodes) scan did.
+			node = s.freeIdx[st].next(node)
+			if node < 0 {
 				break
 			}
 			if !s.offer(node, st) {
@@ -508,6 +705,22 @@ func (s *Simulator) dispatchAll() {
 		}
 	}
 	s.speculate()
+}
+
+// takeSlot claims a free st slot on node, maintaining the free-slot index.
+func (s *Simulator) takeSlot(node int, st SlotType) {
+	n := &s.nodes[node]
+	n.take(st)
+	if n.free(st) == 0 {
+		s.freeIdx[st].clear(node)
+	}
+}
+
+// releaseSlot frees an st slot on node. Never called on a down node: a
+// failure clears its running table, so no completion or kill reaches it.
+func (s *Simulator) releaseSlot(node int, st SlotType) {
+	s.nodes[node].release(st)
+	s.freeIdx[st].set(node)
 }
 
 // dispatchNode assigns tasks to one node's idle slots (heartbeat mode).
@@ -525,6 +738,7 @@ func (s *Simulator) dispatchNode(node int) {
 // offer asks the policy for a task for one free slot of type st on node,
 // reporting whether one was assigned.
 func (s *Simulator) offer(node int, st SlotType) bool {
+	s.offerCount.Inc()
 	ws, job, ok := s.pol.NextTask(s.now, st)
 	if !ok {
 		return false
@@ -573,7 +787,7 @@ func (s *Simulator) offer(node int, st SlotType) bool {
 	} else if st == MapSlot && s.cfg.Replication > 0 {
 		s.localMaps++
 	}
-	s.nodes[node].take(st)
+	s.takeSlot(node, st)
 	ws.ScheduledTasks++
 	ws.RunningTasks++
 	s.tasksStarted++
@@ -592,6 +806,9 @@ func (s *Simulator) offer(node int, st SlotType) bool {
 	rt := runningTask{wf: ws.Index, job: job, st: st, end: end, dur: dur}
 	s.nodes[node].running[s.taskSeq] = rt
 	s.attempts[s.taskSeq] = attemptRef{node: node, rt: rt}
+	if s.cfg.SpeculativeSlowdown != 0 {
+		s.overdue[st].push(s.specCrossing(rt), s.taskSeq)
+	}
 	s.events.Push(end, event{kind: evComplete, wf: ws.Index, job: job, st: st, node: node, seq: s.taskSeq})
 	return true
 }
@@ -605,7 +822,7 @@ func (s *Simulator) killAttempt(seq int) {
 	}
 	delete(s.attempts, seq)
 	delete(s.nodes[ref.node].running, seq)
-	s.nodes[ref.node].release(ref.rt.st)
+	s.releaseSlot(ref.node, ref.rt.st)
 	if ref.rt.st == MapSlot {
 		s.mapBusy -= ref.rt.end.Sub(s.now)
 	} else {
@@ -616,7 +833,8 @@ func (s *Simulator) killAttempt(seq int) {
 	}
 }
 
-// detachTwin clears the twin linkage on a surviving attempt.
+// detachTwin clears the twin linkage on a surviving attempt, making it a
+// speculation candidate again.
 func (s *Simulator) detachTwin(seq int) {
 	ref, ok := s.attempts[seq]
 	if !ok {
@@ -626,6 +844,9 @@ func (s *Simulator) detachTwin(seq int) {
 	ref.rt.speculative = false // it now carries the task outright
 	s.attempts[seq] = ref
 	s.nodes[ref.node].running[seq] = ref.rt
+	if s.cfg.SpeculativeSlowdown != 0 {
+		s.overdue[ref.rt.st].push(s.specCrossing(ref.rt), seq)
+	}
 }
 
 // setTwin links two attempts of the same task.
@@ -648,11 +869,11 @@ func (s *Simulator) speculate() {
 	}
 	for _, st := range []SlotType{MapSlot, ReduceSlot} {
 		for {
-			node := s.freeNode(st)
+			node := s.freeIdx[st].next(0)
 			if node < 0 {
 				break
 			}
-			seq, ok := s.overdueAttempt(st)
+			seq, ok := s.popOverdue(st)
 			if !ok {
 				break
 			}
@@ -662,69 +883,87 @@ func (s *Simulator) speculate() {
 	s.armSpeculativeWake()
 }
 
-// armSpeculativeWake schedules a retry at the moment the next running
-// attempt crosses its straggler threshold; without it a straggling final
-// task would never be re-examined (no intervening events).
-func (s *Simulator) armSpeculativeWake() {
-	next := simtime.MaxTime
-	for _, ref := range s.attempts {
-		rt := ref.rt
-		if rt.twin != 0 || rt.speculative {
+// popOverdue pops the attempt of type st that has been past its straggler
+// threshold the longest — the minimum (crossing instant, launch sequence),
+// which is exactly the old scan's max-overage victim with lowest-sequence
+// tie-break, but deterministic by construction instead of by a guarded map
+// iteration. Stale heap entries (attempt completed, killed, lost to a
+// failure, or already twinned) are discarded on the way.
+func (s *Simulator) popOverdue(st SlotType) (int, bool) {
+	h := &s.overdue[st]
+	for {
+		e, ok := h.peek()
+		if !ok {
+			return 0, false
+		}
+		ref, live := s.attempts[e.seq]
+		if !live || ref.rt.twin != 0 || ref.rt.speculative {
+			h.pop()
 			continue
 		}
-		spec := &s.states[rt.wf].Spec.Jobs[rt.job]
-		estimate := spec.MapTime
-		if rt.st == ReduceSlot {
-			estimate = spec.ReduceTime
+		if e.at > s.now {
+			return 0, false // earliest candidate is not overdue yet
 		}
-		start := rt.end.Add(-rt.dur)
-		overdueAt := start.Add(time.Duration(s.cfg.SpeculativeSlowdown*float64(estimate)) + time.Nanosecond)
-		if overdueAt > s.now && overdueAt < next {
-			next = overdueAt
+		h.pop()
+		return e.seq, true
+	}
+}
+
+// specCrossing returns the instant rt crosses its straggler threshold: the
+// first instant at which elapsed > SpeculativeSlowdown * estimate holds.
+// It is fixed at launch, so candidates can be heap-ordered by it.
+func (s *Simulator) specCrossing(rt runningTask) simtime.Time {
+	spec := &s.states[rt.wf].Spec.Jobs[rt.job]
+	estimate := spec.MapTime
+	if rt.st == ReduceSlot {
+		estimate = spec.ReduceTime
+	}
+	start := rt.end.Add(-rt.dur)
+	return start.Add(time.Duration(s.cfg.SpeculativeSlowdown*float64(estimate)) + time.Nanosecond)
+}
+
+// armSpeculativeWake schedules a retry at the moment the next running
+// attempt crosses its straggler threshold; without it a straggling final
+// task would never be re-examined (no intervening events). The heap top is
+// normally that attempt; only when already-overdue candidates (blocked on a
+// full cluster) bury the future ones does it fall back to scanning the heap
+// array.
+func (s *Simulator) armSpeculativeWake() {
+	next := simtime.MaxTime
+	for st := range s.overdue {
+		h := &s.overdue[st]
+		for {
+			e, ok := h.peek()
+			if !ok {
+				break
+			}
+			ref, live := s.attempts[e.seq]
+			if !live || ref.rt.twin != 0 || ref.rt.speculative {
+				h.pop()
+				continue
+			}
+			if e.at > s.now {
+				if e.at < next {
+					next = e.at
+				}
+			} else {
+				for _, c := range h.es {
+					if c.at <= s.now || c.at >= next {
+						continue
+					}
+					if r, ok := s.attempts[c.seq]; ok && r.rt.twin == 0 && !r.rt.speculative {
+						next = c.at
+					}
+				}
+			}
+			break
 		}
 	}
 	if next < s.specWake {
 		s.specWake = next
+		s.specWakeups.Inc()
 		s.events.Push(next, event{kind: evRetry})
 	}
-}
-
-// freeNode returns the first live node with a free slot of type st, or -1.
-func (s *Simulator) freeNode(st SlotType) int {
-	for i := range s.nodes {
-		if !s.nodes[i].down && s.nodes[i].free(st) > 0 {
-			return i
-		}
-	}
-	return -1
-}
-
-// overdueAttempt picks the running attempt of type st that most exceeds
-// SpeculativeSlowdown times its estimated duration and has no twin yet.
-func (s *Simulator) overdueAttempt(st SlotType) (int, bool) {
-	bestSeq, found := 0, false
-	var bestOver time.Duration
-	for seq, ref := range s.attempts {
-		rt := ref.rt
-		if rt.st != st || rt.twin != 0 || rt.speculative {
-			continue
-		}
-		spec := &s.states[rt.wf].Spec.Jobs[rt.job]
-		estimate := spec.MapTime
-		if st == ReduceSlot {
-			estimate = spec.ReduceTime
-		}
-		elapsed := s.now.Sub(rt.end.Add(-rt.dur))
-		threshold := time.Duration(s.cfg.SpeculativeSlowdown * float64(estimate))
-		if elapsed <= threshold {
-			continue
-		}
-		over := elapsed - threshold
-		if !found || over > bestOver || (over == bestOver && seq < bestSeq) {
-			bestSeq, bestOver, found = seq, over, true
-		}
-	}
-	return bestSeq, found
 }
 
 // launchSpeculative starts a duplicate attempt of the task behind seq.
@@ -737,7 +976,7 @@ func (s *Simulator) launchSpeculative(node, seq int) {
 		base = spec.ReduceTime
 	}
 	dur := s.noisy(base)
-	s.nodes[node].take(orig.rt.st)
+	s.takeSlot(node, orig.rt.st)
 	if orig.rt.st == MapSlot {
 		s.mapBusy += dur
 	} else {

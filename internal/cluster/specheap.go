@@ -1,0 +1,84 @@
+package cluster
+
+import "repro/internal/simtime"
+
+// specEntry is one speculation candidate: a running attempt and the instant
+// it crosses its straggler threshold.
+type specEntry struct {
+	at  simtime.Time
+	seq int
+}
+
+// specHeap is a min-heap of speculation candidates ordered by (crossing
+// instant, launch sequence). The simulator keeps one per slot type so
+// speculate pops the most-overdue attempt in O(log n) instead of scanning
+// the whole attempts map per dispatch.
+//
+// Ordering equivalence with the scan it replaces: the scan maximized
+// over = elapsed - threshold = now - (start + threshold); since `now` is
+// common to all candidates, the maximum of `over` is the minimum of
+// start + threshold — the crossing instant — and the scan's lowest-sequence
+// tie-break is the heap's secondary key.
+//
+// Entries are invalidated lazily: the consumer checks each popped/peeked
+// sequence against the live attempts table and discards entries whose
+// attempt completed, was killed, failed, or already has a twin. detachTwin
+// re-pushes a surviving attempt when its twin dies, making it a candidate
+// again.
+type specHeap struct {
+	es []specEntry
+}
+
+func (h *specHeap) reset() {
+	h.es = h.es[:0]
+}
+
+func (h *specHeap) push(at simtime.Time, seq int) {
+	h.es = append(h.es, specEntry{at: at, seq: seq})
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+func (h *specHeap) peek() (specEntry, bool) {
+	if len(h.es) == 0 {
+		return specEntry{}, false
+	}
+	return h.es[0], true
+}
+
+func (h *specHeap) pop() {
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	n := len(h.es)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+}
+
+func (h *specHeap) less(i, j int) bool {
+	if h.es[i].at != h.es[j].at {
+		return h.es[i].at < h.es[j].at
+	}
+	return h.es[i].seq < h.es[j].seq
+}

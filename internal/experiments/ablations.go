@@ -8,6 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/plan"
 	"repro/internal/priority"
+	"repro/internal/runner"
+	"repro/internal/workflow"
 	"repro/internal/workload"
 )
 
@@ -20,47 +22,51 @@ type AblationResult struct {
 	Makespan  time.Duration
 }
 
+// lpfPlans builds the WOHA-LPF plan factory for a cell: typed, resource-
+// capped plans for flows against cc at the given margin.
+func lpfPlans(flows []*workflow.Workflow, cc cluster.Config, margin float64) func() ([]*plan.Plan, error) {
+	return func() ([]*plan.Plan, error) {
+		plans := make([]*plan.Plan, len(flows))
+		for i, w := range flows {
+			p, err := plan.GenerateCappedTyped(w,
+				plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()},
+				priority.LPF{}, margin)
+			if err != nil {
+				return nil, fmt.Errorf("plan for %q: %w", w.Name, err)
+			}
+			plans[i] = p
+		}
+		return plans, nil
+	}
+}
+
+// ablate runs the variant cells over the default worker pool and collapses
+// each result into a table row.
+func ablate(variants []string, cells []runner.Cell) ([]AblationResult, error) {
+	results, err := runner.New(runner.Config{}).RunAll(cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation: %w", err)
+	}
+	out := make([]AblationResult, len(results))
+	for i, res := range results {
+		out[i] = AblationResult{
+			Variant:   variants[i],
+			Misses:    res.DeadlineMisses(),
+			Workflows: len(res.Workflows),
+			TotalTard: res.TotalTardiness(),
+			Makespan:  res.Makespan.Duration(),
+		}
+	}
+	return out, nil
+}
+
 // AblationsFig11 sweeps the simulator-level design knobs on the Fig 11
 // scenario under WOHA-LPF: plan safety margin, submitter-job overhead,
 // heartbeat-driven dispatch, estimation noise, and strict (non-work-
 // conserving) scheduling.
 func AblationsFig11() ([]AblationResult, error) {
 	base := DefaultFig11Config()
-	var out []AblationResult
-	run := func(variant string, margin float64, strict bool, mutate func(*cluster.Config)) error {
-		cc := base.Cluster()
-		if mutate != nil {
-			mutate(&cc)
-		}
-		pol := core.NewScheduler(core.Options{Seed: base.Seed, Strict: strict, PolicyName: "LPF"})
-		sim, err := cluster.New(cc, pol, nil)
-		if err != nil {
-			return err
-		}
-		for _, w := range base.Flows() {
-			p, err := plan.GenerateCappedTyped(w,
-				plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()},
-				priority.LPF{}, margin)
-			if err != nil {
-				return err
-			}
-			if err := sim.Submit(w, p); err != nil {
-				return err
-			}
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return err
-		}
-		out = append(out, AblationResult{
-			Variant:   variant,
-			Misses:    res.DeadlineMisses(),
-			Workflows: len(res.Workflows),
-			TotalTard: res.TotalTardiness(),
-			Makespan:  res.Makespan.Duration(),
-		})
-		return nil
-	}
+	flows := base.Flows()
 
 	steps := []struct {
 		variant string
@@ -76,58 +82,31 @@ func AblationsFig11() ([]AblationResult, error) {
 		{"noise 30%", PlanMargin, false, func(c *cluster.Config) { c.Noise = 0.3; c.Seed = 42 }},
 		{"strict (no work conservation)", PlanMargin, true, nil},
 	}
-	for _, s := range steps {
-		if err := run(s.variant, s.margin, s.strict, s.mutate); err != nil {
-			return nil, fmt.Errorf("experiments: ablation %q: %w", s.variant, err)
+	variants := make([]string, len(steps))
+	cells := make([]runner.Cell, len(steps))
+	for i, s := range steps {
+		cc := base.Cluster()
+		if s.mutate != nil {
+			s.mutate(&cc)
+		}
+		strict := s.strict
+		variants[i] = s.variant
+		cells[i] = runner.Cell{
+			Name:   "fig11-ablation/" + s.variant,
+			Config: cc,
+			Policy: func() cluster.Policy {
+				return core.NewScheduler(core.Options{Seed: base.Seed, Strict: strict, PolicyName: "LPF"})
+			},
+			Flows: flows,
+			Plans: lpfPlans(flows, cc, s.margin),
 		}
 	}
-	return out, nil
+	return ablate(variants, cells)
 }
 
 // AblationsYahoo sweeps the policy-level design knobs on the Yahoo workload
 // at 240m-240r: overdue handling, normalized lag, and the deadline scheme.
 func AblationsYahoo() ([]AblationResult, error) {
-	var out []AblationResult
-	run := func(variant string, scheme workload.DeadlineScheme, opts core.Options) error {
-		ycfg := workload.DefaultYahooConfig()
-		ycfg.Scheme = scheme
-		flows, err := workload.Yahoo(ycfg)
-		if err != nil {
-			return err
-		}
-		multi := workload.MultiJob(flows)
-		cc := cluster.Config{Nodes: 120, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2, Seed: 1}
-		opts.Seed = 1
-		opts.PolicyName = "LPF"
-		sim, err := cluster.New(cc, core.NewScheduler(opts), nil)
-		if err != nil {
-			return err
-		}
-		for _, w := range multi {
-			p, err := plan.GenerateCappedTyped(w,
-				plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()},
-				priority.LPF{}, PlanMargin)
-			if err != nil {
-				return err
-			}
-			if err := sim.Submit(w, p); err != nil {
-				return err
-			}
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return err
-		}
-		out = append(out, AblationResult{
-			Variant:   variant,
-			Misses:    res.DeadlineMisses(),
-			Workflows: len(res.Workflows),
-			TotalTard: res.TotalTardiness(),
-			Makespan:  res.Makespan.Duration(),
-		})
-		return nil
-	}
-
 	steps := []struct {
 		variant string
 		scheme  workload.DeadlineScheme
@@ -140,12 +119,30 @@ func AblationsYahoo() ([]AblationResult, error) {
 		{"stretch + normalized lag", workload.DeadlineStretch, core.Options{NormalizedLag: true}},
 		{"stretch + serve overdue first", workload.DeadlineStretch, core.Options{ServeOverdueFirst: true}},
 	}
-	for _, s := range steps {
-		if err := run(s.variant, s.scheme, s.opts); err != nil {
+	cc := cluster.Config{Nodes: 120, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2, Seed: 1}
+	variants := make([]string, len(steps))
+	cells := make([]runner.Cell, len(steps))
+	for i, s := range steps {
+		ycfg := workload.DefaultYahooConfig()
+		ycfg.Scheme = s.scheme
+		flows, err := workload.Yahoo(ycfg)
+		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %q: %w", s.variant, err)
 		}
+		multi := workload.MultiJob(flows)
+		opts := s.opts
+		opts.Seed = 1
+		opts.PolicyName = "LPF"
+		variants[i] = s.variant
+		cells[i] = runner.Cell{
+			Name:   "yahoo-ablation/" + s.variant,
+			Config: cc,
+			Policy: func() cluster.Policy { return core.NewScheduler(opts) },
+			Flows:  multi,
+			Plans:  lpfPlans(multi, cc, PlanMargin),
+		}
 	}
-	return out, nil
+	return ablate(variants, cells)
 }
 
 // AblationTable renders a set of ablation results.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/plan"
 	"repro/internal/priority"
+	"repro/internal/runner"
 	"repro/internal/scheduler"
 	"repro/internal/workflow"
 )
@@ -155,28 +156,45 @@ func RunScenario(cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerS
 }
 
 // RunScenarioMargin is RunScenario with an explicit plan safety margin,
-// exposed for the margin-ablation benchmarks.
+// exposed for the margin-ablation benchmarks. It is the one-cell serial
+// case of the runner every figure sweep goes through.
 func RunScenarioMargin(cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerSpec, seed int64, obs cluster.Observer, margin float64) (*cluster.Result, error) {
-	sim, err := cluster.New(cfg, spec.New(seed), obs)
+	var observer func() cluster.Observer
+	if obs != nil {
+		observer = func() cluster.Observer { return obs }
+	}
+	cell := ScenarioCell(spec.Name, cfg, flows, spec, seed, observer, margin)
+	results, err := runner.New(runner.Config{Workers: 1}).RunAll([]runner.Cell{cell})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	for _, w := range flows {
-		var p *plan.Plan
-		if spec.IsWOHA() {
+	return results[0], nil
+}
+
+// ScenarioCell builds the runner cell equivalent of RunScenarioMargin: a
+// cluster configured by cfg running flows under spec, with resource-capped
+// plans generated inside the cell for WOHA schedulers. observer may be nil.
+func ScenarioCell(name string, cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerSpec, seed int64, observer func() cluster.Observer, margin float64) runner.Cell {
+	c := runner.Cell{
+		Name:     name,
+		Config:   cfg,
+		Policy:   func() cluster.Policy { return spec.New(seed) },
+		Flows:    flows,
+		Observer: observer,
+	}
+	if spec.IsWOHA() {
+		c.Plans = func() ([]*plan.Plan, error) {
 			caps := plan.Caps{Maps: cfg.MapSlots(), Reduces: cfg.ReduceSlots()}
-			p, err = plan.GenerateCappedTyped(w, caps, spec.Priority, margin)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: plan for %q: %w", w.Name, err)
+			plans := make([]*plan.Plan, len(flows))
+			for i, w := range flows {
+				p, err := plan.GenerateCappedTyped(w, caps, spec.Priority, margin)
+				if err != nil {
+					return nil, fmt.Errorf("plan for %q: %w", w.Name, err)
+				}
+				plans[i] = p
 			}
-		}
-		if err := sim.Submit(w, p); err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
+			return plans, nil
 		}
 	}
-	res, err := sim.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
-	}
-	return res, nil
+	return c
 }

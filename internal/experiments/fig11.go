@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/workflow"
 	"repro/internal/workload"
@@ -29,6 +30,10 @@ type Fig11Config struct {
 	Seed int64
 	// Margin is the plan safety margin (see plan.GenerateCappedMargin).
 	Margin float64
+	// Workers caps how many of the six scheduler cells run concurrently;
+	// 0 selects one per core, 1 runs serially. Results are identical at
+	// any worker count (see internal/runner).
+	Workers int
 }
 
 // DefaultFig11Config matches the paper's setup. Scale is calibrated so the
@@ -91,22 +96,41 @@ type Fig11Result struct {
 	Timelines map[string]*metrics.Timeline
 }
 
-// Fig11 runs the six schedulers on the Fig 11 workload.
+// Fig11Cells builds the sweep's scenario cells — one per scheduler. Each
+// cell records its slot-allocation timeline into timelines at the cell's
+// index (the factory runs on the cell's worker, so distinct cells touch
+// distinct entries).
+func Fig11Cells(cfg Fig11Config) (cells []runner.Cell, timelines []*metrics.Timeline) {
+	specs := AllSchedulers()
+	flows := cfg.Flows()
+	timelines = make([]*metrics.Timeline, len(specs))
+	cells = make([]runner.Cell, len(specs))
+	for i, spec := range specs {
+		cells[i] = ScenarioCell(spec.Name, cfg.Cluster(), flows, spec, cfg.Seed, func() cluster.Observer {
+			timelines[i] = metrics.NewTimeline()
+			return timelines[i]
+		}, cfg.Margin)
+	}
+	return cells, timelines
+}
+
+// Fig11 runs the six schedulers on the Fig 11 workload, fanning the
+// independent cells over cfg.Workers.
 func Fig11(cfg Fig11Config) (*Fig11Result, error) {
+	cells, timelines := Fig11Cells(cfg)
+	results, err := runner.New(runner.Config{Workers: cfg.Workers}).RunAll(cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	out := &Fig11Result{
 		Config:    cfg,
 		Results:   make(map[string]*cluster.Result),
 		Timelines: make(map[string]*metrics.Timeline),
 	}
-	for _, spec := range AllSchedulers() {
-		tl := metrics.NewTimeline()
-		res, err := RunScenarioMargin(cfg.Cluster(), cfg.Flows(), spec, cfg.Seed, tl, cfg.Margin)
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range AllSchedulers() {
 		out.Order = append(out.Order, spec.Name)
-		out.Results[spec.Name] = res
-		out.Timelines[spec.Name] = tl
+		out.Results[spec.Name] = results[i]
+		out.Timelines[spec.Name] = timelines[i]
 	}
 	return out, nil
 }

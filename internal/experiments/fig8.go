@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -22,6 +23,10 @@ type Fig8Config struct {
 	Seed int64
 	// Margin is the plan safety margin.
 	Margin float64
+	// Workers caps how many of the 18 scheduler x size cells run
+	// concurrently; 0 selects one per core, 1 runs serially. Results are
+	// identical at any worker count (see internal/runner).
+	Workers int
 }
 
 // DefaultFig8Config matches the paper's axis: 200m-200r, 240m-240r,
@@ -48,22 +53,18 @@ type Fig8Result struct {
 	TotalTard map[string][]time.Duration
 }
 
-// Fig8 runs the Yahoo workload across cluster sizes and schedulers.
-func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+// Fig8Cells builds the sweep's scenario cells — one per scheduler x cluster
+// size, in row-major presentation order. Exposed so the sim bench can time
+// the exact experiment corpus.
+func Fig8Cells(cfg Fig8Config) ([]runner.Cell, error) {
 	flows, err := workload.Yahoo(cfg.Yahoo)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	multi := workload.MultiJob(flows)
 
-	out := &Fig8Result{
-		Config:    cfg,
-		MissRatio: make(map[string][]float64),
-		MaxTard:   make(map[string][]time.Duration),
-		TotalTard: make(map[string][]time.Duration),
-	}
+	var cells []runner.Cell
 	for _, spec := range AllSchedulers() {
-		out.Order = append(out.Order, spec.Name)
 		for _, size := range cfg.Sizes {
 			// Model the "200m-200r" axis as nodes with 2 map + 2 reduce
 			// slots each.
@@ -73,13 +74,39 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 				ReduceSlotsPerNode: 2,
 				Seed:               cfg.Seed,
 			}
-			// Each run needs fresh workflow copies: the deadline fields are
-			// shared, but the simulator never mutates specs, so reuse is
-			// safe across runs.
-			res, err := RunScenarioMargin(cc, multi, spec, cfg.Seed, nil, cfg.Margin)
-			if err != nil {
-				return nil, err
-			}
+			// Cells share the workflow specs: the simulator never mutates
+			// them, so reuse is safe across (even concurrent) runs.
+			name := fmt.Sprintf("%s/%dm-%dr", spec.Name, size, size)
+			cells = append(cells, ScenarioCell(name, cc, multi, spec, cfg.Seed, nil, cfg.Margin))
+		}
+	}
+	return cells, nil
+}
+
+// Fig8 runs the Yahoo workload across cluster sizes and schedulers,
+// fanning the independent cells over cfg.Workers.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	cells, err := Fig8Cells(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runner.New(runner.Config{Workers: cfg.Workers}).RunAll(cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	out := &Fig8Result{
+		Config:    cfg,
+		MissRatio: make(map[string][]float64),
+		MaxTard:   make(map[string][]time.Duration),
+		TotalTard: make(map[string][]time.Duration),
+	}
+	i := 0
+	for _, spec := range AllSchedulers() {
+		out.Order = append(out.Order, spec.Name)
+		for range cfg.Sizes {
+			res := results[i]
+			i++
 			out.MissRatio[spec.Name] = append(out.MissRatio[spec.Name], res.MissRatio())
 			out.MaxTard[spec.Name] = append(out.MaxTard[spec.Name], res.MaxTardiness())
 			out.TotalTard[spec.Name] = append(out.TotalTard[spec.Name], res.TotalTardiness())

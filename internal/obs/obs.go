@@ -33,6 +33,20 @@ const (
 	MetricPlannerProbes          = "woha_planner_probes_total"
 	MetricPlannerProbesCancelled = "woha_planner_probes_cancelled_total"
 	MetricPlannerPlanDuration    = "woha_planner_plan_duration_seconds"
+
+	// Simulator dispatch hot path (internal/cluster): slot-offer volume and
+	// the work the free-slot index / overdue heap / heartbeat suppression
+	// save.
+	MetricSimDispatchOffers       = "woha_sim_dispatch_offers_total"
+	MetricSimHeartbeatsSuppressed = "woha_sim_dispatch_heartbeats_suppressed_total"
+	MetricSimSpecWakeups          = "woha_sim_dispatch_spec_wakeups_total"
+
+	// Runner subsystem (internal/runner): parallel scenario execution.
+	MetricRunnerCells        = "woha_runner_cells_total"
+	MetricRunnerCellFailures = "woha_runner_cell_failures_total"
+	MetricRunnerBatches      = "woha_runner_batches_total"
+	MetricRunnerInflight     = "woha_runner_inflight"
+	MetricRunnerCellDuration = "woha_runner_cell_duration_seconds"
 )
 
 // Obs bundles a metrics registry and an event sink into the instrumentation
@@ -192,6 +206,39 @@ func (o *Obs) SimEventCounter(kind string) *Counter {
 		"Discrete events processed by the cluster simulator.", Labels{"kind": kind})
 }
 
+// SimDispatchOffers returns the counter of slot offers made to the policy
+// (one per NextTask consultation), registering it on first use.
+func (o *Obs) SimDispatchOffers() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSimDispatchOffers,
+		"Slot offers made to the scheduling policy (NextTask consultations).")
+}
+
+// SimHeartbeatsSuppressed returns the labeled counter of heartbeat re-arms
+// the simulator skipped, registering it on first use. reason is "busy" (node
+// fully occupied, woken by its next completion) or "drained" (all live
+// workflows done, slept until the next arrival's tick).
+func (o *Obs) SimHeartbeatsSuppressed(reason string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.CounterWith(MetricSimHeartbeatsSuppressed,
+		"Heartbeat re-arms suppressed by the simulator dispatch hot path.",
+		Labels{"reason": reason})
+}
+
+// SimSpecWakeups returns the counter of speculative-execution wake-up events
+// armed, registering it on first use.
+func (o *Obs) SimSpecWakeups() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSimSpecWakeups,
+		"Retry events armed for the next straggler-threshold crossing.")
+}
+
 // QueueStats bundles the per-backend operation counters of an inter-workflow
 // queue (the DSL vs naive comparison of Fig 13a, now observable at runtime).
 // All methods are safe on a nil receiver, so queues carry a QueueStats
@@ -312,5 +359,67 @@ func (s *PlannerStats) OnPlan(dur time.Duration, cached bool) {
 		s.CacheHits.Inc()
 	} else {
 		s.CacheMisses.Inc()
+	}
+}
+
+// RunnerStats bundles the instruments of the parallel scenario runner
+// (internal/runner): cell throughput, failures, and per-cell latency. All
+// methods are safe on a nil receiver, so the runner carries a RunnerStats
+// pointer unconditionally.
+type RunnerStats struct {
+	// Cells counts scenario cells executed; CellFailures those that
+	// returned an error.
+	Cells        *Counter
+	CellFailures *Counter
+	// Batches counts RunAll/RunEach invocations.
+	Batches *Counter
+	// Inflight gauges cells currently executing.
+	Inflight *Gauge
+	// CellDur is the wall-clock latency of one scenario cell.
+	CellDur *Histogram
+}
+
+// NewRunnerStats registers the runner instruments. Returns nil (disabled
+// stats) on a nil receiver.
+func (o *Obs) NewRunnerStats() *RunnerStats {
+	if o == nil {
+		return nil
+	}
+	return &RunnerStats{
+		Cells:        o.reg.Counter(MetricRunnerCells, "Scenario cells executed by the runner."),
+		CellFailures: o.reg.Counter(MetricRunnerCellFailures, "Scenario cells that returned an error."),
+		Batches:      o.reg.Counter(MetricRunnerBatches, "Runner batch invocations (RunAll/RunEach)."),
+		Inflight:     o.reg.Gauge(MetricRunnerInflight, "Scenario cells currently executing."),
+		CellDur: o.reg.Histogram(MetricRunnerCellDuration,
+			"Wall-clock latency of one scenario cell (plans + simulation).", DurationBuckets),
+	}
+}
+
+// OnBatch records one batch submission.
+func (s *RunnerStats) OnBatch() {
+	if s == nil {
+		return
+	}
+	s.Batches.Inc()
+}
+
+// CellStarted marks a cell entering execution.
+func (s *RunnerStats) CellStarted() {
+	if s == nil {
+		return
+	}
+	s.Inflight.Add(1)
+}
+
+// CellFinished records a completed cell: latency and failure accounting.
+func (s *RunnerStats) CellFinished(dur time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	s.Inflight.Add(-1)
+	s.Cells.Inc()
+	s.CellDur.ObserveDuration(dur)
+	if failed {
+		s.CellFailures.Inc()
 	}
 }

@@ -1,0 +1,207 @@
+// Package runner executes independent simulation scenarios — (config,
+// scheduler, seed) cells — across a worker pool with deterministic results.
+//
+// Every cell is a pure function of its inputs: it builds its own policy,
+// plans, observer, and simulator, so cells share no mutable state and any
+// execution order produces the same per-cell Result. The runner therefore
+// parallelizes across cells rather than inside one simulation (a
+// discrete-event loop is inherently serial: each event depends on the state
+// every earlier event left behind), and the parallel path is byte-identical
+// to the serial one by construction — enforced by the Fig 8 + Fig 11 parity
+// tests.
+//
+// Results are delivered in submission order: RunAll returns an
+// index-aligned slice, and RunEach invokes its callback for cell i only
+// after cells 0..i-1 were delivered, buffering out-of-order completions.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/workflow"
+)
+
+// Cell is one independent scenario: a cluster configuration plus the
+// workload to run on it. The factory fields build per-run state so that a
+// cell can execute on any worker without sharing anything mutable.
+type Cell struct {
+	// Name labels the cell in errors and metrics.
+	Name string
+	// Config describes the simulated cluster.
+	Config cluster.Config
+	// Policy builds the scheduling policy (required). It must return a
+	// fresh instance: policies are stateful.
+	Policy func() cluster.Policy
+	// Flows is the workload, submitted in order. The simulator never
+	// mutates workflow specs, so cells may share them.
+	Flows []*workflow.Workflow
+	// Plans optionally builds the scheduling plans, index-aligned with
+	// Flows (nil entries submit without a plan). Nil means no plans — the
+	// baseline schedulers' configuration.
+	Plans func() ([]*plan.Plan, error)
+	// Observer optionally builds a task lifecycle observer for the run.
+	Observer func() cluster.Observer
+}
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Workers caps concurrent cells. 0 (or negative) selects one per core;
+	// 1 runs serially on the calling goroutine.
+	Workers int
+	// Obs carries optional runtime instrumentation (woha_runner_* metrics).
+	Obs *obs.Obs
+}
+
+// Runner executes batches of scenario cells.
+type Runner struct {
+	workers int
+	stats   *obs.RunnerStats
+}
+
+// New builds a runner.
+func New(cfg Config) *Runner {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: w, stats: cfg.Obs.NewRunnerStats()}
+}
+
+// RunAll executes every cell and returns their results aligned with cells.
+// All cells run even if some fail (they are independent); the returned
+// error is the lowest-indexed cell's failure, with the corresponding
+// results entry nil. Identical inputs produce identical results at any
+// worker count.
+func (r *Runner) RunAll(cells []Cell) ([]*cluster.Result, error) {
+	results := make([]*cluster.Result, len(cells))
+	err := r.RunEach(cells, func(i int, res *cluster.Result) error {
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// RunEach executes every cell and delivers results to fn in submission
+// order (fn runs on the calling goroutine, never concurrently). Delivery
+// stops at the first failed cell or fn error; that error is returned.
+func (r *Runner) RunEach(cells []Cell, fn func(i int, res *cluster.Result) error) error {
+	r.stats.OnBatch()
+	if r.workers <= 1 || len(cells) <= 1 {
+		var firstErr error
+		for i := range cells {
+			res, err := r.runCell(&cells[i])
+			if firstErr != nil {
+				continue // keep executing (parallel-path semantics), stop delivering
+			}
+			if err != nil {
+				firstErr = err
+				continue
+			}
+			if err := fn(i, res); err != nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	type done struct {
+		i   int
+		res *cluster.Result
+		err error
+	}
+	ch := make(chan done, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := min(r.workers, len(cells))
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				res, err := r.runCell(&cells[i])
+				ch <- done{i: i, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	// Deliver in submission order, buffering completions that arrive early.
+	pending := make(map[int]done, workers)
+	deliver := 0
+	var firstErr error
+	for d := range ch {
+		pending[d.i] = d
+		for {
+			nd, ok := pending[deliver]
+			if !ok {
+				break
+			}
+			delete(pending, deliver)
+			deliver++
+			if firstErr != nil {
+				continue // drain without delivering past the first failure
+			}
+			if nd.err != nil {
+				firstErr = nd.err
+				continue
+			}
+			if err := fn(nd.i, nd.res); err != nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// runCell executes one cell: fresh policy, plans, observer, simulator. The
+// simulator is pooled and released on success; the Result is self-contained.
+func (r *Runner) runCell(c *Cell) (res *cluster.Result, err error) {
+	t0 := time.Now()
+	r.stats.CellStarted()
+	defer func() { r.stats.CellFinished(time.Since(t0), err != nil) }()
+
+	var plans []*plan.Plan
+	if c.Plans != nil {
+		plans, err = c.Plans()
+		if err != nil {
+			return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
+		}
+	}
+	var ob cluster.Observer
+	if c.Observer != nil {
+		ob = c.Observer()
+	}
+	sim, err := cluster.New(c.Config, c.Policy(), ob)
+	if err != nil {
+		return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
+	}
+	for i, w := range c.Flows {
+		var p *plan.Plan
+		if i < len(plans) {
+			p = plans[i]
+		}
+		if err := sim.Submit(w, p); err != nil {
+			return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
+		}
+	}
+	res, err = sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
+	}
+	sim.Release()
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package runner_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/runner"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// smallCell builds a quick FIFO scenario; tasks scale with n so cells in one
+// batch finish at different wall-clock times (exercising reordering).
+func smallCell(name string, n int, seed int64) runner.Cell {
+	w := workflow.NewBuilder(name).
+		Job("j", 2+n, 1, 10*time.Second, 20*time.Second).
+		MustBuild(0, simtime.FromSeconds(1e6))
+	return runner.Cell{
+		Name:   name,
+		Config: cluster.Config{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, Noise: 0.3, Seed: seed},
+		Policy: func() cluster.Policy { return scheduler.NewFIFO() },
+		Flows:  []*workflow.Workflow{w},
+	}
+}
+
+func TestRunAllOrderAndIdentity(t *testing.T) {
+	cells := make([]runner.Cell, 12)
+	for i := range cells {
+		cells[i] = smallCell(fmt.Sprintf("c%d", i), i%5, int64(i))
+	}
+	serial, err := runner.New(runner.Config{Workers: 1}).RunAll(cells)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := runner.New(runner.Config{Workers: workers}).RunAll(cells)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range cells {
+			if got, want := mustJSON(t, par[i]), mustJSON(t, serial[i]); got != want {
+				t.Fatalf("workers=%d: cell %d diverged from serial:\n%s\nvs\n%s", workers, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRunEachDeliversInSubmissionOrder(t *testing.T) {
+	cells := make([]runner.Cell, 10)
+	for i := range cells {
+		// Reverse the sizes so later cells tend to finish first.
+		cells[i] = smallCell(fmt.Sprintf("c%d", i), len(cells)-i, int64(i))
+	}
+	var order []int
+	err := runner.New(runner.Config{Workers: 4}).RunEach(cells, func(i int, res *cluster.Result) error {
+		if res == nil {
+			t.Fatalf("cell %d: nil result", i)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(cells) {
+		t.Fatalf("delivered %d of %d cells", len(order), len(cells))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery order %v, want ascending", order)
+		}
+	}
+}
+
+func TestFirstErrorByIndexWins(t *testing.T) {
+	boom := func(i int) runner.Cell {
+		c := smallCell(fmt.Sprintf("bad%d", i), 0, 0)
+		c.Plans = func() ([]*plan.Plan, error) { return nil, fmt.Errorf("boom %d", i) }
+		return c
+	}
+	cells := []runner.Cell{smallCell("ok0", 1, 0), boom(1), smallCell("ok2", 1, 2), boom(3)}
+	for _, workers := range []int{1, 4} {
+		results, err := runner.New(runner.Config{Workers: workers}).RunAll(cells)
+		if err == nil || err.Error() != `runner: cell "bad1": boom 1` {
+			t.Fatalf("workers=%d: err = %v, want the lowest-indexed failure", workers, err)
+		}
+		if results[0] == nil {
+			t.Errorf("workers=%d: cell 0 succeeded before the failure but was not delivered", workers)
+		}
+		// Delivery stops at the first failure; cells past it run but are
+		// not handed out.
+		if results[1] != nil || results[2] != nil || results[3] != nil {
+			t.Errorf("workers=%d: results past the failure delivered: %v", workers, results[1:])
+		}
+	}
+}
+
+func TestRunEachCallbackErrorStopsDelivery(t *testing.T) {
+	cells := make([]runner.Cell, 6)
+	for i := range cells {
+		cells[i] = smallCell(fmt.Sprintf("c%d", i), 1, int64(i))
+	}
+	sentinel := errors.New("stop")
+	var delivered int
+	err := runner.New(runner.Config{Workers: 3}).RunEach(cells, func(i int, res *cluster.Result) error {
+		delivered++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d cells, want 3 (0, 1, 2)", delivered)
+	}
+}
+
+// TestParitySerialParallel is the acceptance gate for the parallel runner:
+// over the real experiment corpora (the Fig 8 Yahoo sweep and the Fig 11
+// scheduler sweep), the parallel path must produce byte-identical results to
+// the serial path.
+func TestParitySerialParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment corpus")
+	}
+	fig8, err := experiments.Fig8Cells(experiments.DefaultFig8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig11, _ := experiments.Fig11Cells(experiments.DefaultFig11Config())
+	corpus := append(fig8, fig11...)
+
+	serial, err := runner.New(runner.Config{Workers: 1}).RunAll(corpus)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := runner.New(runner.Config{Workers: 8}).RunAll(corpus)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	for i := range corpus {
+		got, want := mustJSON(t, parallel[i]), mustJSON(t, serial[i])
+		if got != want {
+			t.Errorf("cell %q: parallel result differs from serial", corpus[i].Name)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// BenchmarkFig8CorpusSerial and ...Parallel8 time the Fig 8 sweep through
+// the runner; `make bench-sim` reports the same numbers as JSON.
+func BenchmarkFig8CorpusSerial(b *testing.B)    { benchCorpus(b, 1) }
+func BenchmarkFig8CorpusParallel8(b *testing.B) { benchCorpus(b, 8) }
+
+func benchCorpus(b *testing.B, workers int) {
+	cells, err := experiments.Fig8Cells(experiments.DefaultFig8Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Memoize the plans so iterations time the simulator, not Algorithm 1.
+	for i := range cells {
+		if cells[i].Plans == nil {
+			continue
+		}
+		plans, err := cells[i].Plans()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells[i].Plans = func() ([]*plan.Plan, error) { return plans, nil }
+	}
+	run := runner.New(runner.Config{Workers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.RunAll(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

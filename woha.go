@@ -13,6 +13,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/priority"
+	"repro/internal/runner"
 	"repro/internal/scheduler"
 	"repro/internal/simtime"
 	"repro/internal/workflow"
@@ -392,4 +393,66 @@ func (s *Session) Run() (*Result, error) {
 		return nil, fmt.Errorf("woha: %w", err)
 	}
 	return res, nil
+}
+
+// RunSeeds replays the same workload under sched once per seed, fanning the
+// independent replicas over a worker pool (workers <= 0 selects one per
+// core, 1 runs serially). Each replica uses its seed for both the cluster's
+// noise PRNG and the scheduler's queue PRNG. Results align with seeds and
+// are identical at any worker count (see internal/runner).
+//
+// Plans do not depend on the seed, so under a WOHA scheduler they are
+// generated once — honoring WithPlanMargin, WithPlannerWorkers, and
+// WithPlanCache — and shared read-only across replicas. WithObserver and
+// WithPolicy are per-run state and are rejected here; use WithInstrumentation
+// to collect woha_runner_* metrics for the sweep.
+func RunSeeds(cfg ClusterConfig, sched Scheduler, flows []*Workflow, seeds []int64, workers int, opts ...SessionOption) ([]*Result, error) {
+	o := sessionOptions{margin: 0.85}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.observer != nil || o.policy != nil {
+		return nil, fmt.Errorf("woha: RunSeeds does not accept WithObserver or WithPolicy; replicas need per-run state")
+	}
+	if _, err := sched.newPolicy(0, nil); err != nil {
+		return nil, err
+	}
+
+	var plans []*Plan
+	if prio := sched.priorityFor(); prio != nil {
+		pl := planner.New(planner.Config{
+			Workers:   o.planWorkers,
+			CacheSize: o.planCache,
+			Margin:    o.margin,
+			Obs:       o.obs,
+		})
+		var err error
+		plans, err = pl.PlanAll(flows, plan.Caps{Maps: cfg.MapSlots(), Reduces: cfg.ReduceSlots()}, prio)
+		if err != nil {
+			return nil, fmt.Errorf("woha: %w", err)
+		}
+	}
+
+	cells := make([]runner.Cell, len(seeds))
+	for i, seed := range seeds {
+		cc := cfg
+		cc.Seed = seed
+		cells[i] = runner.Cell{
+			Name:   fmt.Sprintf("%s/seed=%d", sched, seed),
+			Config: cc,
+			Policy: func() cluster.Policy {
+				pol, _ := sched.newPolicy(seed, nil)
+				return pol
+			},
+			Flows: flows,
+		}
+		if plans != nil {
+			cells[i].Plans = func() ([]*Plan, error) { return plans, nil }
+		}
+	}
+	results, err := runner.New(runner.Config{Workers: workers, Obs: o.obs}).RunAll(cells)
+	if err != nil {
+		return nil, fmt.Errorf("woha: %w", err)
+	}
+	return results, nil
 }

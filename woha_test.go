@@ -180,3 +180,59 @@ func TestCustomPolicyPlugsIn(t *testing.T) {
 		t.Errorf("res = %q %d", res.Policy, res.TasksStarted)
 	}
 }
+
+func TestRunSeedsMatchesSessions(t *testing.T) {
+	cfg := woha.ClusterConfig{
+		Nodes: 10, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, Noise: 0.2,
+	}
+	flows := []*woha.Workflow{etl(t, "a", time.Hour), etl(t, "b", 2*time.Hour)}
+	seeds := []int64{3, 7, 11}
+
+	parallel, err := woha.RunSeeds(cfg, woha.SchedulerWOHALPF, flows, seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(seeds) {
+		t.Fatalf("got %d results, want %d", len(parallel), len(seeds))
+	}
+	// Each replica must match a one-off Session run at the same seed.
+	for i, seed := range seeds {
+		scfg := cfg
+		scfg.Seed = seed
+		sess, err := woha.NewSession(scfg, woha.SchedulerWOHALPF, woha.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.SubmitAll(flows); err != nil {
+			t.Fatal(err)
+		}
+		want, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := parallel[i]
+		if got.Makespan != want.Makespan || got.TasksStarted != want.TasksStarted ||
+			len(got.Workflows) != len(want.Workflows) {
+			t.Errorf("seed %d: replica (makespan %v, %d tasks) != session (makespan %v, %d tasks)",
+				seed, got.Makespan, got.TasksStarted, want.Makespan, want.TasksStarted)
+		}
+		for j := range got.Workflows {
+			if got.Workflows[j] != want.Workflows[j] {
+				t.Errorf("seed %d: workflow %d differs: %+v vs %+v",
+					seed, j, got.Workflows[j], want.Workflows[j])
+			}
+		}
+	}
+}
+
+func TestRunSeedsRejectsPerRunOptions(t *testing.T) {
+	cfg := woha.ClusterConfig{Nodes: 2, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1}
+	flows := []*woha.Workflow{etl(t, "a", time.Hour)}
+	if _, err := woha.RunSeeds(cfg, woha.SchedulerFIFO, flows, []int64{1}, 1,
+		woha.WithObserver(woha.NewTimeline())); err == nil {
+		t.Error("WithObserver accepted; replicas cannot share one observer")
+	}
+	if _, err := woha.RunSeeds(cfg, "bogus", flows, []int64{1}, 1); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
