@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench-plan bench-sim bench-smoke
+.PHONY: build test vet race verify bench-plan bench-sim bench-live bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,19 @@ bench-plan:
 bench-sim:
 	$(GO) run ./cmd/wohabench -sim-bench-out BENCH_sim.json
 
+# Regenerate the committed live heartbeat contention numbers (sharded vs
+# legacy single-mutex JobTracker at 1/4/16/64 concurrent trackers).
+bench-live:
+	$(GO) run ./cmd/wohabench -live-bench-out BENCH_live.json
+
 # One-iteration pass over every benchmark: proves they still run without
 # paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Mutex-profile smoke over the live control plane: runs the sharded tests
+# with contention profiling on, proving the profile path works and leaving
+# live-mutex.prof for inspection (go tool pprof live.test live-mutex.prof).
+mutex-smoke:
+	$(GO) test -mutexprofile live-mutex.prof -run 'TestSharded' ./internal/live/
+	@ls -l live-mutex.prof

@@ -7,13 +7,16 @@
 // (sequential vs parallel vs cached planner; see internal/planner) and
 // writes the numbers as JSON. With -sim-bench-out it benchmarks simulation
 // throughput over the Fig 8 corpus (serial vs 8-worker runner; see
-// internal/runner).
+// internal/runner). With -live-bench-out it benchmarks live JobTracker
+// heartbeat service under concurrent TaskTrackers (sharded vs legacy
+// single-mutex control plane; see internal/live).
 //
 // Usage:
 //
 //	wohabench [-fig all|2|3|5|6|8|9|10|11|12|13a|13b] [-timeline-dir DIR] [-trace-out FILE]
 //	wohabench -bench-out BENCH_plan.json
 //	wohabench -sim-bench-out BENCH_sim.json
+//	wohabench -live-bench-out BENCH_live.json
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record the Fig 11 scenario under WOHA-LPF as Chrome trace-event JSON to this file (open in ui.perfetto.dev)")
 	benchOut := flag.String("bench-out", "", "benchmark plan-generation throughput and write the JSON report to this file (- for stdout); skips the figure sweep")
 	simBenchOut := flag.String("sim-bench-out", "", "benchmark simulation throughput over the Fig 8 corpus (serial vs 8 workers) and write the JSON report to this file (- for stdout); skips the figure sweep")
+	liveBenchOut := flag.String("live-bench-out", "", "benchmark live JobTracker heartbeat service under concurrent trackers (sharded vs legacy single-mutex) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	flag.Parse()
 
 	if *benchOut != "" {
@@ -45,6 +49,14 @@ func main() {
 
 	if *simBenchOut != "" {
 		if err := runSimBench(*simBenchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *liveBenchOut != "" {
+		if err := runLiveBench(*liveBenchOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wohabench:", err)
 			os.Exit(1)
 		}

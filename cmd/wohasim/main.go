@@ -48,6 +48,7 @@ func main() {
 		timeline     = flag.String("timeline", "", "write map-slot allocation CSV to this file")
 		liveMode     = flag.Bool("live", false, "run on the concurrent live mini-Hadoop instead of the discrete-event simulator")
 		timeScale    = flag.Float64("time-scale", 0.001, "live mode: wall seconds per virtual second")
+		shards       = flag.Int("shards", 0, "live mode: JobTracker workflow-state shards (0 = one per core, 1 = legacy single-mutex tracker)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
 		planWorkers  = flag.Int("plan-workers", 1, "concurrent Algorithm 1 probes per plan search (0 = one per core)")
 		planCache    = flag.Int("plan-cache", 0, "structural plan cache capacity (0 = disabled)")
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	if *liveMode {
-		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *timeScale, ins, po); err != nil {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, po); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
@@ -274,7 +275,7 @@ func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replica
 }
 
 // runLive executes the workload on the concurrent mini-Hadoop.
-func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, timeScale float64, ins *woha.Instrumentation, po planOpts) error {
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, po planOpts) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -289,6 +290,7 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots int, t
 		ReduceSlotsPerNode: reduceSlots,
 		HeartbeatInterval:  5 * time.Millisecond,
 		TimeScale:          timeScale,
+		Shards:             shards,
 		Obs:                ins,
 	}
 	c, err := live.New(cfg, cluster.InstrumentPolicy(spec.New(1), ins))

@@ -56,13 +56,16 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunLiveXMLWorkload(t *testing.T) {
-	// Run the XML workload on the live mini-Hadoop at a steep compression.
-	start := time.Now()
-	if err := runLive(writeXML(t), "FIFO", 4, 2, 1, 0.00005, nil, planOpts{workers: 1}); err != nil {
-		t.Fatal(err)
-	}
-	if time.Since(start) > 20*time.Second {
-		t.Errorf("live run took %v", time.Since(start))
+	// Run the XML workload on the live mini-Hadoop at a steep compression,
+	// once per control-plane layout (-shards 1 legacy, -shards 2 sharded).
+	for _, shards := range []int{1, 2} {
+		start := time.Now()
+		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if time.Since(start) > 20*time.Second {
+			t.Errorf("shards=%d: live run took %v", shards, time.Since(start))
+		}
 	}
 }
 

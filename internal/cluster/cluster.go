@@ -193,6 +193,43 @@ type WorkflowState struct {
 	FinishTime simtime.Time
 }
 
+// NewWorkflowState builds the runtime state for one submitted workflow:
+// per-job pending counters seeded from the spec, unmet-prerequisite counts,
+// and the remaining-task countdown. Both control planes — the discrete-event
+// simulator and the live JobTracker — construct state through here so the
+// invariants (Jobs indexed by JobID, remaining = total tasks) are enforced
+// in one place.
+func NewWorkflowState(index int, w *workflow.Workflow, p *plan.Plan) *WorkflowState {
+	ws := &WorkflowState{
+		Index: index,
+		Spec:  w,
+		Plan:  p,
+		Jobs:  make([]JobState, len(w.Jobs)),
+	}
+	for i := range w.Jobs {
+		ws.Jobs[i] = JobState{
+			ID:             workflow.JobID(i),
+			PendingMaps:    w.Jobs[i].Maps,
+			PendingReduces: w.Jobs[i].Reduces,
+			unmet:          len(w.Jobs[i].Prereqs),
+		}
+		ws.remaining += w.Jobs[i].Tasks()
+	}
+	return ws
+}
+
+// TaskDone consumes one finished task and returns how many remain; zero
+// means this completion finished the workflow. Call exactly once per task
+// completion, under whatever synchronization guards ws — the counter makes
+// workflow-finish detection O(1) instead of a scan over every job.
+func (ws *WorkflowState) TaskDone() int {
+	ws.remaining--
+	return ws.remaining
+}
+
+// TasksRemaining reports the number of tasks not yet finished.
+func (ws *WorkflowState) TasksRemaining() int { return ws.remaining }
+
 // Schedulable reports whether any job of the workflow can start a task on a
 // slot of type st.
 func (ws *WorkflowState) Schedulable(st SlotType) bool {

@@ -325,21 +325,7 @@ func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
 	if err := w.Validate(); err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	ws := &WorkflowState{
-		Index: len(s.states),
-		Spec:  w,
-		Plan:  p,
-		Jobs:  make([]JobState, len(w.Jobs)),
-	}
-	for i := range w.Jobs {
-		ws.Jobs[i] = JobState{
-			ID:             workflow.JobID(i),
-			PendingMaps:    w.Jobs[i].Maps,
-			PendingReduces: w.Jobs[i].Reduces,
-			unmet:          len(w.Jobs[i].Prereqs),
-		}
-		ws.remaining += w.Jobs[i].Tasks()
-	}
+	ws := NewWorkflowState(len(s.states), w, p)
 	s.states = append(s.states, ws)
 	s.events.Push(w.Release, event{kind: evArrival, wf: ws.Index})
 	s.arrivalTimes = append(s.arrivalTimes, w.Release)
@@ -475,7 +461,7 @@ func (s *Simulator) complete(e event) {
 		js.DoneReduces++
 	}
 	ws.RunningTasks--
-	ws.remaining--
+	left := ws.TaskDone()
 	if s.obs != nil {
 		s.obs.TaskFinished(s.now, ws, e.job, e.st)
 	}
@@ -487,7 +473,7 @@ func (s *Simulator) complete(e event) {
 	if js.Completed() {
 		s.jobCompleted(ws, e.job)
 	}
-	if ws.remaining == 0 && !ws.Done {
+	if left == 0 && !ws.Done {
 		ws.Done = true
 		ws.FinishTime = s.now
 		s.doneCount++

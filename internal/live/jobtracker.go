@@ -1,7 +1,10 @@
 package live
 
 import (
+	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -11,17 +14,17 @@ import (
 	"repro/internal/workflow"
 )
 
-// JobTracker is the live master: it owns all workflow state behind one
-// mutex, exactly like Hadoop's JobTracker, and answers heartbeats with task
-// assignments chosen by the pluggable policy.
+// JobTracker is the legacy live master (Config.Shards = 1): it owns all
+// workflow state behind one mutex, exactly like Hadoop's JobTracker, and
+// answers heartbeats with task assignments chosen by the pluggable policy.
+// It is kept as the reference implementation the sharded tracker must match;
+// see sharded.go for the concurrent layout.
 type JobTracker struct {
 	cfg Config
 
 	mu     sync.Mutex
 	pol    cluster.Policy
 	states []*cluster.WorkflowState
-	specs  []*workflow.Workflow
-	plans  []*plan.Plan
 
 	clock     virtualClock
 	seq       int
@@ -29,10 +32,16 @@ type JobTracker struct {
 	started   int // tasks started
 	finish    []simtime.Time
 
-	// pendingRelease workflows are added to the policy when their release
-	// time arrives (checked on every heartbeat — heartbeats are the only
-	// scheduling trigger, as in Hadoop).
-	released []bool
+	// relOrder holds workflow indices sorted by release time; relCursor is
+	// the first index not yet handed to the policy. Each heartbeat inspects
+	// only workflows actually due instead of scanning every registration.
+	// Both are built when the clock is stamped and guarded by mu.
+	relOrder  []int
+	relCursor int
+
+	// live flips when the clock is stamped; register fails loudly after
+	// that, making pre-start registration explicitly single-threaded.
+	live atomic.Bool
 
 	// ins is the optional runtime instrumentation; all its methods no-op on
 	// a nil receiver, so the uninstrumented hot path pays one nil check.
@@ -42,40 +51,29 @@ type JobTracker struct {
 }
 
 func newJobTracker(cfg Config, pol cluster.Policy) *JobTracker {
+	// Register the woha_live_* family with shards=1 so an instrumented
+	// legacy run still reports which control-plane layout is serving.
+	cfg.Obs.NewLiveStats(1)
 	return &JobTracker{cfg: cfg, pol: pol, ins: cfg.Obs, done: make(chan struct{})}
 }
 
-// register records a workflow before the cluster starts.
+// register records a workflow before the cluster starts. Registration is
+// single-threaded and pre-start only; the tracker takes no lock here and
+// panics if the clock has already been stamped.
 func (jt *JobTracker) register(w *workflow.Workflow, p *plan.Plan) {
-	ws := &cluster.WorkflowState{
-		Index: len(jt.states),
-		Spec:  w,
-		Plan:  p,
-		Jobs:  make([]cluster.JobState, len(w.Jobs)),
+	if jt.live.Load() {
+		panic(fmt.Sprintf("live: register(%q) after the cluster started; Submit every workflow before Run or DeliverHeartbeat", w.Name))
 	}
-	for i := range w.Jobs {
-		ws.Jobs[i] = cluster.JobState{
-			ID:             workflow.JobID(i),
-			PendingMaps:    w.Jobs[i].Maps,
-			PendingReduces: w.Jobs[i].Reduces,
-		}
-	}
-	jt.states = append(jt.states, ws)
-	jt.specs = append(jt.specs, w)
-	jt.plans = append(jt.plans, p)
-	jt.released = append(jt.released, false)
+	jt.states = append(jt.states, cluster.NewWorkflowState(len(jt.states), w, p))
 	jt.finish = append(jt.finish, 0)
 	jt.remaining++
 }
 
-// start stamps the clock origin.
+// start stamps the clock origin and freezes registration.
 func (jt *JobTracker) start() {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	jt.clock = virtualClock{start: time.Now(), scale: jt.cfg.TimeScale}
-	// unmet prerequisite counts live in unexported simulator state, so the
-	// live tracker recomputes readiness from Dependents on each completion;
-	// initialize root readiness at release time in releaseDue.
+	jt.activateLocked()
 }
 
 // ensureClock stamps the clock origin if start() has not run, so heartbeats
@@ -83,10 +81,30 @@ func (jt *JobTracker) start() {
 func (jt *JobTracker) ensureClock() {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	if jt.clock.start.IsZero() {
-		jt.clock = virtualClock{start: time.Now(), scale: jt.cfg.TimeScale}
+	if !jt.live.Load() {
+		jt.activateLocked()
 	}
 }
+
+// activateLocked stamps the clock, sorts registrations by release time for
+// the releaseDue cursor, and closes registration. Callers hold mu.
+func (jt *JobTracker) activateLocked() {
+	jt.clock = virtualClock{start: time.Now(), scale: jt.cfg.TimeScale}
+	jt.relOrder = make([]int, len(jt.states))
+	for i := range jt.relOrder {
+		jt.relOrder[i] = i
+	}
+	sort.SliceStable(jt.relOrder, func(a, b int) bool {
+		return jt.states[jt.relOrder[a]].Spec.Release < jt.states[jt.relOrder[b]].Spec.Release
+	})
+	jt.live.Store(true)
+}
+
+// doneCh closes when every registered workflow has completed.
+func (jt *JobTracker) doneCh() <-chan struct{} { return jt.done }
+
+// registered reports the number of registered workflows.
+func (jt *JobTracker) registered() int { return len(jt.states) }
 
 // Heartbeat is the single RPC of the control plane: a tracker reports
 // completions and free slots; the JobTracker returns assignments.
@@ -127,13 +145,16 @@ func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
 }
 
 // releaseDue hands workflows whose release time has arrived to the policy
-// and activates their root jobs.
+// and activates their root jobs. Registrations were sorted by release time
+// when the clock was stamped, so the cursor advances monotonically and each
+// heartbeat inspects only workflows actually due.
 func (jt *JobTracker) releaseDue(now simtime.Time) {
-	for i, ws := range jt.states {
-		if jt.released[i] || ws.Spec.Release > now {
-			continue
+	for jt.relCursor < len(jt.relOrder) {
+		ws := jt.states[jt.relOrder[jt.relCursor]]
+		if ws.Spec.Release > now {
+			return
 		}
-		jt.released[i] = true
+		jt.relCursor++
 		jt.ins.WorkflowSubmitted(now, ws.Index, ws.Spec.Name)
 		jt.pol.WorkflowAdded(ws, now)
 		for _, r := range ws.Spec.Roots() {
@@ -200,7 +221,7 @@ func (jt *JobTracker) complete(id TaskID, now simtime.Time) {
 	if js.Completed() {
 		jt.jobCompleted(ws, id.Job, now)
 	}
-	if !ws.Done && workflowFinished(ws) {
+	if ws.TaskDone() == 0 && !ws.Done {
 		ws.Done = true
 		ws.FinishTime = now
 		jt.finish[ws.Index] = now
@@ -237,15 +258,6 @@ func (jt *JobTracker) jobCompleted(ws *cluster.WorkflowState, job workflow.JobID
 			jt.activate(ws, d, now)
 		}
 	}
-}
-
-func workflowFinished(ws *cluster.WorkflowState) bool {
-	for i := range ws.Jobs {
-		if !ws.Jobs[i].Completed() {
-			return false
-		}
-	}
-	return true
 }
 
 // result snapshots the outcome.

@@ -1,5 +1,5 @@
 // Package live runs WOHA on a real concurrent mini-Hadoop instead of the
-// discrete-event simulator: the JobTracker is a mutex-guarded scheduler
+// discrete-event simulator: the JobTracker is a concurrent scheduler
 // consulted by TaskTracker goroutines over periodic heartbeat messages, and
 // tasks execute as timed goroutines.
 //
@@ -7,6 +7,15 @@
 // worlds. Virtual workflow time maps to wall time through Config.TimeScale,
 // so a 45-minute workflow can run in tens of milliseconds of test time while
 // the control plane exchanges real messages.
+//
+// Two control-plane layouts are available, selected by Config.Shards. The
+// legacy layout (Shards = 1) mirrors Hadoop-1's master exactly: one mutex
+// serializes every heartbeat. The sharded layout (the default) splits the
+// master into an admission/completion/assignment pipeline — per-workflow
+// bookkeeping shards, a narrow policy core fed by batched lifecycle events,
+// and lock-free counters — so heartbeats from different TaskTrackers stop
+// contending on one lock (see sharded.go). Both layouts produce the same
+// scheduling outcomes; the equivalence is pinned by tests.
 //
 // The package exists to demonstrate the framework under true concurrency —
 // races, heartbeat skew, out-of-order completions — rather than to produce
@@ -17,13 +26,13 @@ package live
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/plan"
-	"repro/internal/simtime"
 	"repro/internal/workflow"
 )
 
@@ -40,6 +49,12 @@ type Config struct {
 	// estimated at D runs for D * TimeScale. 0.001 runs a 10-second task
 	// in 10ms.
 	TimeScale float64
+	// Shards selects the JobTracker layout: 1 runs the legacy single-mutex
+	// tracker, larger values partition workflow bookkeeping across that many
+	// independently locked shards with a separate policy core and lock-free
+	// heartbeat fast path. 0 (the default) uses one shard per CPU
+	// (GOMAXPROCS). Scheduling outcomes are identical across shard counts.
+	Shards int
 	// Obs attaches runtime observability to the JobTracker: heartbeat
 	// latency and assignment histograms, task-assignment and workflow
 	// lifecycle events. nil disables instrumentation (the default).
@@ -67,7 +82,18 @@ func (c Config) validate() error {
 	if c.TimeScale <= 0 {
 		return fmt.Errorf("live: TimeScale = %v, want > 0", c.TimeScale)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("live: Shards = %d, want >= 0", c.Shards)
+	}
 	return nil
+}
+
+// shardCount resolves the Shards default: one shard per CPU.
+func (c Config) shardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // TaskID identifies a running task inside the live cluster.
@@ -94,11 +120,41 @@ type Heartbeat struct {
 	Completed []TaskID
 }
 
+// controlPlane is the JobTracker contract shared by the legacy single-mutex
+// tracker (Shards = 1) and the sharded admission/completion/assignment
+// pipeline (Shards > 1). register is pre-start only and single-threaded;
+// both implementations fail loudly if it is called after the clock starts.
+type controlPlane interface {
+	// Heartbeat serves one TaskTracker report and returns assignments.
+	Heartbeat(hb Heartbeat) []Assignment
+	// register records a workflow before the cluster starts.
+	register(w *workflow.Workflow, p *plan.Plan)
+	// start stamps the clock origin and freezes registration.
+	start()
+	// ensureClock stamps the clock lazily for heartbeats delivered outside
+	// Run (see Cluster.DeliverHeartbeat).
+	ensureClock()
+	// result snapshots the outcome.
+	result() *Result
+	// doneCh closes when every registered workflow has completed.
+	doneCh() <-chan struct{}
+	// registered reports the number of registered workflows.
+	registered() int
+}
+
+// newControlPlane picks the tracker layout for cfg.
+func newControlPlane(cfg Config, pol cluster.Policy) controlPlane {
+	if n := cfg.shardCount(); n > 1 {
+		return newShardedTracker(cfg, pol, n)
+	}
+	return newJobTracker(cfg, pol)
+}
+
 // Cluster is the live mini-Hadoop: one JobTracker plus Config.Nodes
 // TaskTracker goroutines.
 type Cluster struct {
 	cfg Config
-	jt  *JobTracker
+	jt  controlPlane
 
 	trackers []*TaskTracker
 	wg       sync.WaitGroup
@@ -118,7 +174,7 @@ func New(cfg Config, pol cluster.Policy) (*Cluster, error) {
 	if pol == nil {
 		return nil, fmt.Errorf("live: nil policy")
 	}
-	c := &Cluster{cfg: cfg, jt: newJobTracker(cfg, pol)}
+	c := &Cluster{cfg: cfg, jt: newControlPlane(cfg, pol)}
 	for i := 0; i < cfg.Nodes; i++ {
 		hb := func(h Heartbeat) ([]Assignment, error) { return c.jt.Heartbeat(h), nil }
 		c.trackers = append(c.trackers, newTaskTracker(i, cfg, hb))
@@ -143,7 +199,8 @@ func (c *Cluster) Submit(w *workflow.Workflow, p *plan.Plan) error {
 // bypassing the TaskTracker goroutines and any transport. It exists for
 // benchmarks and tests that measure the scheduling path in isolation; the
 // virtual clock is stamped lazily on first use so the cluster need not be
-// started.
+// started. After the first delivery registration is frozen, exactly as
+// after Run.
 func (c *Cluster) DeliverHeartbeat(hb Heartbeat) []Assignment {
 	c.jt.ensureClock()
 	return c.jt.Heartbeat(hb)
@@ -156,7 +213,7 @@ func (c *Cluster) Run(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("live: Run called twice")
 	}
 	c.started = true
-	if len(c.jt.states) == 0 {
+	if c.jt.registered() == 0 {
 		return c.jt.result(), nil
 	}
 
@@ -174,7 +231,7 @@ func (c *Cluster) Run(ctx context.Context) (*Result, error) {
 
 	var err error
 	select {
-	case <-c.jt.done:
+	case <-c.jt.doneCh():
 	case <-ctx.Done():
 		err = fmt.Errorf("live: %w", ctx.Err())
 	}
@@ -206,22 +263,4 @@ func (r *Result) DeadlineMisses() int {
 		}
 	}
 	return n
-}
-
-// virtualClock converts wall time since start into virtual time.
-type virtualClock struct {
-	start time.Time
-	scale float64
-}
-
-func (vc virtualClock) now() simtime.Time {
-	return simtime.Epoch.Add(time.Duration(float64(time.Since(vc.start)) / vc.scale))
-}
-
-func (vc virtualClock) toWall(d time.Duration) time.Duration {
-	w := time.Duration(float64(d) * vc.scale)
-	if w <= 0 {
-		w = time.Microsecond
-	}
-	return w
 }

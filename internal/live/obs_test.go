@@ -88,6 +88,7 @@ func TestLiveValidationMessages(t *testing.T) {
 			"live: MapSlotsPerNode+ReduceSlotsPerNode = 0, want > 0"},
 		{func(c *live.Config) { c.HeartbeatInterval = 0 }, "live: HeartbeatInterval = 0s, want > 0"},
 		{func(c *live.Config) { c.TimeScale = -1 }, "live: TimeScale = -1, want > 0"},
+		{func(c *live.Config) { c.Shards = -3 }, "live: Shards = -3, want >= 0"},
 	}
 	for _, tc := range cases {
 		cfg := fastConfig()

@@ -25,7 +25,7 @@ func NewTCP(cfg Config, pol cluster.Policy) (*Cluster, error) {
 	if pol == nil {
 		return nil, fmt.Errorf("live: nil policy")
 	}
-	c := &Cluster{cfg: cfg, jt: newJobTracker(cfg, pol)}
+	c := &Cluster{cfg: cfg, jt: newControlPlane(cfg, pol)}
 
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("JobTracker", &rpcJobTracker{jt: c.jt}); err != nil {
@@ -59,6 +59,15 @@ func NewTCP(cfg Config, pol cluster.Policy) (*Cluster, error) {
 	return c, nil
 }
 
+// TransportAddr returns the JobTracker listener's address for clusters
+// built with NewTCP, or "" for in-process clusters.
+func (c *Cluster) TransportAddr() string {
+	if c.transport == nil {
+		return ""
+	}
+	return c.transport.listener.Addr().String()
+}
+
 // CloseTransport shuts down the TCP listener and client connections of a
 // cluster built with NewTCP. It is a no-op for in-process clusters.
 func (c *Cluster) CloseTransport() error {
@@ -68,9 +77,10 @@ func (c *Cluster) CloseTransport() error {
 	return c.transport.close()
 }
 
-// rpcJobTracker adapts JobTracker.Heartbeat to the net/rpc method shape.
+// rpcJobTracker adapts the control plane's Heartbeat to the net/rpc method
+// shape.
 type rpcJobTracker struct {
-	jt *JobTracker
+	jt controlPlane
 }
 
 // Heartbeat is the exported RPC method.

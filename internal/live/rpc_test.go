@@ -1,0 +1,87 @@
+package live_test
+
+import (
+	"net/rpc"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/scheduler"
+)
+
+// TestTCPTransportErrorPaths pins the failure behavior of the net/rpc
+// control plane: heartbeats work while the transport is up, a closed
+// transport surfaces errors to callers (dialing trackers and in-flight
+// clients alike) instead of hanging, CloseTransport is idempotent, and the
+// server goroutines drain — no leak survives the close.
+func TestTCPTransportErrorPaths(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	c, err := live.NewTCP(fastConfig(), scheduler.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c.TransportAddr()
+	if addr == "" {
+		t.Fatal("TCP cluster reports no transport address")
+	}
+
+	// A heartbeat over a fresh connection succeeds while the listener is up.
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []live.Assignment
+	if err := client.Call("JobTracker.Heartbeat", live.Heartbeat{Tracker: 0}, &out); err != nil {
+		t.Fatalf("heartbeat before close: %v", err)
+	}
+
+	if err := c.CloseTransport(); err != nil {
+		t.Fatalf("CloseTransport: %v", err)
+	}
+	// Idempotent: a second close is a clean no-op.
+	if err := c.CloseTransport(); err != nil {
+		t.Errorf("second CloseTransport: %v", err)
+	}
+
+	// A tracker dialing the closed listener gets an error immediately.
+	if conn, err := rpc.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Error("dial succeeded against a closed listener")
+	}
+
+	// A heartbeat on a closed client surfaces the RPC error (this is what a
+	// TaskTracker sees mid-run; see TestTCPTransportSurvivesEarlyClose for
+	// the re-queue behavior that follows).
+	if err := client.Close(); err != nil {
+		t.Fatalf("closing client: %v", err)
+	}
+	if err := client.Call("JobTracker.Heartbeat", live.Heartbeat{Tracker: 0}, &out); err == nil {
+		t.Error("heartbeat on a closed client returned no error")
+	}
+
+	// The accept loop and per-connection server goroutines must exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked by the closed transport: %d before, %d after", before, n)
+	}
+}
+
+// TestTransportAddrInProcess pins the in-process cluster's empty address and
+// no-op CloseTransport.
+func TestTransportAddrInProcess(t *testing.T) {
+	c, err := live.New(fastConfig(), scheduler.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr := c.TransportAddr(); addr != "" {
+		t.Errorf("in-process cluster reports transport address %q", addr)
+	}
+	if err := c.CloseTransport(); err != nil {
+		t.Errorf("CloseTransport on in-process cluster: %v", err)
+	}
+}

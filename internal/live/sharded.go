@@ -1,0 +1,396 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// shardedTracker is the concurrent live master (Config.Shards > 1). Where
+// the legacy JobTracker funnels every heartbeat through one mutex, this
+// tracker splits the work into three layers with independent
+// synchronization:
+//
+//  1. Bookkeeping (admission + completion accounting) takes the plane lock
+//     shared plus the owning workflow's shard lock, so heartbeats reporting
+//     completions for workflows on different shards run in parallel. State
+//     transitions that the policy must learn about are recorded as events,
+//     not delivered inline.
+//  2. The assignment pipeline takes the policy-core lock and then the plane
+//     lock exclusive, drains the event queue into the policy (which is
+//     contractually single-threaded), and runs the NextTask loops. The
+//     exclusive plane lock means the policy reads workflow state with no
+//     bookkeeping write racing it.
+//  3. Counters every heartbeat touches unconditionally — virtual clock,
+//     sequence, started, remaining, the schedulable-work hint, and the
+//     next-release cursor — are atomics, so a heartbeat with nothing to do
+//     (no completions, nothing due, no assignable work) finishes without
+//     acquiring any lock at all.
+//
+// Lock ordering: core.mu → plane (write) and plane (read) → shard.mu; a
+// shard lock is never held while taking core.mu or the plane write lock.
+//
+// Scheduling outcomes are identical to the legacy tracker: events reach the
+// policy in each workflow's transition order (pushes happen under the shard
+// lock), and every event is applied before the next assignment decision.
+type shardedTracker struct {
+	cfg Config
+
+	// plane is the tracker-wide reader/writer lock that separates the two
+	// phases: bookkeeping holds it shared (per-workflow exclusion comes from
+	// the shard locks), the assignment pipeline and result snapshots hold it
+	// exclusive.
+	plane sync.RWMutex
+
+	shards []*wfShard
+	wfs    []*liveWorkflow
+
+	core   *policyCore
+	events eventQueue
+	rel    releaseIndex
+
+	clock     atomic.Pointer[virtualClock]
+	startOnce sync.Once
+	live      atomic.Bool
+
+	seq     atomic.Int64
+	started atomic.Int64
+	// remaining counts workflows not yet completed; done closes when it
+	// reaches zero.
+	remaining atomic.Int64
+	// schedulable is the fast-path hint: an upper bound on tasks the policy
+	// could start right now (pending maps of activated jobs plus pending
+	// reduces of jobs whose map phase finished, minus tasks assigned). Zero
+	// lets a heartbeat with free slots skip the pipeline entirely; it never
+	// undercounts, so no assignment opportunity is missed.
+	schedulable atomic.Int64
+
+	ins   *obs.Obs
+	stats *obs.LiveStats
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+func newShardedTracker(cfg Config, pol cluster.Policy, nShards int) *shardedTracker {
+	st := &shardedTracker{
+		cfg:  cfg,
+		core: newPolicyCore(pol),
+		ins:  cfg.Obs,
+		done: make(chan struct{}),
+	}
+	st.stats = cfg.Obs.NewLiveStats(nShards)
+	st.shards = make([]*wfShard, nShards)
+	for i := range st.shards {
+		st.shards[i] = &wfShard{id: i}
+	}
+	return st
+}
+
+// register records a workflow before the cluster starts, pinning it to a
+// shard round-robin. Registration is single-threaded and pre-start only; it
+// takes no lock and panics if the clock has already been stamped.
+func (st *shardedTracker) register(w *workflow.Workflow, p *plan.Plan) {
+	if st.live.Load() {
+		panic(fmt.Sprintf("live: register(%q) after the cluster started; Submit every workflow before Run or DeliverHeartbeat", w.Name))
+	}
+	i := len(st.wfs)
+	st.wfs = append(st.wfs, &liveWorkflow{
+		ws:    cluster.NewWorkflowState(i, w, p),
+		shard: st.shards[i%len(st.shards)],
+	})
+	st.remaining.Add(1)
+}
+
+// start stamps the clock origin, builds the release index, and freezes
+// registration.
+func (st *shardedTracker) start() { st.ensureClock() }
+
+// ensureClock stamps the clock origin if start() has not run.
+func (st *shardedTracker) ensureClock() {
+	st.startOnce.Do(func() {
+		st.rel.build(st.wfs)
+		clk := &virtualClock{start: time.Now(), scale: st.cfg.TimeScale}
+		st.clock.Store(clk)
+		st.live.Store(true)
+	})
+}
+
+// doneCh closes when every registered workflow has completed.
+func (st *shardedTracker) doneCh() <-chan struct{} { return st.done }
+
+// registered reports the number of registered workflows.
+func (st *shardedTracker) registered() int { return len(st.wfs) }
+
+// Heartbeat serves one TaskTracker report through the three-layer pipeline:
+// lock-free clock/cursor reads, shared-lock bookkeeping only when the report
+// carries completions or a release came due, and the exclusive assignment
+// pipeline only when policy events are pending or free slots meet
+// schedulable work.
+func (st *shardedTracker) Heartbeat(hb Heartbeat) []Assignment {
+	var t0 time.Time
+	if st.ins != nil {
+		t0 = time.Now()
+	}
+	clk := st.clock.Load()
+	if clk == nil {
+		st.ensureClock()
+		clk = st.clock.Load()
+	}
+	now := clk.now()
+
+	locked := false
+	if due := st.rel.due(now); due != nil || len(hb.Completed) > 0 {
+		st.bookkeep(due, hb.Completed, now)
+		locked = true
+	}
+
+	var out []Assignment
+	if st.events.pending() || (hb.FreeMaps+hb.FreeReds > 0 && st.schedulable.Load() > 0) {
+		out = st.assignPhase(hb, now, clk)
+		locked = true
+	}
+	if !locked {
+		st.stats.OnFastPath()
+	}
+	if st.ins != nil {
+		st.ins.HeartbeatServed(now, hb.Tracker, time.Since(t0), len(out))
+	}
+	return out
+}
+
+// bookkeep applies admissions and completion accounting under the shared
+// plane lock, taking each workflow's shard lock only for its own updates.
+// Completions are grouped by contiguous workflow runs so a report full of
+// same-workflow tasks locks its shard once.
+func (st *shardedTracker) bookkeep(due []int, completed []TaskID, now simtime.Time) {
+	st.plane.RLock()
+	for _, wi := range due {
+		st.admit(st.wfs[wi], now)
+	}
+	for i := 0; i < len(completed); {
+		wi := completed[i].Workflow
+		j := i + 1
+		for j < len(completed) && completed[j].Workflow == wi {
+			j++
+		}
+		st.completeGroup(st.wfs[wi], completed[i:j], now)
+		i = j
+	}
+	st.plane.RUnlock()
+}
+
+// admit marks a released workflow's root jobs ready and records the release
+// for the policy core. The event is pushed under the shard lock, so it
+// cannot interleave with this workflow's completion events.
+func (st *shardedTracker) admit(lw *liveWorkflow, now simtime.Time) {
+	st.lockShard(lw.shard)
+	ws := lw.ws
+	for _, r := range ws.Spec.Roots() {
+		js := &ws.Jobs[r]
+		js.Ready = true
+		js.ActivatedAt = now
+	}
+	st.events.push(policyEvent{kind: evWorkflowReleased, wf: lw, now: now})
+	lw.shard.mu.Unlock()
+}
+
+// completeGroup applies one workflow's reported completions under its shard
+// lock: slot counters, reduce-phase unblocking, dependent activation, and
+// workflow-finish detection via the O(1) remaining-task countdown.
+func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, now simtime.Time) {
+	st.lockShard(lw.shard)
+	ws := lw.ws
+	for _, id := range ids {
+		js := &ws.Jobs[id.Job]
+		if id.Type == cluster.MapSlot {
+			js.RunningMaps--
+			js.DoneMaps++
+		} else {
+			js.RunningReduces--
+			js.DoneReduces++
+		}
+		ws.RunningTasks--
+		if id.Type == cluster.MapSlot && js.MapsDone() && js.PendingReduces > 0 {
+			st.events.push(policyEvent{kind: evReducesReady, wf: lw, job: id.Job, now: now})
+		}
+		if js.Completed() {
+			st.activateDependents(lw, id.Job, now)
+		}
+		if ws.TaskDone() == 0 && !ws.Done {
+			ws.Done = true
+			ws.FinishTime = now
+			lw.finish = now
+			st.events.push(policyEvent{kind: evWorkflowCompleted, wf: lw, now: now})
+			if st.remaining.Add(-1) == 0 {
+				st.doneOnce.Do(func() { close(st.done) })
+			}
+		}
+	}
+	lw.shard.mu.Unlock()
+}
+
+// activateDependents readies every dependent of the completed job whose
+// prerequisites all finished, recording each activation for the policy core.
+// The caller holds the workflow's shard lock.
+func (st *shardedTracker) activateDependents(lw *liveWorkflow, job workflow.JobID, now simtime.Time) {
+	ws := lw.ws
+	for _, d := range ws.Spec.Dependents()[job] {
+		dj := &ws.Jobs[d]
+		if dj.Ready {
+			continue
+		}
+		ready := true
+		for _, p := range ws.Spec.Jobs[d].Prereqs {
+			if !ws.Jobs[p].Completed() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			dj.Ready = true
+			dj.ActivatedAt = now
+			st.events.push(policyEvent{kind: evJobActivated, wf: lw, job: d, now: now})
+		}
+	}
+}
+
+// assignPhase is the exclusive pipeline: drain pending events into the
+// policy, then run the legacy assignment loops. Holding core.mu serializes
+// the single-threaded policy; holding the plane write lock freezes all
+// bookkeeping so the policy's reads of workflow state are race-free.
+func (st *shardedTracker) assignPhase(hb Heartbeat, now simtime.Time, clk *virtualClock) []Assignment {
+	st.lockPipeline()
+	defer func() {
+		st.plane.Unlock()
+		st.core.mu.Unlock()
+	}()
+	st.drainEvents()
+	var out []Assignment
+	for n := hb.FreeMaps; n > 0; n-- {
+		a, ok := st.assignOne(cluster.MapSlot, hb.Tracker, now, clk)
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	for n := hb.FreeReds; n > 0; n-- {
+		a, ok := st.assignOne(cluster.ReduceSlot, hb.Tracker, now, clk)
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// lockShard takes one shard's lock, recording the wait when instrumented.
+func (st *shardedTracker) lockShard(sh *wfShard) {
+	if st.stats == nil {
+		sh.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	st.stats.OnShardLockWait(time.Since(t0))
+}
+
+// lockPipeline takes the policy-core and exclusive plane locks, in that
+// order, recording the combined wait when instrumented.
+func (st *shardedTracker) lockPipeline() {
+	if st.stats == nil {
+		st.core.mu.Lock()
+		st.plane.Lock()
+		return
+	}
+	t0 := time.Now()
+	st.core.mu.Lock()
+	st.plane.Lock()
+	st.stats.OnPipelineLockWait(time.Since(t0))
+}
+
+// drainEvents applies every queued lifecycle event to the policy and folds
+// the schedulable-work deltas into the fast-path hint. The caller holds
+// core.mu and the plane write lock, so no push can interleave and the batch
+// is complete.
+func (st *shardedTracker) drainEvents() {
+	if !st.events.pending() {
+		return
+	}
+	batch := st.events.drain()
+	for i := range batch {
+		st.schedulable.Add(st.apply(&batch[i]))
+	}
+	st.stats.OnEventBatch(len(batch))
+	st.events.recycle(batch)
+}
+
+// assignOne mirrors the legacy tracker's assign: consult the policy, debit
+// the chosen job's pending counter, and stamp the task. The caller holds the
+// pipeline locks.
+func (st *shardedTracker) assignOne(slot cluster.SlotType, tracker int, now simtime.Time, clk *virtualClock) (Assignment, bool) {
+	ws, job, ok := st.core.pol.NextTask(now, slot)
+	if !ok {
+		return Assignment{}, false
+	}
+	js := &ws.Jobs[job]
+	var dur time.Duration
+	if slot == cluster.MapSlot {
+		js.PendingMaps--
+		js.RunningMaps++
+		dur = ws.Spec.Jobs[job].MapTime
+	} else {
+		js.PendingReduces--
+		js.RunningReduces++
+		dur = ws.Spec.Jobs[job].ReduceTime
+	}
+	ws.ScheduledTasks++
+	ws.RunningTasks++
+	st.started.Add(1)
+	st.schedulable.Add(-1)
+	seq := st.seq.Add(1)
+	st.ins.TaskAssigned(now, ws.Index, int(job), int(slot), tracker, dur)
+	st.core.pol.TaskStarted(ws, job, slot, now)
+	return Assignment{
+		ID:       TaskID{Workflow: ws.Index, Job: job, Type: slot, Seq: int(seq)},
+		WallTime: clk.toWall(dur),
+	}, true
+}
+
+// result snapshots the outcome. Taking the pipeline locks first flushes any
+// events still queued after the final completion, so the policy and
+// instrumentation see every workflow's full lifecycle before the snapshot.
+func (st *shardedTracker) result() *Result {
+	st.core.mu.Lock()
+	st.plane.Lock()
+	defer func() {
+		st.plane.Unlock()
+		st.core.mu.Unlock()
+	}()
+	st.drainEvents()
+	r := &Result{Policy: st.core.pol.Name(), TasksStarted: int(st.started.Load())}
+	for i, lw := range st.wfs {
+		ws := lw.ws
+		wr := cluster.WorkflowResult{
+			Name:     ws.Spec.Name,
+			Index:    i,
+			Release:  ws.Spec.Release,
+			Deadline: ws.Spec.Deadline,
+			Finish:   lw.finish,
+		}
+		wr.Workspan = wr.Finish.Sub(wr.Release)
+		if wr.Finish > wr.Deadline {
+			wr.Tardiness = wr.Finish.Sub(wr.Deadline)
+		}
+		wr.Met = wr.Tardiness == 0
+		r.Workflows = append(r.Workflows, wr)
+	}
+	return r
+}

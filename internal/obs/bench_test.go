@@ -16,7 +16,9 @@ import (
 // benchCluster builds a live cluster with one registered workflow so each
 // heartbeat exercises the full scheduling path (release scan, assignment
 // attempt). ins may be nil — the disabled-instrumentation case under test.
-func benchCluster(tb testing.TB, ins *obs.Obs) *live.Cluster {
+// shards 0 keeps the host default; 1 forces the legacy tracker, larger
+// values the sharded pipeline.
+func benchCluster(tb testing.TB, ins *obs.Obs, shards int) *live.Cluster {
 	tb.Helper()
 	cfg := live.Config{
 		Nodes:              4,
@@ -24,6 +26,7 @@ func benchCluster(tb testing.TB, ins *obs.Obs) *live.Cluster {
 		ReduceSlotsPerNode: 1,
 		HeartbeatInterval:  time.Millisecond,
 		TimeScale:          0.001,
+		Shards:             shards,
 		Obs:                ins,
 	}
 	c, err := live.New(cfg, scheduler.NewFIFO())
@@ -50,7 +53,7 @@ func steadyState(c *live.Cluster) {
 // disabled (nil *obs.Obs). The contract is 0 allocs/op: a disabled
 // installation costs exactly the nil checks.
 func BenchmarkHeartbeatBare(b *testing.B) {
-	c := benchCluster(b, nil)
+	c := benchCluster(b, nil, 0)
 	steadyState(c)
 	hb := live.Heartbeat{Tracker: 0}
 	b.ReportAllocs()
@@ -64,7 +67,7 @@ func BenchmarkHeartbeatBare(b *testing.B) {
 // ring sink attached, quantifying the enabled-instrumentation overhead.
 func BenchmarkHeartbeatInstrumented(b *testing.B) {
 	ins := obs.New(obs.NewRegistry(), obs.NewRing(4096))
-	c := benchCluster(b, ins)
+	c := benchCluster(b, ins, 0)
 	steadyState(c)
 	hb := live.Heartbeat{Tracker: 0}
 	b.ReportAllocs()
@@ -76,11 +79,21 @@ func BenchmarkHeartbeatInstrumented(b *testing.B) {
 
 // TestHeartbeatBareAllocs pins the zero-allocation contract in the regular
 // test suite, so a regression fails go test, not only a benchmark reading.
+// Both tracker layouts are covered: the legacy single-mutex path and the
+// sharded tracker's lock-free fast path must stay allocation-free on a
+// steady busy heartbeat.
 func TestHeartbeatBareAllocs(t *testing.T) {
-	c := benchCluster(t, nil)
-	steadyState(c)
-	hb := live.Heartbeat{Tracker: 0}
-	if allocs := testing.AllocsPerRun(100, func() { c.DeliverHeartbeat(hb) }); allocs != 0 {
-		t.Errorf("bare heartbeat allocates %v objects per run, want 0", allocs)
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"legacy", 1}, {"sharded", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := benchCluster(t, nil, tc.shards)
+			steadyState(c)
+			hb := live.Heartbeat{Tracker: 0}
+			if allocs := testing.AllocsPerRun(100, func() { c.DeliverHeartbeat(hb) }); allocs != 0 {
+				t.Errorf("bare heartbeat allocates %v objects per run, want 0", allocs)
+			}
+		})
 	}
 }

@@ -47,6 +47,15 @@ const (
 	MetricRunnerBatches      = "woha_runner_batches_total"
 	MetricRunnerInflight     = "woha_runner_inflight"
 	MetricRunnerCellDuration = "woha_runner_cell_duration_seconds"
+
+	// Sharded live control plane (internal/live): lock-wait distributions and
+	// fast-path accounting of the admission/completion/assignment pipeline.
+	MetricLiveShards           = "woha_live_shards"
+	MetricLiveShardLockWait    = "woha_live_shard_lock_wait_seconds"
+	MetricLivePipelineLockWait = "woha_live_pipeline_lock_wait_seconds"
+	MetricLiveFastPathBeats    = "woha_live_fastpath_heartbeats_total"
+	MetricLivePolicyBatches    = "woha_live_policy_event_batches_total"
+	MetricLivePolicyEvents     = "woha_live_policy_events_total"
 )
 
 // Obs bundles a metrics registry and an event sink into the instrumentation
@@ -360,6 +369,86 @@ func (s *PlannerStats) OnPlan(dur time.Duration, cached bool) {
 	} else {
 		s.CacheMisses.Inc()
 	}
+}
+
+// LiveStats bundles the instruments of the sharded live JobTracker
+// (internal/live): how often heartbeats complete on the lock-free fast path,
+// how long they wait for workflow-shard and assignment-pipeline locks, and
+// how policy events batch. All methods are safe on a nil receiver, so the
+// tracker carries a LiveStats pointer unconditionally and the uninstrumented
+// hot path pays one nil check.
+type LiveStats struct {
+	// Shards reports the configured shard count.
+	Shards *Gauge
+	// ShardLockWait is the wait to acquire one workflow shard's lock during
+	// completion/admission bookkeeping.
+	ShardLockWait *Histogram
+	// PipelineLockWait is the wait to acquire the policy core + exclusive
+	// plane lock before the assignment phase.
+	PipelineLockWait *Histogram
+	// FastPathBeats counts heartbeats served without taking any lock (no
+	// completions, no due releases, and no assignable work).
+	FastPathBeats *Counter
+	// PolicyBatches counts event-queue drains; PolicyEvents the lifecycle
+	// events those drains carried to the policy core.
+	PolicyBatches *Counter
+	PolicyEvents  *Counter
+}
+
+// NewLiveStats registers the sharded live-tracker instruments and records
+// the shard count. Returns nil (disabled stats) on a nil receiver.
+func (o *Obs) NewLiveStats(shards int) *LiveStats {
+	if o == nil {
+		return nil
+	}
+	s := &LiveStats{
+		Shards: o.reg.Gauge(MetricLiveShards, "Workflow-state shards in the live JobTracker."),
+		ShardLockWait: o.reg.Histogram(MetricLiveShardLockWait,
+			"Wait to acquire a workflow shard's lock during heartbeat bookkeeping.", DurationBuckets),
+		PipelineLockWait: o.reg.Histogram(MetricLivePipelineLockWait,
+			"Wait to acquire the assignment pipeline's policy-core and plane locks.", DurationBuckets),
+		FastPathBeats: o.reg.Counter(MetricLiveFastPathBeats,
+			"Heartbeats served entirely on the lock-free fast path."),
+		PolicyBatches: o.reg.Counter(MetricLivePolicyBatches,
+			"Policy event-queue drains by the assignment pipeline."),
+		PolicyEvents: o.reg.Counter(MetricLivePolicyEvents,
+			"Workflow lifecycle events delivered to the policy core."),
+	}
+	s.Shards.Set(int64(shards))
+	return s
+}
+
+// OnShardLockWait records one shard-lock acquisition wait.
+func (s *LiveStats) OnShardLockWait(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.ShardLockWait.ObserveDuration(d)
+}
+
+// OnPipelineLockWait records one assignment-pipeline lock acquisition wait.
+func (s *LiveStats) OnPipelineLockWait(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.PipelineLockWait.ObserveDuration(d)
+}
+
+// OnFastPath records a heartbeat served without locks.
+func (s *LiveStats) OnFastPath() {
+	if s == nil {
+		return
+	}
+	s.FastPathBeats.Inc()
+}
+
+// OnEventBatch records one event-queue drain delivering n events.
+func (s *LiveStats) OnEventBatch(n int) {
+	if s == nil {
+		return
+	}
+	s.PolicyBatches.Inc()
+	s.PolicyEvents.Add(int64(n))
 }
 
 // RunnerStats bundles the instruments of the parallel scenario runner
