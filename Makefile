@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench-plan bench-sim bench-live bench-smoke mutex-smoke
+.PHONY: build test vet race verify ci fmt-check race-smoke bench-plan bench-plan-shared bench-sim bench-live bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,34 @@ race:
 # Tier-1 gate plus static analysis and race checks — run before every PR.
 verify: build test vet race
 
-# Regenerate the committed planner throughput numbers.
+# Fails when any tracked Go file is not gofmt-clean, printing the diff.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; gofmt -d $$out; exit 1; fi
+
+# Quick race pass over just the shared-planner coalescing and runner
+# streaming paths — the hot concurrency introduced by the shared plan
+# service — instead of the full race suite.
+race-smoke:
+	$(GO) test -race -count=1 -run 'TestCoalescing|TestCoalesced|TestPlanCache|TestRunEach|TestDelivery|TestFirstError' \
+		./internal/planner/ ./internal/runner/
+
+# The CI gate: formatting, static analysis, the tier-1 suite, and the
+# concurrency race smoke.
+ci: fmt-check vet test race-smoke
+
+# Regenerate the committed planner throughput numbers (includes the
+# shared-vs-per-cell Fig 8 sweep and the contended shared-planner sections).
 bench-plan:
 	$(GO) run ./cmd/wohabench -bench-out BENCH_plan.json
+
+# Run the plan benchmark for its shared-planner evidence without touching
+# the committed baseline: the echoed summary's "fig8 sweep" line carries the
+# shared-vs-per-cell speedup, exactly-once accounting, and streaming
+# first-row proof; the "contended" line the 64-goroutine throughput.
+bench-plan-shared:
+	$(GO) run ./cmd/wohabench -bench-out $${TMPDIR:-/tmp}/BENCH_plan_shared.json
+	@echo "full report: $${TMPDIR:-/tmp}/BENCH_plan_shared.json"
 
 # Regenerate the committed simulation throughput numbers (Fig 8 corpus,
 # serial vs 8-worker runner).

@@ -107,9 +107,14 @@ func liveBenchMeasure(name string, shards, trackers int) (liveBenchMode, error) 
 				hb := live.Heartbeat{Tracker: tr}
 				if i%8 == 0 {
 					// Refill beat: report the held completions, take new work.
+					// Hand the tracker an owned copy — this loop truncates and
+					// re-appends into held's backing array right away, so
+					// passing held itself would mutate the slice mid-delivery
+					// if the cluster reads it beyond the synchronous
+					// completion pass (see live.Heartbeat's ownership note).
 					hb.FreeMaps, hb.FreeReds = 2, 1
-					hb.Completed = held
-					held = held[:0] // safe: appended to only after the call returns
+					hb.Completed = append([]live.TaskID(nil), held...)
+					held = held[:0]
 				}
 				t0 := time.Now()
 				out := c.DeliverHeartbeat(hb)

@@ -28,6 +28,8 @@ import (
 
 	woha "repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/planner"
 )
 
 func main() {
@@ -140,6 +142,13 @@ func run(fig, timelineDir string, out io.Writer) error {
 		return false
 	}
 
+	// One coalescing plan service spans every figure's cells: within a sweep
+	// each distinct (shape, caps, policy) key is simulated exactly once, and
+	// across figures recurring templates — Fig 12 re-running the Fig 11
+	// workload with three recurrences, say — are served from the same cache.
+	sweepObs := obs.New(obs.NewRegistry(), nil)
+	pl := planner.New(planner.Config{CacheSize: 4096, Margin: experiments.PlanMargin, Obs: sweepObs})
+
 	if want("2") {
 		res, err := experiments.Fig2()
 		if err != nil {
@@ -172,28 +181,52 @@ func run(fig, timelineDir string, out io.Writer) error {
 		}
 	}
 	if want("8", "9", "10") {
-		res, err := experiments.Fig8(experiments.DefaultFig8Config())
+		cfg := experiments.DefaultFig8Config()
+		cfg.Planner = pl
+		cfg.Obs = sweepObs
+		var res *experiments.Fig8Result
+		var err error
+		if want("8") {
+			// Stream Fig 8 row by row: each scheduler's line prints as soon
+			// as its three cells finish, while the remaining schedulers are
+			// still simulating — byte-identical to MissTable().Render on the
+			// completed sweep.
+			tw, twErr := experiments.NewTableWriter(out, experiments.Fig8MissTitle, "", cfg.SizesHeader())
+			if twErr != nil {
+				return twErr
+			}
+			res, err = experiments.Fig8Each(cfg, func(row experiments.Fig8Row) error {
+				cells := []string{row.Scheduler}
+				for _, v := range row.MissRatio {
+					cells = append(cells, fmt.Sprintf("%.3f", v))
+				}
+				return tw.Row(cells)
+			})
+			if err == nil {
+				err = tw.Close()
+			}
+		} else {
+			res, err = experiments.Fig8(cfg)
+		}
 		if err != nil {
 			return err
 		}
-		tables := []struct {
-			name string
-			tbl  *experiments.Table
-		}{
-			{"8", res.MissTable()},
-			{"9", res.MaxTardTable()},
-			{"10", res.TotalTardTable()},
+		if want("9") {
+			if err := res.MaxTardTable().Render(out); err != nil {
+				return err
+			}
 		}
-		for _, t := range tables {
-			if want(t.name) {
-				if err := t.tbl.Render(out); err != nil {
-					return err
-				}
+		if want("10") {
+			if err := res.TotalTardTable().Render(out); err != nil {
+				return err
 			}
 		}
 	}
 	if want("11") || timelineDir != "" {
-		res, err := experiments.Fig11(experiments.DefaultFig11Config())
+		cfg := experiments.DefaultFig11Config()
+		cfg.Planner = pl
+		cfg.Obs = sweepObs
+		res, err := experiments.Fig11(cfg)
 		if err != nil {
 			return err
 		}
@@ -218,6 +251,8 @@ func run(fig, timelineDir string, out io.Writer) error {
 	if want("12") {
 		cfg := experiments.DefaultFig11Config()
 		cfg.Recurrences = 3
+		cfg.Planner = pl
+		cfg.Obs = sweepObs
 		res, err := experiments.Fig11(cfg)
 		if err != nil {
 			return err

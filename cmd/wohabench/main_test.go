@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
@@ -100,6 +102,54 @@ func TestRunPlanBench(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "speedup:") {
 		t.Errorf("summary missing speedup line:\n%s", sb.String())
+	}
+
+	sweep := report.Fig8Sweep
+	if sweep.Cells == 0 || sweep.WohaCells == 0 || sweep.PlansServed == 0 {
+		t.Fatalf("sweep section is empty: %+v", sweep)
+	}
+	// The shared planner simulates each distinct structural key exactly once;
+	// cache hits and coalesced waits account for every other request.
+	if got := sweep.DistinctKeysSimulated + sweep.CacheHits + sweep.Coalesced; got != sweep.PlansServed {
+		t.Errorf("sweep accounting: distinct %d + hits %d + coalesced %d = %d, want plans served %d",
+			sweep.DistinctKeysSimulated, sweep.CacheHits, sweep.Coalesced, got, sweep.PlansServed)
+	}
+	if sweep.DuplicateFills != 0 {
+		t.Errorf("sweep duplicate fills = %d, want 0", sweep.DuplicateFills)
+	}
+	if !sweep.FiguresByteIdentical {
+		t.Error("shared-planner figures differ from per-cell figures")
+	}
+	if !sweep.FirstRowBeforeLastCell {
+		t.Errorf("first streamed row arrived after the sweep finished: %d/%d cells done",
+			sweep.CellsDoneAtFirstRow, sweep.Cells)
+	}
+	if report.Contended.Goroutines == 0 || report.Contended.PlansPerSec <= 0 {
+		t.Errorf("contended section is empty: %+v", report.Contended)
+	}
+	if report.Contended.DuplicateFills != 0 {
+		t.Errorf("contended duplicate fills = %d, want 0", report.Contended.DuplicateFills)
+	}
+}
+
+// TestRunFig8Streams pins the streamed Fig 8 rendering: the row-by-row
+// TableWriter output of run("8") must be byte-identical to the batch
+// MissTable render of the same sweep.
+func TestRunFig8Streams(t *testing.T) {
+	var sb strings.Builder
+	if err := run("8", "", &sb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.Fig8(experiments.DefaultFig8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := res.MissTable().Render(&want); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want.String() {
+		t.Errorf("streamed Fig 8 differs from batch render:\nstreamed:\n%s\nbatch:\n%s", sb.String(), want.String())
 	}
 }
 

@@ -21,7 +21,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"runtime"
 	"time"
 
 	woha "repro"
@@ -30,7 +29,6 @@ import (
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/plan"
-	"repro/internal/planner"
 	"repro/internal/workload"
 )
 
@@ -74,8 +72,10 @@ func main() {
 		defer mserv.close()
 	}
 
+	pl := po.shared(ins)
+
 	if *liveMode {
-		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, po); err != nil {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, pl); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
@@ -100,10 +100,10 @@ func main() {
 		if *timeline != "" {
 			err = fmt.Errorf("-timeline records a single run; drop it or -replicas")
 		} else {
-			err = runReplicas(*workloadName, *schedName, cfg, *replicas, *replicaWork, ins, po)
+			err = runReplicas(*workloadName, *schedName, cfg, *replicas, *replicaWork, ins, pl)
 		}
 	} else {
-		err = run(*workloadName, *schedName, cfg, *timeline, ins, po)
+		err = run(*workloadName, *schedName, cfg, *timeline, ins, pl)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
@@ -163,36 +163,27 @@ type planOpts struct {
 	workers, cache int
 }
 
-func (po planOpts) sessionOptions() []woha.SessionOption {
-	return []woha.SessionOption{
+// shared builds the one coalescing plan service every wohasim path uses:
+// sessions receive it via WithPlanner, replica sweeps share its cache across
+// seeds, and live mode generates through it directly — so each distinct
+// (shape, caps, policy) key costs one simulation process-wide.
+func (po planOpts) shared(ins *woha.Instrumentation) *woha.Planner {
+	return woha.NewPlanner(
 		woha.WithPlannerWorkers(po.workers),
 		woha.WithPlanCache(po.cache),
-	}
+		woha.WithPlanMargin(experiments.PlanMargin),
+		woha.WithInstrumentation(ins),
+	)
 }
 
-// planner builds the equivalent internal planner for paths that generate
-// plans outside a Session (live mode).
-func (po planOpts) planner(ins *woha.Instrumentation) *planner.Planner {
-	workers := po.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return planner.New(planner.Config{
-		Workers:   workers,
-		CacheSize: po.cache,
-		Margin:    experiments.PlanMargin,
-		Obs:       ins,
-	})
-}
-
-func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, po planOpts) error {
+func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, pl *woha.Planner) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
 	}
 
 	var tl *metrics.Timeline
-	opts := append([]woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins)}, po.sessionOptions()...)
+	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins), woha.WithPlanner(pl)}
 	if timelinePath != "" {
 		tl = woha.NewTimeline()
 		opts = append(opts, woha.WithObserver(tl))
@@ -241,7 +232,7 @@ func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath st
 
 // runReplicas replays the workload once per seed (cfg.Seed, cfg.Seed+1, ...)
 // through the parallel runner and reports the per-seed outcome spread.
-func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replicas, workers int, ins *woha.Instrumentation, po planOpts) error {
+func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replicas, workers int, ins *woha.Instrumentation, pl *woha.Planner) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -250,7 +241,7 @@ func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replica
 	for i := range seeds {
 		seeds[i] = cfg.Seed + int64(i)
 	}
-	opts := append(po.sessionOptions(), woha.WithInstrumentation(ins))
+	opts := []woha.SessionOption{woha.WithInstrumentation(ins), woha.WithPlanner(pl)}
 	results, err := woha.RunSeeds(cfg, woha.Scheduler(schedName), flows, seeds, workers, opts...)
 	if err != nil {
 		return err
@@ -275,7 +266,7 @@ func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replica
 }
 
 // runLive executes the workload on the concurrent mini-Hadoop.
-func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, po planOpts) error {
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, pl *woha.Planner) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -297,7 +288,6 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shard
 	if err != nil {
 		return err
 	}
-	pl := po.planner(ins)
 	for _, w := range flows {
 		var p *plan.Plan
 		if spec.IsWOHA() {

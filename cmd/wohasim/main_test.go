@@ -31,7 +31,7 @@ func clusterCfg() woha.ClusterConfig {
 
 func TestRunXMLWorkload(t *testing.T) {
 	timeline := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}.shared(nil)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(timeline); err != nil {
@@ -41,16 +41,16 @@ func TestRunXMLWorkload(t *testing.T) {
 
 func TestRunXMLWorkloadParallelCachedPlans(t *testing.T) {
 	// Same workload through the parallel, cached planner path.
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}.shared(nil)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}); err == nil {
+	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}.shared(nil)); err == nil {
 		t.Error("missing workload accepted")
 	}
-	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}); err == nil {
+	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}.shared(nil)); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -60,7 +60,7 @@ func TestRunLiveXMLWorkload(t *testing.T) {
 	// once per control-plane layout (-shards 1 legacy, -shards 2 sharded).
 	for _, shards := range []int{1, 2} {
 		start := time.Now()
-		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}); err != nil {
+		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}.shared(nil)); err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
 		if time.Since(start) > 20*time.Second {
@@ -80,7 +80,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	defer srv.close()
 
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}.shared(ins)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/planner"
 	"repro/internal/priority"
 	"repro/internal/runner"
 	"repro/internal/workflow"
@@ -23,21 +24,10 @@ type AblationResult struct {
 }
 
 // lpfPlans builds the WOHA-LPF plan factory for a cell: typed, resource-
-// capped plans for flows against cc at the given margin.
-func lpfPlans(flows []*workflow.Workflow, cc cluster.Config, margin float64) func() ([]*plan.Plan, error) {
-	return func() ([]*plan.Plan, error) {
-		plans := make([]*plan.Plan, len(flows))
-		for i, w := range flows {
-			p, err := plan.GenerateCappedTyped(w,
-				plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()},
-				priority.LPF{}, margin)
-			if err != nil {
-				return nil, fmt.Errorf("plan for %q: %w", w.Name, err)
-			}
-			plans[i] = p
-		}
-		return plans, nil
-	}
+// capped plans for flows against cc at the given margin, routed through the
+// shared planner pl when one is provided (nil generates directly).
+func lpfPlans(flows []*workflow.Workflow, cc cluster.Config, margin float64, pl *planner.Planner) func() ([]*plan.Plan, error) {
+	return PlansFactory(flows, cc, priority.LPF{}, margin, pl)
 }
 
 // ablate runs the variant cells over the default worker pool and collapses
@@ -98,7 +88,9 @@ func AblationsFig11() ([]AblationResult, error) {
 				return core.NewScheduler(core.Options{Seed: base.Seed, Strict: strict, PolicyName: "LPF"})
 			},
 			Flows: flows,
-			Plans: lpfPlans(flows, cc, s.margin),
+			// Margins differ across variants and a planner caches per its
+			// configured margin, so these cells generate directly.
+			Plans: lpfPlans(flows, cc, s.margin, nil),
 		}
 	}
 	return ablate(variants, cells)
@@ -122,6 +114,10 @@ func AblationsYahoo() ([]AblationResult, error) {
 	cc := cluster.Config{Nodes: 120, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2, Seed: 1}
 	variants := make([]string, len(steps))
 	cells := make([]runner.Cell, len(steps))
+	// All six variants plan at PlanMargin against the same caps, and the
+	// three variants per deadline scheme share their workload's structure, so
+	// one coalescing planner serves each distinct plan once across the sweep.
+	pl := planner.New(planner.Config{CacheSize: 256, Margin: PlanMargin})
 	for i, s := range steps {
 		ycfg := workload.DefaultYahooConfig()
 		ycfg.Scheme = s.scheme
@@ -139,7 +135,7 @@ func AblationsYahoo() ([]AblationResult, error) {
 			Config: cc,
 			Policy: func() cluster.Policy { return core.NewScheduler(opts) },
 			Flows:  multi,
-			Plans:  lpfPlans(multi, cc, PlanMargin),
+			Plans:  lpfPlans(multi, cc, PlanMargin, pl),
 		}
 	}
 	return ablate(variants, cells)

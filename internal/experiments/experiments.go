@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/planner"
 	"repro/internal/priority"
 	"repro/internal/runner"
 	"repro/internal/scheduler"
@@ -81,6 +82,59 @@ func sum(xs []int) int {
 		s += x
 	}
 	return s
+}
+
+// TableWriter renders a table incrementally — title and header up front, then
+// one row at a time — so a figure can be printed as its rows are computed
+// instead of after the whole sweep drains. Column widths are fixed from the
+// header alone (a streaming writer cannot look ahead at unrendered rows);
+// whenever no cell is wider than its column's header — true for every figure
+// table in this package — the streamed output is byte-identical to
+// Table.Render on the completed table.
+type TableWriter struct {
+	w      io.Writer
+	widths []int
+}
+
+// NewTableWriter writes the table preamble (title, optional note, header,
+// rule) and returns a writer for the rows.
+func NewTableWriter(w io.Writer, title, note string, header []string) (*TableWriter, error) {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return nil, err
+	}
+	if note != "" {
+		if _, err := fmt.Fprintf(w, "  %s\n", note); err != nil {
+			return nil, err
+		}
+	}
+	tw := &TableWriter{w: w, widths: make([]int, len(header))}
+	for i, h := range header {
+		tw.widths[i] = len(h)
+	}
+	if err := tw.Row(header); err != nil {
+		return nil, err
+	}
+	_, err := fmt.Fprintln(w, "  "+strings.Repeat("-", sum(tw.widths)+2*(len(tw.widths)-1)))
+	if err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Row writes one table row.
+func (tw *TableWriter) Row(cells []string) error {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprintf("%-*s", tw.widths[i], c)
+	}
+	_, err := fmt.Fprintln(tw.w, "  "+strings.Join(parts, "  "))
+	return err
+}
+
+// Close ends the table with the same trailing blank line Table.Render emits.
+func (tw *TableWriter) Close() error {
+	_, err := fmt.Fprintln(tw.w)
+	return err
 }
 
 // SchedulerSpec names one of the six schedulers compared throughout the
@@ -163,7 +217,7 @@ func RunScenarioMargin(cfg cluster.Config, flows []*workflow.Workflow, spec Sche
 	if obs != nil {
 		observer = func() cluster.Observer { return obs }
 	}
-	cell := ScenarioCell(spec.Name, cfg, flows, spec, seed, observer, margin)
+	cell := ScenarioCell(spec.Name, cfg, flows, spec, seed, observer, margin, nil)
 	results, err := runner.New(runner.Config{Workers: 1}).RunAll([]runner.Cell{cell})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -174,7 +228,8 @@ func RunScenarioMargin(cfg cluster.Config, flows []*workflow.Workflow, spec Sche
 // ScenarioCell builds the runner cell equivalent of RunScenarioMargin: a
 // cluster configured by cfg running flows under spec, with resource-capped
 // plans generated inside the cell for WOHA schedulers. observer may be nil.
-func ScenarioCell(name string, cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerSpec, seed int64, observer func() cluster.Observer, margin float64) runner.Cell {
+// pl optionally names a shared plan service for the cell (see PlansFactory).
+func ScenarioCell(name string, cfg cluster.Config, flows []*workflow.Workflow, spec SchedulerSpec, seed int64, observer func() cluster.Observer, margin float64, pl *planner.Planner) runner.Cell {
 	c := runner.Cell{
 		Name:     name,
 		Config:   cfg,
@@ -183,18 +238,40 @@ func ScenarioCell(name string, cfg cluster.Config, flows []*workflow.Workflow, s
 		Observer: observer,
 	}
 	if spec.IsWOHA() {
-		c.Plans = func() ([]*plan.Plan, error) {
-			caps := plan.Caps{Maps: cfg.MapSlots(), Reduces: cfg.ReduceSlots()}
-			plans := make([]*plan.Plan, len(flows))
-			for i, w := range flows {
-				p, err := plan.GenerateCappedTyped(w, caps, spec.Priority, margin)
-				if err != nil {
-					return nil, fmt.Errorf("plan for %q: %w", w.Name, err)
-				}
-				plans[i] = p
-			}
-			return plans, nil
-		}
+		c.Plans = PlansFactory(flows, cfg, spec.Priority, margin, pl)
 	}
 	return c
+}
+
+// PlansFactory builds a cell's Plans closure: typed, resource-capped plans
+// for flows against cc at the given margin. With pl nil every plan is
+// generated directly (the seed path — one Algorithm 1 cap search per
+// workflow, per cell). With a shared Planner, requests go through its
+// structural cache and singleflight coalescing instead, so cells asking for
+// the same (shape, caps, policy, margin) key — concurrently or not — cost
+// one simulation total. Both paths return byte-identical plans.
+func PlansFactory(flows []*workflow.Workflow, cc cluster.Config, pol priority.Policy, margin float64, pl *planner.Planner) func() ([]*plan.Plan, error) {
+	caps := plan.Caps{Maps: cc.MapSlots(), Reduces: cc.ReduceSlots()}
+	return func() ([]*plan.Plan, error) {
+		if pl != nil && pl.Margin() != margin {
+			// A planner caches per its own margin; silently serving a
+			// different one would change the figures.
+			return nil, fmt.Errorf("experiments: shared planner margin %v does not match requested margin %v", pl.Margin(), margin)
+		}
+		plans := make([]*plan.Plan, len(flows))
+		for i, w := range flows {
+			var p *plan.Plan
+			var err error
+			if pl != nil {
+				p, err = pl.Plan(w, caps, pol)
+			} else {
+				p, err = plan.GenerateCappedTyped(w, caps, pol, margin)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("plan for %q: %w", w.Name, err)
+			}
+			plans[i] = p
+		}
+		return plans, nil
+	}
 }

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/workflow"
@@ -34,6 +36,14 @@ type Fig11Config struct {
 	// 0 selects one per core, 1 runs serially. Results are identical at
 	// any worker count (see internal/runner).
 	Workers int
+	// Planner optionally shares one coalescing plan service across the
+	// cells (and with any other sweep using the same planner — the Fig 7
+	// templates recur across recurrences and experiments). Nil generates
+	// plans directly per cell; figures are byte-identical either way. The
+	// planner's margin must equal Margin.
+	Planner *planner.Planner
+	// Obs optionally instruments the sweep's runner (woha_runner_* metrics).
+	Obs *obs.Obs
 }
 
 // DefaultFig11Config matches the paper's setup. Scale is calibrated so the
@@ -109,7 +119,7 @@ func Fig11Cells(cfg Fig11Config) (cells []runner.Cell, timelines []*metrics.Time
 		cells[i] = ScenarioCell(spec.Name, cfg.Cluster(), flows, spec, cfg.Seed, func() cluster.Observer {
 			timelines[i] = metrics.NewTimeline()
 			return timelines[i]
-		}, cfg.Margin)
+		}, cfg.Margin, cfg.Planner)
 	}
 	return cells, timelines
 }
@@ -118,7 +128,7 @@ func Fig11Cells(cfg Fig11Config) (cells []runner.Cell, timelines []*metrics.Time
 // independent cells over cfg.Workers.
 func Fig11(cfg Fig11Config) (*Fig11Result, error) {
 	cells, timelines := Fig11Cells(cfg)
-	results, err := runner.New(runner.Config{Workers: cfg.Workers}).RunAll(cells)
+	results, err := runner.New(runner.Config{Workers: cfg.Workers, Obs: cfg.Obs}).RunAll(cells)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/runner"
 	"repro/internal/workload"
 )
@@ -27,6 +29,15 @@ type Fig8Config struct {
 	// concurrently; 0 selects one per core, 1 runs serially. Results are
 	// identical at any worker count (see internal/runner).
 	Workers int
+	// Planner optionally shares one coalescing plan service across the
+	// sweep's cells: each distinct (DAG shape, caps, policy) key is then
+	// simulated exactly once no matter how many cells or recurring template
+	// instances request it. Nil keeps the seed behavior — every WOHA cell
+	// generates each of its plans directly. Figures are byte-identical
+	// either way. The planner's margin must equal Margin.
+	Planner *planner.Planner
+	// Obs optionally instruments the sweep's runner (woha_runner_* metrics).
+	Obs *obs.Obs
 }
 
 // DefaultFig8Config matches the paper's axis: 200m-200r, 240m-240r,
@@ -77,7 +88,7 @@ func Fig8Cells(cfg Fig8Config) ([]runner.Cell, error) {
 			// Cells share the workflow specs: the simulator never mutates
 			// them, so reuse is safe across (even concurrent) runs.
 			name := fmt.Sprintf("%s/%dm-%dr", spec.Name, size, size)
-			cells = append(cells, ScenarioCell(name, cc, multi, spec, cfg.Seed, nil, cfg.Margin))
+			cells = append(cells, ScenarioCell(name, cc, multi, spec, cfg.Seed, nil, cfg.Margin, cfg.Planner))
 		}
 	}
 	return cells, nil
@@ -86,38 +97,70 @@ func Fig8Cells(cfg Fig8Config) ([]runner.Cell, error) {
 // Fig8 runs the Yahoo workload across cluster sizes and schedulers,
 // fanning the independent cells over cfg.Workers.
 func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	return Fig8Each(cfg, nil)
+}
+
+// Fig8Row is one scheduler's completed row of the Fig 8-10 sweep: the three
+// tardiness metrics across cfg.Sizes, in size order.
+type Fig8Row struct {
+	Scheduler string
+	MissRatio []float64
+	MaxTard   []time.Duration
+	TotalTard []time.Duration
+}
+
+// Fig8Each is Fig8 with streaming: rowFn (when non-nil) receives each
+// scheduler's row as soon as that scheduler's cells have all finished —
+// while later schedulers' cells are still executing — in presentation order.
+// The sweep's cells run scheduler-major and the runner delivers results in
+// submission order, so a row completes every len(cfg.Sizes) deliveries. An
+// error from rowFn aborts streaming and is returned.
+func Fig8Each(cfg Fig8Config, rowFn func(Fig8Row) error) (*Fig8Result, error) {
 	cells, err := Fig8Cells(cfg)
 	if err != nil {
 		return nil, err
 	}
-	results, err := runner.New(runner.Config{Workers: cfg.Workers}).RunAll(cells)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-
 	out := &Fig8Result{
 		Config:    cfg,
 		MissRatio: make(map[string][]float64),
 		MaxTard:   make(map[string][]time.Duration),
 		TotalTard: make(map[string][]time.Duration),
 	}
-	i := 0
-	for _, spec := range AllSchedulers() {
+	specs := AllSchedulers()
+	for _, spec := range specs {
 		out.Order = append(out.Order, spec.Name)
-		for range cfg.Sizes {
-			res := results[i]
-			i++
-			out.MissRatio[spec.Name] = append(out.MissRatio[spec.Name], res.MissRatio())
-			out.MaxTard[spec.Name] = append(out.MaxTard[spec.Name], res.MaxTardiness())
-			out.TotalTard[spec.Name] = append(out.TotalTard[spec.Name], res.TotalTardiness())
+	}
+	per := len(cfg.Sizes)
+	err = runner.New(runner.Config{Workers: cfg.Workers, Obs: cfg.Obs}).RunEach(cells, func(i int, res *cluster.Result) error {
+		name := specs[i/per].Name
+		out.MissRatio[name] = append(out.MissRatio[name], res.MissRatio())
+		out.MaxTard[name] = append(out.MaxTard[name], res.MaxTardiness())
+		out.TotalTard[name] = append(out.TotalTard[name], res.TotalTardiness())
+		if rowFn != nil && len(out.MissRatio[name]) == per {
+			return rowFn(Fig8Row{
+				Scheduler: name,
+				MissRatio: out.MissRatio[name],
+				MaxTard:   out.MaxTard[name],
+				TotalTard: out.TotalTard[name],
+			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	return out, nil
 }
 
-func (r *Fig8Result) sizesHeader() []string {
+// Fig8MissTitle is the Fig 8 table title, shared by MissTable and streamed
+// renderings (see TableWriter) so the two can never diverge.
+const Fig8MissTitle = "Fig 8: Deadline violation ratio (Yahoo workload, single-job workflows removed)"
+
+// SizesHeader returns the header row of the Fig 8-10 tables: "scheduler"
+// followed by one column per cluster size.
+func (cfg Fig8Config) SizesHeader() []string {
 	h := []string{"scheduler"}
-	for _, s := range r.Config.Sizes {
+	for _, s := range cfg.Sizes {
 		h = append(h, fmt.Sprintf("%dm-%dr", s, s))
 	}
 	return h
@@ -126,8 +169,8 @@ func (r *Fig8Result) sizesHeader() []string {
 // MissTable renders Fig 8: deadline violation ratio vs cluster size.
 func (r *Fig8Result) MissTable() *Table {
 	t := &Table{
-		Title:  "Fig 8: Deadline violation ratio (Yahoo workload, single-job workflows removed)",
-		Header: r.sizesHeader(),
+		Title:  Fig8MissTitle,
+		Header: r.Config.SizesHeader(),
 	}
 	for _, name := range r.Order {
 		row := []string{name}
@@ -143,7 +186,7 @@ func (r *Fig8Result) MissTable() *Table {
 func (r *Fig8Result) MaxTardTable() *Table {
 	t := &Table{
 		Title:  "Fig 9: Max tardiness (seconds)",
-		Header: r.sizesHeader(),
+		Header: r.Config.SizesHeader(),
 	}
 	for _, name := range r.Order {
 		row := []string{name}
@@ -159,7 +202,7 @@ func (r *Fig8Result) MaxTardTable() *Table {
 func (r *Fig8Result) TotalTardTable() *Table {
 	t := &Table{
 		Title:  "Fig 10: Total tardiness (seconds)",
-		Header: r.sizesHeader(),
+		Header: r.Config.SizesHeader(),
 	}
 	for _, name := range r.Order {
 		row := []string{name}

@@ -113,6 +113,13 @@ type Assignment struct {
 
 // Heartbeat is a TaskTracker's periodic report: its identity, current free
 // slots, and tasks completed since the last report.
+//
+// Ownership: the cluster reads Completed only during the synchronous
+// completion pass inside DeliverHeartbeat and never retains the slice past
+// the call's return. The caller keeps ownership afterwards — but because the
+// slice is read while the call is in flight, a caller that reuses the
+// backing array across heartbeats must hand the cluster its own copy rather
+// than a slice it truncates and refills concurrently.
 type Heartbeat struct {
 	Tracker   int
 	FreeMaps  int

@@ -33,6 +33,9 @@ const (
 	MetricPlannerProbes          = "woha_planner_probes_total"
 	MetricPlannerProbesCancelled = "woha_planner_probes_cancelled_total"
 	MetricPlannerPlanDuration    = "woha_planner_plan_duration_seconds"
+	MetricPlannerInflight        = "woha_planner_inflight"
+	MetricPlannerCoalesced       = "woha_planner_coalesced_total"
+	MetricPlannerDupFills        = "woha_planner_duplicate_fills_total"
 
 	// Simulator dispatch hot path (internal/cluster): slot-offer volume and
 	// the work the free-slot index / overdue heap / heartbeat suppression
@@ -335,6 +338,16 @@ type PlannerStats struct {
 	ProbesCancelled *Counter
 	// PlanDur is the wall-clock latency of one planner request.
 	PlanDur *Histogram
+	// Inflight gauges key generations currently running; Coalesced counts
+	// requests that blocked on a concurrent same-key generation instead of
+	// simulating themselves (singleflight coalescing).
+	Inflight  *Gauge
+	Coalesced *Counter
+	// DuplicateFills counts freshly generated plans the cache discarded
+	// because a concurrent fill of the same key won the race. Coalescing
+	// exists to hold this at zero; a nonzero value means same-key work was
+	// simulated more than once and one result was thrown away.
+	DuplicateFills *Counter
 }
 
 // NewPlannerStats registers the planner instruments. Returns nil (disabled
@@ -353,6 +366,11 @@ func (o *Obs) NewPlannerStats() *PlannerStats {
 			"Speculative probes cancelled before running because the search had already narrowed past them."),
 		PlanDur: o.reg.Histogram(MetricPlannerPlanDuration,
 			"Wall-clock latency of one planner request.", DurationBuckets),
+		Inflight: o.reg.Gauge(MetricPlannerInflight, "Plan generations currently in flight."),
+		Coalesced: o.reg.Counter(MetricPlannerCoalesced,
+			"Plan requests served by waiting on a concurrent same-key generation."),
+		DuplicateFills: o.reg.Counter(MetricPlannerDupFills,
+			"Freshly generated plans discarded because a concurrent same-key fill won."),
 	}
 }
 
@@ -369,6 +387,17 @@ func (s *PlannerStats) OnPlan(dur time.Duration, cached bool) {
 	} else {
 		s.CacheMisses.Inc()
 	}
+}
+
+// OnPlanCoalesced records one served plan that neither hit the cache nor
+// simulated: it waited on a concurrent in-flight generation of the same key.
+func (s *PlannerStats) OnPlanCoalesced(dur time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Plans.Inc()
+	s.PlanDur.ObserveDuration(dur)
+	s.Coalesced.Inc()
 }
 
 // LiveStats bundles the instruments of the sharded live JobTracker

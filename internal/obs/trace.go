@@ -118,7 +118,7 @@ func WriteTrace(w io.Writer, events []Event) error {
 			}
 			out = append(out, traceEvent{
 				Name: name, Ph: "X",
-				TS: start.Time.Duration().Microseconds(),
+				TS:  start.Time.Duration().Microseconds(),
 				Dur: maxI64(e.Time.Sub(start.Time).Microseconds(), 1),
 				PID: tracePIDWorkflows, TID: tid,
 				Args: map[string]any{"tardiness_us": e.Dur.Microseconds()},

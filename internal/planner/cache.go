@@ -116,17 +116,24 @@ func (c *planCache) get(k cacheKey) (*plan.Plan, bool) {
 }
 
 // put stores a copy of p under k, evicting the least recently used entry
-// when full. Safe on a nil cache.
-func (c *planCache) put(k cacheKey, p *plan.Plan) {
+// when full. It reports whether p was stored: false means a concurrent fill
+// of the same key won the race and p's generation was wasted work — recorded
+// on the duplicate-fill counter so the loss is observable (the planner's
+// request coalescing exists to keep that counter at zero). Safe on a nil
+// cache (reports false: nothing was retained).
+func (c *planCache) put(k cacheKey, p *plan.Plan) bool {
 	if c == nil {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if n, ok := c.byKey[k]; ok {
 		// Concurrent fill of the same key: keep the existing entry.
 		c.moveToFront(n)
-		return
+		if c.stats != nil {
+			c.stats.DuplicateFills.Inc()
+		}
+		return false
 	}
 	if len(c.byKey) >= c.max {
 		evict := c.back
@@ -139,6 +146,7 @@ func (c *planCache) put(k cacheKey, p *plan.Plan) {
 	n := &cacheNode{key: k, p: p.Clone()}
 	c.byKey[k] = n
 	c.pushFront(n)
+	return true
 }
 
 // len reports the current entry count. Safe on a nil cache.

@@ -1,0 +1,212 @@
+package planner
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+	"repro/internal/workload"
+)
+
+// TestCoalescingExactlyOnce hammers one shared planner with many goroutines
+// that all want the same structural keys at the same instant — renamed,
+// time-shifted instances of a few DAG shapes, exactly what concurrent runner
+// cells submit. Run under -race (make verify does) this pins the shared
+// planner's exactly-once contract:
+//
+//   - each distinct key is simulated once: CacheMisses equals the key count
+//     and exactly that many returned plans carry SearchIters > 0;
+//   - every other request is a cache hit or a coalesced wait, never a second
+//     generation: hits + coalesced = requests - keys, DuplicateFills = 0;
+//   - all plans for a key are byte-identical to the seed generator's.
+func TestCoalescingExactlyOnce(t *testing.T) {
+	const (
+		goroutines = 24
+		shapes     = 3
+		rounds     = 4
+	)
+	o := obs.New(obs.NewRegistry(), nil)
+	pl := New(Config{CacheSize: 64, Obs: o})
+	pol := priority.HLF{}
+
+	// Per-goroutine renamed instances: same shape, different names and
+	// submit/deadline instants, so collisions are structural, not pointer
+	// identity.
+	mk := func(g, shape int) *workflow.Workflow {
+		shift := time.Duration(g) * time.Minute
+		return workflow.NewBuilder(fmt.Sprintf("g%d-s%d", g, shape)).
+			Job("extract", 40+10*shape, 8, 30*time.Second, 60*time.Second).
+			Job("load", 20, 4, 20*time.Second, 45*time.Second, "extract").
+			MustBuild(simtime.Epoch.Add(shift), simtime.Epoch.Add(shift+2*time.Hour))
+	}
+	want := make([][]byte, shapes)
+	for s := 0; s < shapes; s++ {
+		p, err := plan.GenerateCappedTyped(mk(0, s), testCluster, pol, DefaultMargin)
+		if err != nil {
+			t.Fatalf("GenerateCappedTyped: %v", err)
+		}
+		want[s] = p.Encode()
+	}
+
+	type res struct {
+		shape int
+		iters int
+		enc   []byte
+	}
+	results := make(chan res, goroutines*shapes*rounds)
+	errs := make(chan error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				for s := 0; s < shapes; s++ {
+					p, err := pl.Plan(mk(g, s), testCluster, pol)
+					if err != nil {
+						errs <- err
+						return
+					}
+					results <- res{shape: s, iters: p.SearchIters, enc: p.Encode()}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatalf("Plan: %v", err)
+	}
+
+	generated := 0
+	for r := range results {
+		if r.iters > 0 {
+			generated++
+		}
+		if !bytes.Equal(r.enc, want[r.shape]) {
+			t.Errorf("shape %d: plan differs from the seed generator's", r.shape)
+		}
+	}
+	if generated != shapes {
+		t.Errorf("plans with SearchIters > 0 = %d, want %d (one generation per key)", generated, shapes)
+	}
+
+	st := pl.Stats()
+	requests := int64(goroutines * shapes * rounds)
+	if got := st.Plans.Value(); got != requests {
+		t.Errorf("Plans = %d, want %d", got, requests)
+	}
+	if got := st.CacheMisses.Value(); got != shapes {
+		t.Errorf("CacheMisses = %d, want %d (each key simulated exactly once)", got, shapes)
+	}
+	if got := st.CacheHits.Value() + st.Coalesced.Value(); got != requests-shapes {
+		t.Errorf("CacheHits %d + Coalesced %d = %d, want %d",
+			st.CacheHits.Value(), st.Coalesced.Value(), got, requests-shapes)
+	}
+	if got := st.DuplicateFills.Value(); got != 0 {
+		t.Errorf("DuplicateFills = %d, want 0", got)
+	}
+	if got := st.Inflight.Value(); got != 0 {
+		t.Errorf("Inflight = %d after the hammer, want 0", got)
+	}
+	if got := pl.CacheLen(); got != shapes {
+		t.Errorf("CacheLen = %d, want %d", got, shapes)
+	}
+}
+
+// TestCoalescingWithoutCache pins the flight group in isolation: with the
+// cache disabled, requests that overlap an in-flight generation still
+// coalesce onto it, and the duplicate-fill counter stays untouched (there is
+// no cache to double-fill).
+func TestCoalescingWithoutCache(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), nil)
+	pl := New(Config{Obs: o})
+	pol := priority.HLF{}
+	w := workload.Fig7("w", 1.0, simtime.Epoch, simtime.Epoch.Add(time.Hour))
+
+	const goroutines = 16
+	start := make(chan struct{})
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := pl.Plan(w, testCluster, pol)
+			errs <- err
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+	}
+
+	st := pl.Stats()
+	coalesced := st.Coalesced.Value()
+	misses := st.CacheMisses.Value()
+	if coalesced+misses != goroutines {
+		t.Errorf("Coalesced %d + misses %d = %d, want %d", coalesced, misses, coalesced+misses, goroutines)
+	}
+	if misses < 1 {
+		t.Errorf("CacheMisses = %d, want >= 1 (someone must lead each flight)", misses)
+	}
+	if got := st.DuplicateFills.Value(); got != 0 {
+		t.Errorf("DuplicateFills = %d, want 0", got)
+	}
+	t.Logf("cacheless flight group: %d requests -> %d generations, %d coalesced", goroutines, misses, coalesced)
+}
+
+// TestCoalescedErrorPropagates checks that a failed generation reaches every
+// waiter that coalesced onto it, and that the failure is not cached — a later
+// request retries the generation.
+func TestCoalescedErrorPropagates(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), nil)
+	pl := New(Config{CacheSize: 8, Obs: o})
+	w := workload.Fig7("w", 1.0, simtime.Epoch, simtime.Epoch.Add(time.Hour))
+	// Zero reduce caps are rejected by the typed generator.
+	bad := plan.Caps{Maps: 10, Reduces: 0}
+
+	const goroutines = 8
+	start := make(chan struct{})
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := pl.Plan(w, bad, priority.HLF{})
+			errs <- err
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("Plan with zero reduce caps: want error, got nil")
+		}
+	}
+	if got := pl.CacheLen(); got != 0 {
+		t.Errorf("CacheLen = %d after failed generations, want 0 (failures are not cached)", got)
+	}
+	if _, err := pl.Plan(w, bad, priority.HLF{}); err == nil {
+		t.Fatal("retry after failed flight: want error, got nil")
+	}
+}

@@ -1,5 +1,5 @@
 // Package planner is the plan-generation service sitting between workflow
-// admission and the Algorithm 1 generators in internal/plan. It adds two
+// admission and the Algorithm 1 generators in internal/plan. It adds three
 // throughput layers on top of the seed generators without changing a single
 // plan byte:
 //
@@ -9,7 +9,12 @@
 //   - a structural LRU plan cache (see planCache), which recognizes that
 //     production workloads are template-heavy — recurring instances and
 //     renamed copies of the same DAG shape hash to one key — and serves
-//     repeat requests without simulating at all.
+//     repeat requests without simulating at all;
+//   - singleflight request coalescing (see flightGroup), which lets one
+//     Planner be shared by many concurrent clients — runner cells, sessions
+//     — with each distinct structural key simulated exactly once: the first
+//     requester generates, concurrent same-key requesters block on that
+//     generation and receive clones.
 //
 // Both layers are observable through obs.PlannerStats and both are exact:
 // a plan served by the planner is byte-identical (per plan.Encode) to the
@@ -52,11 +57,15 @@ type Config struct {
 }
 
 // Planner generates progress plans for workflow admission. Safe for
-// concurrent use.
+// concurrent use — and designed to be shared: one Planner serving many
+// concurrent clients (runner cells, sessions) coalesces same-key requests
+// so each distinct structural key is simulated exactly once (see
+// flightGroup).
 type Planner struct {
 	workers int
 	margin  float64
 	cache   *planCache
+	flight  flightGroup
 	stats   *obs.PlannerStats
 	search  plan.CapSearcher // nil selects plan.SequentialSearch
 }
@@ -99,17 +108,9 @@ func (pl *Planner) Plan(w *workflow.Workflow, cluster plan.Caps, pol priority.Po
 func (pl *Planner) planTyped(w *workflow.Workflow, cluster plan.Caps, pol priority.Policy, search plan.CapSearcher) (*plan.Plan, error) {
 	start := time.Now()
 	key := keyFor(w, variantTyped, cluster.Maps, cluster.Reduces, pl.margin, pol.Name())
-	if p, ok := pl.cache.get(key); ok {
-		pl.stats.OnPlan(time.Since(start), true)
-		return p, nil
-	}
-	p, err := plan.GenerateCappedTypedWith(w, cluster, pol, pl.margin, search)
-	if err != nil {
-		return nil, err
-	}
-	pl.cache.put(key, p)
-	pl.recordGenerated(start, p)
-	return p, nil
+	return pl.serve(key, start, func() (*plan.Plan, error) {
+		return plan.GenerateCappedTypedWith(w, cluster, pol, pl.margin, search)
+	})
 }
 
 // PlanSingle produces the single-pool capped plan for w on clusterSlots
@@ -118,17 +119,9 @@ func (pl *Planner) planTyped(w *workflow.Workflow, cluster plan.Caps, pol priori
 func (pl *Planner) PlanSingle(w *workflow.Workflow, clusterSlots int, pol priority.Policy) (*plan.Plan, error) {
 	start := time.Now()
 	key := keyFor(w, variantSingle, clusterSlots, 0, pl.margin, pol.Name())
-	if p, ok := pl.cache.get(key); ok {
-		pl.stats.OnPlan(time.Since(start), true)
-		return p, nil
-	}
-	p, err := plan.GenerateCappedMarginWith(w, clusterSlots, pol, pl.margin, pl.search)
-	if err != nil {
-		return nil, err
-	}
-	pl.cache.put(key, p)
-	pl.recordGenerated(start, p)
-	return p, nil
+	return pl.serve(key, start, func() (*plan.Plan, error) {
+		return plan.GenerateCappedMarginWith(w, clusterSlots, pol, pl.margin, pl.search)
+	})
 }
 
 // Estimate produces the uncapped plan for w at a fixed slot count — the
@@ -138,17 +131,9 @@ func (pl *Planner) PlanSingle(w *workflow.Workflow, clusterSlots int, pol priori
 func (pl *Planner) Estimate(w *workflow.Workflow, slots int, pol priority.Policy) (*plan.Plan, error) {
 	start := time.Now()
 	key := keyFor(w, variantUncapped, slots, 0, 1, pol.Name())
-	if p, ok := pl.cache.get(key); ok {
-		pl.stats.OnPlan(time.Since(start), true)
-		return p, nil
-	}
-	p, err := plan.GenerateForPolicy(w, slots, pol)
-	if err != nil {
-		return nil, err
-	}
-	pl.cache.put(key, p)
-	pl.recordGenerated(start, p)
-	return p, nil
+	return pl.serve(key, start, func() (*plan.Plan, error) {
+		return plan.GenerateForPolicy(w, slots, pol)
+	})
 }
 
 // PlanAll plans a batch of workflows against the same cluster, spreading

@@ -75,10 +75,10 @@ func New(cfg Config) *Runner {
 }
 
 // RunAll executes every cell and returns their results aligned with cells.
-// All cells run even if some fail (they are independent); the returned
-// error is the lowest-indexed cell's failure, with the corresponding
-// results entry nil. Identical inputs produce identical results at any
-// worker count.
+// All cells run even if some fail (they are independent), and every
+// successful cell's result is returned: only failed cells' entries are nil.
+// The returned error is the lowest-indexed cell's failure. Identical inputs
+// produce identical results at any worker count.
 func (r *Runner) RunAll(cells []Cell) ([]*cluster.Result, error) {
 	results := make([]*cluster.Result, len(cells))
 	err := r.RunEach(cells, func(i int, res *cluster.Result) error {
@@ -89,23 +89,34 @@ func (r *Runner) RunAll(cells []Cell) ([]*cluster.Result, error) {
 }
 
 // RunEach executes every cell and delivers results to fn in submission
-// order (fn runs on the calling goroutine, never concurrently). Delivery
-// stops at the first failed cell or fn error; that error is returned.
+// order (fn runs on the calling goroutine, never concurrently). Cells are
+// independent, so a failed cell does not stop delivery: later successful
+// cells are still handed to fn, and the lowest-indexed cell failure is
+// returned after the batch drains. An error from fn itself is the consumer
+// aborting — no further results are delivered (cells still run to
+// completion), and that error is returned unless an earlier-indexed cell
+// had already failed.
 func (r *Runner) RunEach(cells []Cell, fn func(i int, res *cluster.Result) error) error {
 	r.stats.OnBatch()
 	if r.workers <= 1 || len(cells) <= 1 {
 		var firstErr error
+		stopped := false // fn aborted: keep executing, stop delivering
 		for i := range cells {
 			res, err := r.runCell(&cells[i])
-			if firstErr != nil {
-				continue // keep executing (parallel-path semantics), stop delivering
-			}
 			if err != nil {
-				firstErr = err
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if stopped {
 				continue
 			}
 			if err := fn(i, res); err != nil {
-				firstErr = err
+				if firstErr == nil {
+					firstErr = err
+				}
+				stopped = true
 			}
 		}
 		return firstErr
@@ -140,9 +151,13 @@ func (r *Runner) RunEach(cells []Cell, fn func(i int, res *cluster.Result) error
 	}()
 
 	// Deliver in submission order, buffering completions that arrive early.
+	// Delivery happens while later cells are still executing, so a consumer
+	// sees cell i's result as soon as cells 0..i are done — not after the
+	// whole batch.
 	pending := make(map[int]done, workers)
 	deliver := 0
 	var firstErr error
+	stopped := false // fn aborted: drain without delivering
 	for d := range ch {
 		pending[d.i] = d
 		for {
@@ -152,15 +167,22 @@ func (r *Runner) RunEach(cells []Cell, fn func(i int, res *cluster.Result) error
 			}
 			delete(pending, deliver)
 			deliver++
-			if firstErr != nil {
-				continue // drain without delivering past the first failure
-			}
 			if nd.err != nil {
-				firstErr = nd.err
+				// A failed cell is independent of the ones after it: record
+				// the lowest-indexed error and keep delivering.
+				if firstErr == nil {
+					firstErr = nd.err
+				}
+				continue
+			}
+			if stopped {
 				continue
 			}
 			if err := fn(nd.i, nd.res); err != nil {
-				firstErr = err
+				if firstErr == nil {
+					firstErr = err
+				}
+				stopped = true
 			}
 		}
 	}

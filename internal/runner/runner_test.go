@@ -94,11 +94,92 @@ func TestFirstErrorByIndexWins(t *testing.T) {
 		if results[0] == nil {
 			t.Errorf("workers=%d: cell 0 succeeded before the failure but was not delivered", workers)
 		}
-		// Delivery stops at the first failure; cells past it run but are
-		// not handed out.
-		if results[1] != nil || results[2] != nil || results[3] != nil {
-			t.Errorf("workers=%d: results past the failure delivered: %v", workers, results[1:])
+		// Cells are independent: a failure nils only its own entry, and
+		// every later successful cell is still delivered.
+		if results[1] != nil || results[3] != nil {
+			t.Errorf("workers=%d: failed cells delivered non-nil results: %v", workers, results)
 		}
+		if results[2] == nil {
+			t.Errorf("workers=%d: successful cell 2 dropped after cell 1's failure", workers)
+		}
+	}
+}
+
+// TestDeliveryContinuesPastFailure is the regression pin for RunEach's
+// past-failure semantics: every successful cell is delivered to fn, in
+// order, even when an earlier cell failed; the returned error is still the
+// lowest-indexed failure.
+func TestDeliveryContinuesPastFailure(t *testing.T) {
+	boom := func(i int) runner.Cell {
+		c := smallCell(fmt.Sprintf("bad%d", i), 0, 0)
+		c.Plans = func() ([]*plan.Plan, error) { return nil, fmt.Errorf("boom %d", i) }
+		return c
+	}
+	cells := []runner.Cell{
+		boom(0), smallCell("ok1", 1, 1), boom(2),
+		smallCell("ok3", 2, 3), smallCell("ok4", 1, 4),
+	}
+	for _, workers := range []int{1, 3} {
+		var delivered []int
+		err := runner.New(runner.Config{Workers: workers}).RunEach(cells, func(i int, res *cluster.Result) error {
+			if res == nil {
+				t.Fatalf("workers=%d: cell %d delivered nil", workers, i)
+			}
+			delivered = append(delivered, i)
+			return nil
+		})
+		if err == nil || err.Error() != `runner: cell "bad0": boom 0` {
+			t.Fatalf("workers=%d: err = %v, want the lowest-indexed failure", workers, err)
+		}
+		if want := []int{1, 3, 4}; !slicesEqual(delivered, want) {
+			t.Errorf("workers=%d: delivered %v, want %v", workers, delivered, want)
+		}
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunEachStreamsBeforeBatchCompletes pins the streaming contract figure
+// rendering relies on: cell i's result reaches fn while later cells are
+// still executing. Cell 3 blocks until fn has seen cell 0; with 2 workers
+// the test only completes if delivery is concurrent with execution.
+func TestRunEachStreamsBeforeBatchCompletes(t *testing.T) {
+	cellZeroDelivered := make(chan struct{})
+	cells := []runner.Cell{
+		smallCell("c0", 1, 0), smallCell("c1", 1, 1), smallCell("c2", 1, 2),
+		smallCell("c3", 1, 3),
+	}
+	cells[3].Plans = func() ([]*plan.Plan, error) {
+		select {
+		case <-cellZeroDelivered:
+			return nil, nil
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("cell 0 was not delivered while cell 3 was still running")
+		}
+	}
+	var order []int
+	err := runner.New(runner.Config{Workers: 2}).RunEach(cells, func(i int, res *cluster.Result) error {
+		if i == 0 {
+			close(cellZeroDelivered)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3}; !slicesEqual(order, want) {
+		t.Errorf("delivery order %v, want %v", order, want)
 	}
 }
 

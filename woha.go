@@ -204,11 +204,13 @@ type SessionOption func(*sessionOptions)
 type sessionOptions struct {
 	seed        int64
 	margin      float64
+	marginSet   bool
 	observer    Observer
 	policy      Policy
 	obs         *obs.Obs
 	planWorkers int
 	planCache   int
+	planner     *Planner
 }
 
 // WithSeed sets the seed for the scheduler's internal PRNG.
@@ -219,7 +221,7 @@ func WithSeed(seed int64) SessionOption {
 // WithPlanMargin sets the safety margin used when Submit generates plans
 // (default 0.85; see plan.GenerateCappedMargin).
 func WithPlanMargin(margin float64) SessionOption {
-	return func(o *sessionOptions) { o.margin = margin }
+	return func(o *sessionOptions) { o.margin = margin; o.marginSet = true }
 }
 
 // WithPlannerWorkers sets how many Algorithm 1 probes Submit's plan
@@ -243,6 +245,42 @@ func WithPlannerWorkers(n int) SessionOption {
 // internal/planner.
 func WithPlanCache(n int) SessionOption {
 	return func(o *sessionOptions) { o.planCache = n }
+}
+
+// Planner is the standalone plan-generation service: a structural plan cache
+// plus singleflight request coalescing in front of the Algorithm 1
+// generators (see internal/planner). One Planner is safe to share across
+// sessions, RunSeeds sweeps, and the experiment corpora — concurrent
+// requests for the same (DAG shape, caps, policy, relative deadline) key
+// cost one simulation total, and every caller receives a byte-identical,
+// independently owned plan.
+type Planner = planner.Planner
+
+// NewPlanner builds a shareable plan service from the plan-shaping session
+// options: WithPlannerWorkers, WithPlanCache, WithPlanMargin, and
+// WithInstrumentation (which exposes the woha_planner_* metrics). Other
+// options are ignored. Pass the result to sessions via WithPlanner.
+func NewPlanner(opts ...SessionOption) *Planner {
+	o := sessionOptions{margin: 0.85}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return planner.New(planner.Config{
+		Workers:   o.planWorkers,
+		CacheSize: o.planCache,
+		Margin:    o.margin,
+		Obs:       o.obs,
+	})
+}
+
+// WithPlanner makes the session (or RunSeeds sweep) generate plans through a
+// shared Planner instead of a private one, so its cache and coalescing span
+// every client of that Planner. The session adopts the planner's margin;
+// combining this with a conflicting WithPlanMargin is an error. Per-planner
+// knobs (WithPlannerWorkers, WithPlanCache) are ignored when a shared
+// planner is supplied.
+func WithPlanner(pl *Planner) SessionOption {
+	return func(o *sessionOptions) { o.planner = pl }
 }
 
 // WithObserver attaches a task lifecycle observer (e.g. NewTimeline()).
@@ -326,14 +364,32 @@ func NewSession(cfg ClusterConfig, sched Scheduler, opts ...SessionOption) (*Ses
 	sim.SetInstrumentation(o.obs)
 	s := &Session{cfg: cfg, sched: sched, prio: sched.priorityFor(), sim: sim, opts: o}
 	if s.prio != nil && o.policy == nil {
-		s.planner = planner.New(planner.Config{
-			Workers:   o.planWorkers,
-			CacheSize: o.planCache,
-			Margin:    o.margin,
-			Obs:       o.obs,
-		})
+		s.planner, err = o.resolvePlanner()
+		if err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
+}
+
+// resolvePlanner returns the plan service the options select: the shared one
+// passed via WithPlanner (whose margin the session adopts, rejecting a
+// conflicting explicit WithPlanMargin) or a private planner built from the
+// plan-shaping knobs.
+func (o *sessionOptions) resolvePlanner() (*Planner, error) {
+	if o.planner != nil {
+		if o.marginSet && o.planner.Margin() != o.margin {
+			return nil, fmt.Errorf("woha: shared planner margin %v conflicts with WithPlanMargin %v", o.planner.Margin(), o.margin)
+		}
+		o.margin = o.planner.Margin()
+		return o.planner, nil
+	}
+	return planner.New(planner.Config{
+		Workers:   o.planWorkers,
+		CacheSize: o.planCache,
+		Margin:    o.margin,
+		Obs:       o.obs,
+	}), nil
 }
 
 // Submit queues a workflow. Under a WOHA scheduler the session generates the
@@ -402,8 +458,9 @@ func (s *Session) Run() (*Result, error) {
 // are identical at any worker count (see internal/runner).
 //
 // Plans do not depend on the seed, so under a WOHA scheduler they are
-// generated once — honoring WithPlanMargin, WithPlannerWorkers, and
-// WithPlanCache — and shared read-only across replicas. WithObserver and
+// generated once — honoring WithPlanMargin, WithPlannerWorkers, WithPlanCache,
+// and WithPlanner (a shared plan service whose cache spans other sweeps and
+// sessions) — and shared read-only across replicas. WithObserver and
 // WithPolicy are per-run state and are rejected here; use WithInstrumentation
 // to collect woha_runner_* metrics for the sweep.
 func RunSeeds(cfg ClusterConfig, sched Scheduler, flows []*Workflow, seeds []int64, workers int, opts ...SessionOption) ([]*Result, error) {
@@ -420,13 +477,10 @@ func RunSeeds(cfg ClusterConfig, sched Scheduler, flows []*Workflow, seeds []int
 
 	var plans []*Plan
 	if prio := sched.priorityFor(); prio != nil {
-		pl := planner.New(planner.Config{
-			Workers:   o.planWorkers,
-			CacheSize: o.planCache,
-			Margin:    o.margin,
-			Obs:       o.obs,
-		})
-		var err error
+		pl, err := o.resolvePlanner()
+		if err != nil {
+			return nil, err
+		}
 		plans, err = pl.PlanAll(flows, plan.Caps{Maps: cfg.MapSlots(), Reduces: cfg.ReduceSlots()}, prio)
 		if err != nil {
 			return nil, fmt.Errorf("woha: %w", err)
