@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify ci fmt-check race-smoke bench-plan bench-plan-shared bench-sim bench-live bench-smoke mutex-smoke
+.PHONY: build test vet race verify ci fmt-check race-smoke postmortem-smoke bench-plan bench-plan-shared bench-sim bench-live bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -24,16 +24,26 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; gofmt -d $$out; exit 1; fi
 
-# Quick race pass over just the shared-planner coalescing and runner
-# streaming paths — the hot concurrency introduced by the shared plan
-# service — instead of the full race suite.
+# Quick race pass over the hottest concurrent paths: shared-planner
+# coalescing, runner streaming, and the deadline-health tracker fed by
+# concurrent heartbeats on both control-plane layouts (plus the introspection
+# server and the heartbeat zero-alloc pin that guards the disabled path).
 race-smoke:
 	$(GO) test -race -count=1 -run 'TestCoalescing|TestCoalesced|TestPlanCache|TestRunEach|TestDelivery|TestFirstError' \
 		./internal/planner/ ./internal/runner/
+	$(GO) test -race -count=1 -run 'TestHealth|TestIntrospection|TestHeartbeatBareAllocs' \
+		./internal/obs/ ./internal/live/
 
 # The CI gate: formatting, static analysis, the tier-1 suite, and the
 # concurrency race smoke.
 ci: fmt-check vet test race-smoke
+
+# Seeded forced-miss scenario through the full attribution pipeline: two
+# feasible workflows contend for one map slot, at least one misses, and the
+# test asserts the postmortem JSON is non-empty and schema-valid — naming the
+# missed workflow, its first unmet F_i, and the critical-path stage.
+postmortem-smoke:
+	$(GO) test -count=1 -v -run 'TestPostmortemSmoke' ./cmd/wohasim/
 
 # Regenerate the committed planner throughput numbers (includes the
 # shared-vs-per-cell Fig 8 sweep and the contended shared-planner sections).

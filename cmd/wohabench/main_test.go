@@ -12,14 +12,14 @@ import (
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := run("bogus", "", &sb); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+	if err := run("bogus", "", &sb, nil); err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunFig2(t *testing.T) {
 	var sb strings.Builder
-	if err := run("2", "", &sb); err != nil {
+	if err := run("2", "", &sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -137,7 +137,7 @@ func TestRunPlanBench(t *testing.T) {
 // MissTable render of the same sweep.
 func TestRunFig8Streams(t *testing.T) {
 	var sb strings.Builder
-	if err := run("8", "", &sb); err != nil {
+	if err := run("8", "", &sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	res, err := experiments.Fig8(experiments.DefaultFig8Config())
@@ -156,7 +156,7 @@ func TestRunFig8Streams(t *testing.T) {
 func TestRunFig13bAndTimelines(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run("13b", dir, &sb); err != nil {
+	if err := run("13b", dir, &sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Fig 13(b)") {

@@ -18,8 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
 	"time"
 
@@ -47,7 +45,9 @@ func main() {
 		liveMode     = flag.Bool("live", false, "run on the concurrent live mini-Hadoop instead of the discrete-event simulator")
 		timeScale    = flag.Float64("time-scale", 0.001, "live mode: wall seconds per virtual second")
 		shards       = flag.Int("shards", 0, "live mode: JobTracker workflow-state shards (0 = one per core, 1 = legacy single-mutex tracker)")
-		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the introspection plane (/metrics, /statusz, /debug/pprof) on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
+		postmortem   = flag.String("postmortem", "", "write a miss root-cause report (JSON) to this file after the run and print a text summary")
+		healthInt    = flag.Duration("health-interval", 30*time.Second, "virtual-time interval between deadline-health snapshots when instrumentation is active (0 disables)")
 		planWorkers  = flag.Int("plan-workers", 1, "concurrent Algorithm 1 probes per plan search (0 = one per core)")
 		planCache    = flag.Int("plan-cache", 0, "structural plan cache capacity (0 = disabled)")
 		replicas     = flag.Int("replicas", 1, "replay the run once per seed (seed, seed+1, ...) and report per-seed outcomes")
@@ -56,30 +56,57 @@ func main() {
 	flag.Parse()
 	po := planOpts{workers: *planWorkers, cache: *planCache}
 
+	if *postmortem != "" && *replicas > 1 {
+		fmt.Fprintln(os.Stderr, "wohasim: -postmortem records a single run; drop it or -replicas")
+		os.Exit(1)
+	}
+
 	var (
-		ins   *woha.Instrumentation
-		mserv *metricsServer
+		ins  *woha.Instrumentation
+		srv  *woha.IntrospectionServer
+		pm   *postmortemCapture
+		ring *woha.EventRing
 	)
+	if *metricsAddr != "" || *postmortem != "" {
+		var reg *woha.Metrics
+		if *metricsAddr != "" {
+			reg = woha.NewMetrics()
+		}
+		// Box the ring into the sink interface only when it exists: a
+		// typed-nil EventSink would defeat the emit path's nil check.
+		var sink woha.EventSink
+		if *postmortem != "" {
+			ring = woha.NewEventRing(1 << 20)
+			pm = &postmortemCapture{path: *postmortem, ring: ring}
+			sink = ring
+		}
+		ins = woha.NewInstrumentation(reg, sink)
+		if *healthInt > 0 {
+			ins.EnableHealth(woha.HealthConfig{Interval: *healthInt})
+		}
+	}
 	if *metricsAddr != "" {
-		reg := woha.NewMetrics()
-		ins = woha.NewInstrumentation(reg, nil)
 		var err error
-		mserv, err = startMetrics(*metricsAddr, reg)
+		srv, err = woha.ServeIntrospection(*metricsAddr, ins)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
-		defer mserv.close()
+		fmt.Printf("introspection: serving http://%s/metrics, /statusz, /debug/pprof/\n", srv.Addr())
 	}
 
 	pl := po.shared(ins)
 
 	if *liveMode {
-		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, pl); err != nil {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, pl, pm); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
-		if err := mserv.dump(os.Stdout); err != nil {
+		if err := pm.write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohasim:", err)
+			os.Exit(1)
+		}
+		if err := stopIntrospection(srv); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
@@ -103,58 +130,91 @@ func main() {
 			err = runReplicas(*workloadName, *schedName, cfg, *replicas, *replicaWork, ins, pl)
 		}
 	} else {
-		err = run(*workloadName, *schedName, cfg, *timeline, ins, pl)
+		err = run(*workloadName, *schedName, cfg, *timeline, ins, pl, pm)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
 		os.Exit(1)
 	}
-	if err := mserv.dump(os.Stdout); err != nil {
+	if err := pm.write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wohasim:", err)
+		os.Exit(1)
+	}
+	if err := stopIntrospection(srv); err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
 		os.Exit(1)
 	}
 }
 
-// metricsServer exposes a registry at /metrics over a real TCP listener for
-// the duration of the run.
-type metricsServer struct {
-	ln  net.Listener
-	srv *http.Server
-}
-
-func startMetrics(addr string, reg *woha.Metrics) (*metricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("metrics: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
-	return &metricsServer{ln: ln, srv: srv}, nil
-}
-
-// dump scrapes the endpoint over HTTP — through the real listener, proving
-// the exposition is served, not just renderable — and copies it to w.
-func (m *metricsServer) dump(w io.Writer) error {
-	if m == nil {
+// stopIntrospection prints the final scrape — through the real listener,
+// proving the exposition is served, not just renderable — and then drains the
+// server gracefully so in-flight scrapes finish before the listener closes.
+func stopIntrospection(s *woha.IntrospectionServer) error {
+	if s == nil {
 		return nil
 	}
-	resp, err := http.Get("http://" + m.ln.Addr().String() + "/metrics")
-	if err != nil {
-		return fmt.Errorf("metrics: scraping: %w", err)
+	if err := s.DumpMetrics(os.Stdout); err != nil {
+		return err
 	}
-	defer resp.Body.Close()
-	fmt.Fprintf(w, "--- final scrape of http://%s/metrics ---\n", m.ln.Addr())
-	_, err = io.Copy(w, resp.Body)
-	return err
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
 }
 
-func (m *metricsServer) close() {
-	if m != nil {
-		m.srv.Close()
+// postmortemCapture buffers the run's event stream plus per-workflow specs
+// and plans so the miss root-cause report can be reconstructed after the run.
+type postmortemCapture struct {
+	path  string
+	ring  *woha.EventRing
+	specs []woha.PostmortemSpec
+}
+
+// addSpecs records one spec per workflow in submission order, attaching the
+// WOHA progress plan when the scheduler consults one. The shared planner
+// coalesces these probes with the session's own, so with a cache enabled the
+// plan costs nothing extra.
+func (pc *postmortemCapture) addSpecs(flows []*woha.Workflow, schedName string, maps, reds int, pl *woha.Planner) error {
+	if pc == nil {
+		return nil
 	}
+	spec, err := experiments.SchedulerByName(schedName)
+	if err != nil {
+		return err
+	}
+	for i, w := range flows {
+		s := woha.PostmortemSpec{Workflow: i, Spec: w}
+		if spec.IsWOHA() {
+			p, err := pl.Plan(w, plan.Caps{Maps: maps, Reduces: reds}, spec.Priority)
+			if err != nil {
+				return err
+			}
+			s.Plan = p
+		}
+		pc.specs = append(pc.specs, s)
+	}
+	return nil
+}
+
+// write analyzes the captured stream, writes the JSON report, and prints the
+// text summary.
+func (pc *postmortemCapture) write(out io.Writer) error {
+	if pc == nil {
+		return nil
+	}
+	rep := woha.AnalyzePostmortem(pc.ring.Events(), pc.specs)
+	f, err := os.Create(pc.path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "postmortem report written to %s\n", pc.path)
+	return rep.WriteText(out)
 }
 
 // planOpts carries the planner tuning flags: concurrent probes per cap
@@ -176,9 +236,12 @@ func (po planOpts) shared(ins *woha.Instrumentation) *woha.Planner {
 	)
 }
 
-func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, pl *woha.Planner) error {
+func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, pl *woha.Planner, pm *postmortemCapture) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
+		return err
+	}
+	if err := pm.addSpecs(flows, schedName, cfg.MapSlots(), cfg.ReduceSlots(), pl); err != nil {
 		return err
 	}
 
@@ -266,7 +329,7 @@ func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replica
 }
 
 // runLive executes the workload on the concurrent mini-Hadoop.
-func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, pl *woha.Planner) error {
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, pl *woha.Planner, pm *postmortemCapture) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -288,7 +351,7 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shard
 	if err != nil {
 		return err
 	}
-	for _, w := range flows {
+	for i, w := range flows {
 		var p *plan.Plan
 		if spec.IsWOHA() {
 			p, err = pl.Plan(w, plan.Caps{Maps: nodes * mapSlots, Reduces: nodes * reduceSlots}, spec.Priority)
@@ -299,6 +362,9 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shard
 		}
 		if err := c.Submit(w, p); err != nil {
 			return err
+		}
+		if pm != nil {
+			pm.specs = append(pm.specs, woha.PostmortemSpec{Workflow: i, Spec: w, Plan: p})
 		}
 	}
 	start := time.Now()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -31,7 +32,7 @@ func clusterCfg() woha.ClusterConfig {
 
 func TestRunXMLWorkload(t *testing.T) {
 	timeline := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}.shared(nil)); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}.shared(nil), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(timeline); err != nil {
@@ -41,16 +42,16 @@ func TestRunXMLWorkload(t *testing.T) {
 
 func TestRunXMLWorkloadParallelCachedPlans(t *testing.T) {
 	// Same workload through the parallel, cached planner path.
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}.shared(nil)); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}.shared(nil), nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}.shared(nil)); err == nil {
+	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}.shared(nil), nil); err == nil {
 		t.Error("missing workload accepted")
 	}
-	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}.shared(nil)); err == nil {
+	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}.shared(nil), nil); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -60,7 +61,7 @@ func TestRunLiveXMLWorkload(t *testing.T) {
 	// once per control-plane layout (-shards 1 legacy, -shards 2 sharded).
 	for _, shards := range []int{1, 2} {
 		start := time.Now()
-		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}.shared(nil)); err != nil {
+		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}.shared(nil), nil); err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
 		if time.Since(start) > 20*time.Second {
@@ -74,18 +75,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	// instrumented simulation, then scrape the endpoint over real HTTP.
 	reg := woha.NewMetrics()
 	ins := woha.NewInstrumentation(reg, nil)
-	srv, err := startMetrics("127.0.0.1:0", reg)
+	ins.EnableHealth(woha.HealthConfig{})
+	srv, err := woha.ServeIntrospection("127.0.0.1:0", ins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.close()
+	defer srv.Shutdown(context.Background())
 
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}.shared(ins)); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}.shared(ins), nil); err != nil {
 		t.Fatal(err)
 	}
 
 	var buf strings.Builder
-	if err := srv.dump(&buf); err != nil {
+	if err := srv.DumpMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	scrape := buf.String()
@@ -95,6 +97,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"woha_workflows_deadline_missed_total",
 		"woha_planner_plans_total",
 		"woha_planner_cache_misses_total",
+		"woha_build_info",
+		"woha_health_min_slack_tasks",
 	} {
 		if !strings.Contains(scrape, name) {
 			t.Errorf("scrape missing %s", name)

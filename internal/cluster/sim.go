@@ -313,6 +313,13 @@ func (s *Simulator) SetInstrumentation(o *obs.Obs) {
 	s.hbSupBusy = o.SimHeartbeatsSuppressed("busy")
 	s.hbSupDrained = o.SimHeartbeatsSuppressed("drained")
 	s.specWakeups = o.SimSpecWakeups()
+	o.Health().SetSlots(s.cfg.MapSlots(), s.cfg.ReduceSlots())
+	// Workflows submitted before instrumentation was attached still join
+	// the health table.
+	for _, ws := range s.states {
+		o.Health().Register(ws.Index, ws.Spec.Name, ws.Spec.Release,
+			ws.Spec.Deadline, ws.Spec.TotalTasks(), ws.Plan)
+	}
 }
 
 // Submit queues a workflow for arrival at its release time. p is the WOHA
@@ -326,6 +333,7 @@ func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
 		return fmt.Errorf("cluster: %w", err)
 	}
 	ws := NewWorkflowState(len(s.states), w, p)
+	s.ins.Health().Register(ws.Index, w.Name, w.Release, w.Deadline, w.TotalTasks(), p)
 	s.states = append(s.states, ws)
 	s.events.Push(w.Release, event{kind: evArrival, wf: ws.Index})
 	s.arrivalTimes = append(s.arrivalTimes, w.Release)
@@ -462,6 +470,7 @@ func (s *Simulator) complete(e event) {
 	}
 	ws.RunningTasks--
 	left := ws.TaskDone()
+	s.ins.TaskCompleted(s.now, e.wf, int(e.job), int(e.st), e.node)
 	if s.obs != nil {
 		s.obs.TaskFinished(s.now, ws, e.job, e.st)
 	}

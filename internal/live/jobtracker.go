@@ -118,7 +118,7 @@ func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
 	now := jt.clock.now()
 	jt.releaseDue(now)
 	for _, id := range hb.Completed {
-		jt.complete(id, now)
+		jt.complete(id, hb.Tracker, now)
 	}
 	var out []Assignment
 	freeMaps, freeReds := hb.FreeMaps, hb.FreeReds
@@ -202,7 +202,7 @@ func (jt *JobTracker) assign(st cluster.SlotType, tracker int, now simtime.Time)
 }
 
 // complete applies a reported task completion.
-func (jt *JobTracker) complete(id TaskID, now simtime.Time) {
+func (jt *JobTracker) complete(id TaskID, tracker int, now simtime.Time) {
 	ws := jt.states[id.Workflow]
 	js := &ws.Jobs[id.Job]
 	if id.Type == cluster.MapSlot {
@@ -213,6 +213,7 @@ func (jt *JobTracker) complete(id TaskID, now simtime.Time) {
 		js.DoneReduces++
 	}
 	ws.RunningTasks--
+	jt.ins.TaskCompleted(now, ws.Index, int(id.Job), int(id.Type), tracker)
 	if id.Type == cluster.MapSlot && js.MapsDone() && js.PendingReduces > 0 {
 		if rp, ok := jt.pol.(cluster.ReducePhasePolicy); ok {
 			rp.ReducesReady(ws, id.Job, now)

@@ -182,6 +182,7 @@ func New(cfg Config, pol cluster.Policy) (*Cluster, error) {
 		return nil, fmt.Errorf("live: nil policy")
 	}
 	c := &Cluster{cfg: cfg, jt: newControlPlane(cfg, pol)}
+	cfg.Obs.Health().SetSlots(cfg.Nodes*cfg.MapSlotsPerNode, cfg.Nodes*cfg.ReduceSlotsPerNode)
 	for i := 0; i < cfg.Nodes; i++ {
 		hb := func(h Heartbeat) ([]Assignment, error) { return c.jt.Heartbeat(h), nil }
 		c.trackers = append(c.trackers, newTaskTracker(i, cfg, hb))
@@ -198,7 +199,9 @@ func (c *Cluster) Submit(w *workflow.Workflow, p *plan.Plan) error {
 	if err := w.Validate(); err != nil {
 		return fmt.Errorf("live: %w", err)
 	}
+	idx := c.jt.registered()
 	c.jt.register(w, p)
+	c.cfg.Obs.Health().Register(idx, w.Name, w.Release, w.Deadline, w.TotalTasks(), p)
 	return nil
 }
 

@@ -148,7 +148,7 @@ func (st *shardedTracker) Heartbeat(hb Heartbeat) []Assignment {
 
 	locked := false
 	if due := st.rel.due(now); due != nil || len(hb.Completed) > 0 {
-		st.bookkeep(due, hb.Completed, now)
+		st.bookkeep(due, hb.Completed, hb.Tracker, now)
 		locked = true
 	}
 
@@ -170,7 +170,7 @@ func (st *shardedTracker) Heartbeat(hb Heartbeat) []Assignment {
 // plane lock, taking each workflow's shard lock only for its own updates.
 // Completions are grouped by contiguous workflow runs so a report full of
 // same-workflow tasks locks its shard once.
-func (st *shardedTracker) bookkeep(due []int, completed []TaskID, now simtime.Time) {
+func (st *shardedTracker) bookkeep(due []int, completed []TaskID, tracker int, now simtime.Time) {
 	st.plane.RLock()
 	for _, wi := range due {
 		st.admit(st.wfs[wi], now)
@@ -181,7 +181,7 @@ func (st *shardedTracker) bookkeep(due []int, completed []TaskID, now simtime.Ti
 		for j < len(completed) && completed[j].Workflow == wi {
 			j++
 		}
-		st.completeGroup(st.wfs[wi], completed[i:j], now)
+		st.completeGroup(st.wfs[wi], completed[i:j], tracker, now)
 		i = j
 	}
 	st.plane.RUnlock()
@@ -205,7 +205,7 @@ func (st *shardedTracker) admit(lw *liveWorkflow, now simtime.Time) {
 // completeGroup applies one workflow's reported completions under its shard
 // lock: slot counters, reduce-phase unblocking, dependent activation, and
 // workflow-finish detection via the O(1) remaining-task countdown.
-func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, now simtime.Time) {
+func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, tracker int, now simtime.Time) {
 	st.lockShard(lw.shard)
 	ws := lw.ws
 	for _, id := range ids {
@@ -218,6 +218,7 @@ func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, now simt
 			js.DoneReduces++
 		}
 		ws.RunningTasks--
+		st.ins.TaskCompleted(now, ws.Index, int(id.Job), int(id.Type), tracker)
 		if id.Type == cluster.MapSlot && js.MapsDone() && js.PendingReduces > 0 {
 			st.events.push(policyEvent{kind: evReducesReady, wf: lw, job: id.Job, now: now})
 		}

@@ -45,6 +45,24 @@ const (
 	// KindPlanGenerated fires when a scheduling plan is produced. N carries
 	// the capped binary search's Generate invocation count.
 	KindPlanGenerated
+	// KindTaskCompleted fires when a task attempt finishes successfully and
+	// its output is accounted (lost or killed attempts do not fire it). Slot
+	// carries the stage and Tracker the node, mirroring KindTaskAssigned.
+	KindTaskCompleted
+	// KindHealthSlack is one workflow's row of a periodic health snapshot.
+	// N carries the slack: tasks completed minus the plan requirement in
+	// force at the snapshot instant (negative = behind plan).
+	KindHealthSlack
+	// KindHealthFellBehind fires when a live workflow's slack first drops
+	// below zero. N carries the slack at the crossing.
+	KindHealthFellBehind
+	// KindHealthRecovered fires when a previously behind workflow returns
+	// to non-negative slack. N carries the slack at the crossing.
+	KindHealthRecovered
+	// KindHealthPredictedMiss fires when the health tracker first predicts,
+	// by linear extrapolation of the plan's standalone throughput, that the
+	// workflow cannot finish by its deadline. N carries the tasks remaining.
+	KindHealthPredictedMiss
 
 	numKinds
 )
@@ -53,6 +71,8 @@ var kindNames = [numKinds]string{
 	"workflow_submitted", "workflow_completed", "deadline_missed",
 	"job_activated", "task_assigned", "heartbeat_served",
 	"queue_insert", "queue_delete", "queue_head_hit", "plan_generated",
+	"task_completed", "health_slack", "health_fell_behind",
+	"health_recovered", "health_predicted_miss",
 }
 
 // String returns the snake_case event name used in the JSONL schema.
@@ -143,8 +163,13 @@ func NewRing(n int) *Ring {
 	return &Ring{buf: make([]Event, 0, n)}
 }
 
-// Emit implements EventSink.
+// Emit implements EventSink. Like the rest of the package, a nil *Ring is a
+// valid no-op sink — guarding here keeps a typed-nil boxed into an EventSink
+// from panicking.
 func (r *Ring) Emit(e Event) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
@@ -156,8 +181,12 @@ func (r *Ring) Emit(e Event) {
 	r.mu.Unlock()
 }
 
-// Events returns a snapshot of the retained events, oldest first.
+// Events returns a snapshot of the retained events, oldest first. A nil
+// *Ring has no events.
 func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.buf))
@@ -172,6 +201,9 @@ func (r *Ring) Events() []Event {
 
 // Total returns the number of events ever emitted (retained or not).
 func (r *Ring) Total() int {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
@@ -179,6 +211,9 @@ func (r *Ring) Total() int {
 
 // CountKind returns how many retained events have the given kind.
 func (r *Ring) CountKind(k Kind) int {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := 0

@@ -54,6 +54,20 @@ func TestRingDefaultSize(t *testing.T) {
 	}
 }
 
+// A nil *Ring is a valid no-op sink — including when boxed into the
+// EventSink interface, where the emit path's nil check cannot see it
+// (regression: wohasim -metrics-addr without -postmortem panicked here).
+func TestRingNilReceiver(t *testing.T) {
+	var r *Ring
+	r.Emit(Event{Kind: KindWorkflowSubmitted})
+	if r.Events() != nil || r.Total() != 0 || r.CountKind(KindWorkflowSubmitted) != 0 {
+		t.Errorf("nil ring reported state: %v %d", r.Events(), r.Total())
+	}
+	o := New(NewRegistry(), r) // typed nil crosses the interface boundary
+	o.WorkflowSubmitted(sec(0), 0, "w")
+	o.HeartbeatServed(sec(1), 0, time.Microsecond, 1)
+}
+
 func TestEventJSONSchema(t *testing.T) {
 	e := Event{
 		Kind:     KindHeartbeatServed,

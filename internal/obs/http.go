@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+)
+
+// IntrospectionServer is the runtime HTTP plane of an instrumented run:
+//
+//	/metrics       Prometheus text exposition of the Obs registry
+//	/statusz       JSON cluster snapshot (see Status) — per-workflow slack,
+//	               slot utilization, queue depth, lifecycle counters
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// The /statusz health block is refreshed on the health tracker's snapshot
+// interval, which is therefore the staleness knob: a consumer polling
+// /statusz reads data at most one interval old. Shutdown closes the listener
+// gracefully; all methods are safe on a nil receiver so CLIs can hold an
+// optional server without guarding every call.
+type IntrospectionServer struct {
+	ln  net.Listener
+	srv *http.Server
+	o   *Obs
+}
+
+// ServeIntrospection listens on addr (":0" picks a free port) and serves the
+// introspection plane for o in a background goroutine until Shutdown.
+func ServeIntrospection(addr string, o *Obs) (*IntrospectionServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: introspection listen: %w", err)
+	}
+	s := &IntrospectionServer{ln: ln, o: o}
+	mux := http.NewServeMux()
+	if reg := o.Registry(); reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/statusz", s.statusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" on a nil receiver).
+func (s *IntrospectionServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately and
+// in-flight requests are allowed to finish until ctx expires.
+func (s *IntrospectionServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// DumpMetrics scrapes /metrics over HTTP — through the real listener,
+// proving the exposition is served, not just renderable — and copies the
+// body to w. No-op on a nil receiver.
+func (s *IntrospectionServer) DumpMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("obs: scraping metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	fmt.Fprintf(w, "--- final scrape of http://%s/metrics ---\n", s.Addr())
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Status is the /statusz JSON document.
+type Status struct {
+	// Version and GoVersion identify the binary (woha_build_info's labels).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// Counters are the workflow/task lifecycle totals; QueueWorkflows the
+	// current scheduler queue depth.
+	WorkflowsSubmitted int64 `json:"workflows_submitted"`
+	WorkflowsCompleted int64 `json:"workflows_completed"`
+	DeadlinesMissed    int64 `json:"deadlines_missed"`
+	TasksAssigned      int64 `json:"tasks_assigned"`
+	TasksCompleted     int64 `json:"tasks_completed"`
+	Heartbeats         int64 `json:"heartbeats"`
+	QueueWorkflows     int64 `json:"queue_workflows"`
+	// Health is the last deadline-health snapshot (per-workflow slack, slot
+	// capacity, in-flight tasks); absent until the health tracker is enabled
+	// and has produced one. It is at most StalenessUS microseconds old.
+	StalenessUS int64           `json:"staleness_us,omitempty"`
+	Health      *HealthSnapshot `json:"health,omitempty"`
+}
+
+// statusz renders the cluster snapshot. The health block is served from the
+// tracker's atomically published last snapshot — no locks are taken and no
+// scheduler path is disturbed by a scrape.
+func (s *IntrospectionServer) statusz(w http.ResponseWriter, _ *http.Request) {
+	st := Status{Version: "unknown", GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		st.Version = bi.Main.Version
+	}
+	if o := s.o; o != nil {
+		st.WorkflowsSubmitted = o.WorkflowsSubmitted.Value()
+		st.WorkflowsCompleted = o.WorkflowsCompleted.Value()
+		st.DeadlinesMissed = o.DeadlinesMissed.Value()
+		st.TasksAssigned = o.TasksAssigned.Value()
+		st.TasksCompleted = o.TasksCompleted.Value()
+		st.Heartbeats = o.Heartbeats.Value()
+		st.QueueWorkflows = o.QueueWorkflows.Value()
+		if h := o.Health(); h != nil {
+			st.StalenessUS = h.Interval().Microseconds()
+			st.Health = h.Last()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

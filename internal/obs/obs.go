@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/simtime"
@@ -12,6 +14,7 @@ const (
 	MetricHeartbeatAssignments = "woha_heartbeat_assignments"
 	MetricHeartbeats           = "woha_heartbeats_total"
 	MetricTasksAssigned        = "woha_tasks_assigned_total"
+	MetricTasksCompleted       = "woha_tasks_completed_total"
 	MetricWorkflowsSubmitted   = "woha_workflows_submitted_total"
 	MetricWorkflowsCompleted   = "woha_workflows_completed_total"
 	MetricDeadlinesMissed      = "woha_workflows_deadline_missed_total"
@@ -59,6 +62,22 @@ const (
 	MetricLiveFastPathBeats    = "woha_live_fastpath_heartbeats_total"
 	MetricLivePolicyBatches    = "woha_live_policy_event_batches_total"
 	MetricLivePolicyEvents     = "woha_live_policy_events_total"
+
+	// Deadline-health layer (health.go): per-workflow slack versus the
+	// scheduling plan's progress requirement list, sampled on the snapshot
+	// interval.
+	MetricHealthMinSlack        = "woha_health_min_slack_tasks"
+	MetricHealthBehind          = "woha_health_behind_workflows"
+	MetricHealthSlackDist       = "woha_health_slack_tasks"
+	MetricHealthLive            = "woha_health_live_workflows"
+	MetricHealthSnapshots       = "woha_health_snapshots_total"
+	MetricHealthFellBehind      = "woha_health_fell_behind_total"
+	MetricHealthRecovered       = "woha_health_recovered_total"
+	MetricHealthPredictedMisses = "woha_health_predicted_misses_total"
+
+	// Build metadata: a constant-1 gauge labeled with the binary's module
+	// version and Go toolchain so scrapes are attributable.
+	MetricBuildInfo = "woha_build_info"
 )
 
 // Obs bundles a metrics registry and an event sink into the instrumentation
@@ -70,12 +89,18 @@ type Obs struct {
 	reg  *Registry
 	sink EventSink
 
+	// health is the optional deadline-health tracker (see health.go). It is
+	// nil until EnableHealth and every feed method no-ops on a nil receiver,
+	// so the hot paths stay at one extra nil check when health is off.
+	health *HealthTracker
+
 	// Pre-registered instruments for the hot paths. Fields are exported so
 	// tests and callers can read them directly; all are nil-safe.
 	HeartbeatDur         *Histogram
 	HeartbeatAssignments *Histogram
 	Heartbeats           *Counter
 	TasksAssigned        *Counter
+	TasksCompleted       *Counter
 	WorkflowsSubmitted   *Counter
 	WorkflowsCompleted   *Counter
 	DeadlinesMissed      *Counter
@@ -96,6 +121,8 @@ func New(reg *Registry, sink EventSink) *Obs {
 		"Tasks assigned per heartbeat served.", CountBuckets)
 	o.Heartbeats = reg.Counter(MetricHeartbeats, "Heartbeats served by the JobTracker.")
 	o.TasksAssigned = reg.Counter(MetricTasksAssigned, "Tasks assigned to slots.")
+	o.TasksCompleted = reg.Counter(MetricTasksCompleted,
+		"Tasks that finished successfully (lost and killed attempts excluded).")
 	o.WorkflowsSubmitted = reg.Counter(MetricWorkflowsSubmitted,
 		"Workflows released to the scheduling policy.")
 	o.WorkflowsCompleted = reg.Counter(MetricWorkflowsCompleted, "Workflows fully completed.")
@@ -105,7 +132,24 @@ func New(reg *Registry, sink EventSink) *Obs {
 	o.PlanIters = reg.Histogram(MetricPlanSearchIterations,
 		"Generate invocations per capped plan binary search.", IterBuckets)
 	o.PlansGenerated = reg.Counter(MetricPlansGenerated, "Scheduling plans generated.")
+	registerBuildInfo(reg)
 	return o
+}
+
+// registerBuildInfo publishes the constant woha_build_info gauge: value 1,
+// labeled with the main module's version and the Go toolchain, so every
+// scrape identifies the binary that produced it.
+func registerBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.GaugeWith(MetricBuildInfo,
+		"Build metadata of the exporting binary; the value is always 1.",
+		Labels{"version": version, "go_version": runtime.Version()}).Set(1)
 }
 
 // Registry returns the underlying registry (nil when disabled).
@@ -114,6 +158,33 @@ func (o *Obs) Registry() *Registry {
 		return nil
 	}
 	return o.reg
+}
+
+// EnableHealth attaches the deadline-health tracker (see health.go) and
+// returns it. Call before the control plane starts emitting traffic — the
+// tracker is wired into the hot-path feed methods, not retrofitted onto a
+// running stream. Enabling twice returns the existing tracker; a nil
+// receiver returns nil (health disabled along with everything else). One
+// tracker observes one run: sharing an enabled Obs across concurrent
+// sessions would merge their per-workflow counters.
+func (o *Obs) EnableHealth(cfg HealthConfig) *HealthTracker {
+	if o == nil {
+		return nil
+	}
+	if o.health == nil {
+		o.health = newHealthTracker(o, cfg)
+	}
+	return o.health
+}
+
+// Health returns the deadline-health tracker, nil when never enabled. All
+// HealthTracker methods are nil-safe, so callers can chain unconditionally:
+// o.Health().Register(...).
+func (o *Obs) Health() *HealthTracker {
+	if o == nil {
+		return nil
+	}
+	return o.health
 }
 
 // Emit sends e to the event sink, if any. Safe on a nil receiver.
@@ -135,6 +206,7 @@ func (o *Obs) HeartbeatServed(now simtime.Time, tracker int, dur time.Duration, 
 	o.HeartbeatAssignments.Observe(float64(assigned))
 	o.Emit(Event{Kind: KindHeartbeatServed, Time: now, Workflow: -1, Job: -1,
 		Tracker: tracker, Slot: -1, Dur: dur, N: assigned})
+	o.health.tick(now)
 }
 
 // WorkflowSubmitted records a workflow's release to the policy.
@@ -144,6 +216,7 @@ func (o *Obs) WorkflowSubmitted(now simtime.Time, wf int, name string) {
 	}
 	o.WorkflowsSubmitted.Inc()
 	o.QueueWorkflows.Add(1)
+	o.health.workflowReleased(wf)
 	o.Emit(Event{Kind: KindWorkflowSubmitted, Time: now, Workflow: wf, Job: -1,
 		Tracker: -1, Slot: -1, Name: name})
 }
@@ -156,6 +229,7 @@ func (o *Obs) WorkflowCompleted(now simtime.Time, wf int, name string, tardiness
 	}
 	o.WorkflowsCompleted.Inc()
 	o.QueueWorkflows.Add(-1)
+	o.health.workflowDone(wf, now)
 	o.Emit(Event{Kind: KindWorkflowCompleted, Time: now, Workflow: wf, Job: -1,
 		Tracker: -1, Slot: -1, Name: name, Dur: tardiness})
 	if tardiness > 0 {
@@ -181,8 +255,25 @@ func (o *Obs) TaskAssigned(now simtime.Time, wf, job, slot, tracker int, dur tim
 		return
 	}
 	o.TasksAssigned.Inc()
+	o.health.taskScheduled(wf)
 	o.Emit(Event{Kind: KindTaskAssigned, Time: now, Workflow: wf, Job: job,
 		Tracker: tracker, Slot: slot, Dur: dur})
+}
+
+// TaskCompleted records one task finishing successfully. Lost and killed
+// attempts must not be reported: the count feeds the health tracker's
+// completed-task slack, which measures real progress. It also drives the
+// health snapshot clock, so slack stays current even in instant-dispatch
+// simulations that never serve a heartbeat.
+func (o *Obs) TaskCompleted(now simtime.Time, wf, job, slot, tracker int) {
+	if o == nil {
+		return
+	}
+	o.TasksCompleted.Inc()
+	o.health.taskCompleted(wf)
+	o.Emit(Event{Kind: KindTaskCompleted, Time: now, Workflow: wf, Job: job,
+		Tracker: tracker, Slot: slot})
+	o.health.tick(now)
 }
 
 // PlanGenerated records one scheduling plan: the binary-search iteration

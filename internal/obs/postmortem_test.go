@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/workflow"
+)
+
+// pmFlow is a two-job chain a → b: 2 maps + 1 reduce each, deadline 100s.
+func pmFlow(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	return workflow.NewBuilder("wf").
+		Job("a", 2, 1, 10*time.Second, 10*time.Second).
+		Job("b", 2, 1, 10*time.Second, 10*time.Second, "a").
+		MustBuild(0, sec(100))
+}
+
+// pmEvents scripts a run of pmFlow that finishes at 130s, 30s late: job a's
+// maps wait 20s for slots, everything else is back-to-back.
+func pmEvents() []Event {
+	mk := func(kind Kind, at int, job, slot int) Event {
+		return Event{Kind: kind, Time: sec(at), Workflow: 0, Job: job, Slot: slot, Tracker: 0}
+	}
+	return []Event{
+		{Kind: KindWorkflowSubmitted, Time: 0, Workflow: 0, Name: "wf"},
+		{Kind: KindJobActivated, Time: 0, Workflow: 0, Job: 0},
+		// Job a: maps assigned at 20s (after a 20s slot wait), done at 60s;
+		// reduce runs 60s→80s.
+		mk(KindTaskAssigned, 20, 0, 0), mk(KindTaskAssigned, 20, 0, 0),
+		mk(KindTaskCompleted, 40, 0, 0), mk(KindTaskCompleted, 60, 0, 0),
+		mk(KindTaskAssigned, 60, 0, 1), mk(KindTaskCompleted, 80, 0, 1),
+		// Job b activates at 80s, runs maps 80s→100s, reduce 100s→130s.
+		{Kind: KindJobActivated, Time: sec(80), Workflow: 0, Job: 1},
+		mk(KindTaskAssigned, 80, 1, 0), mk(KindTaskAssigned, 80, 1, 0),
+		mk(KindTaskCompleted, 100, 1, 0), mk(KindTaskCompleted, 100, 1, 0),
+		mk(KindTaskAssigned, 100, 1, 1), mk(KindTaskCompleted, 130, 1, 1),
+		{Kind: KindWorkflowCompleted, Time: sec(130), Workflow: 0, Name: "wf", Dur: 30 * time.Second},
+	}
+}
+
+// pmPlan demands 2 tasks scheduled by ttd=90s (t=10s) — which the scripted
+// run misses, its first assignments landing at t=20s.
+func pmPlan() *plan.Plan {
+	return &plan.Plan{
+		Reqs:       []plan.Req{{TTD: 90 * time.Second, Cum: 2}, {TTD: 0, Cum: 6}},
+		Cap:        2,
+		Makespan:   60 * time.Second,
+		TotalTasks: 6,
+		Feasible:   true,
+	}
+}
+
+func TestPostmortemAttribution(t *testing.T) {
+	specs := []PostmortemSpec{{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()}}
+	rep := AnalyzePostmortem(pmEvents(), specs)
+	if rep.Schema != PostmortemSchema || rep.Workflows != 1 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if len(rep.Missed) != 1 {
+		t.Fatalf("missed = %d, want 1", len(rep.Missed))
+	}
+	m := rep.Missed[0]
+	if m.Unfinished || m.TardinessUS != (30*time.Second).Microseconds() {
+		t.Fatalf("miss = %+v, want finished 30s late", m)
+	}
+	if m.Scheduled != 6 || m.Completed != 6 {
+		t.Errorf("task counts = %d/%d, want 6/6", m.Scheduled, m.Completed)
+	}
+	// F_i: at t=10s (ttd 90s) the plan demanded 2 scheduled, we had 0.
+	rm := m.FirstUnmetReq
+	if rm == nil || rm.Cum != 2 || rm.Scheduled != 0 || rm.Deficit != 2 || rm.AtUS != (10*time.Second).Microseconds() {
+		t.Fatalf("first unmet req = %+v, want 0/2 at t=10s", rm)
+	}
+	// Critical path ends at job b (last completion 130s) and walks back
+	// through its prerequisite a.
+	if len(m.CriticalPath) != 2 || m.CriticalPath[0].Job != 0 || m.CriticalPath[1].Job != 1 {
+		t.Fatalf("critical path = %+v, want a → b", m.CriticalPath)
+	}
+	// Wait/run decomposition: a waited 20s (activation 0 → first assign 20s)
+	// and ran 60s (20s → reduce completion 80s); b waited 0 and ran 50s.
+	if a := m.CriticalPath[0]; a.WaitUS != (20*time.Second).Microseconds() || a.RunUS != (60*time.Second).Microseconds() {
+		t.Fatalf("hop a = %+v, want wait 20s run 60s", a)
+	}
+	if m.WaitUS != (20*time.Second).Microseconds() || m.RunUS != (110*time.Second).Microseconds() {
+		t.Errorf("totals wait=%d run=%d", m.WaitUS, m.RunUS)
+	}
+	// Blame: the only slot wait on the path is a's.
+	if m.Blame == nil || m.Blame.Job != 0 || !strings.Contains(m.Blame.Reason, "wait") {
+		t.Fatalf("blame = %+v, want job a's slot wait", m.Blame)
+	}
+}
+
+func TestPostmortemMetDeadline(t *testing.T) {
+	evs := pmEvents()
+	// Rewrite the completion as on time: tardiness 0.
+	evs[len(evs)-1].Dur = 0
+	rep := AnalyzePostmortem(evs, []PostmortemSpec{{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()}})
+	if len(rep.Missed) != 0 {
+		t.Fatalf("met deadline reported as miss: %+v", rep.Missed)
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "no deadline misses") {
+		t.Errorf("text = %q", text.String())
+	}
+}
+
+// A workflow with no completion event whose deadline passed inside the stream
+// is reported as unfinished with lower-bound tardiness.
+func TestPostmortemUnfinished(t *testing.T) {
+	evs := pmEvents()
+	evs = evs[:len(evs)-1] // drop the WorkflowCompleted; last event is t=130s
+	rep := AnalyzePostmortem(evs, []PostmortemSpec{{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()}})
+	if len(rep.Missed) != 1 || !rep.Missed[0].Unfinished {
+		t.Fatalf("missed = %+v, want one unfinished entry", rep.Missed)
+	}
+	if got := rep.Missed[0].TardinessUS; got != (30 * time.Second).Microseconds() {
+		t.Errorf("lower-bound tardiness = %d, want 30s", got)
+	}
+	// The stuck reduce still anchors the critical path at job b.
+	cp := rep.Missed[0].CriticalPath
+	if len(cp) == 0 || cp[len(cp)-1].Job != 1 {
+		t.Errorf("critical path = %+v, want it to end at job b", cp)
+	}
+}
+
+// Out-of-order delivery (the live control plane emits from many goroutines)
+// must not change the analysis.
+func TestPostmortemUnsortedEvents(t *testing.T) {
+	evs := pmEvents()
+	for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
+		evs[i], evs[j] = evs[j], evs[i]
+	}
+	rep := AnalyzePostmortem(evs, []PostmortemSpec{{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()}})
+	if len(rep.Missed) != 1 || rep.Missed[0].FirstUnmetReq == nil {
+		t.Fatalf("reversed stream changed the analysis: %+v", rep.Missed)
+	}
+}
+
+// A ring that evicted early events degrades gracefully: counts undercount,
+// no panic, and the report still names the workflow.
+func TestPostmortemRingEviction(t *testing.T) {
+	ring := NewRing(4) // keeps only the last 4 events
+	for _, e := range pmEvents() {
+		ring.Emit(e)
+	}
+	rep := AnalyzePostmortem(ring.Events(), []PostmortemSpec{{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()}})
+	if len(rep.Missed) != 1 {
+		t.Fatalf("missed = %+v, want the workflow still reported", rep.Missed)
+	}
+	if got := rep.Missed[0].Scheduled; got >= 6 {
+		t.Errorf("scheduled = %d, want an undercount from eviction", got)
+	}
+}
+
+func TestPostmortemJSONRoundTrip(t *testing.T) {
+	rep := AnalyzePostmortem(pmEvents(), []PostmortemSpec{{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()}})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back PostmortemReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != PostmortemSchema || len(back.Missed) != 1 || back.Missed[0].Blame == nil {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`wf 0 "wf"`, "first unmet requirement", "critical path", "blame"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text summary missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// Specs without observed events and events without specs are both ignored.
+func TestPostmortemMissingSides(t *testing.T) {
+	rep := AnalyzePostmortem(pmEvents(), []PostmortemSpec{
+		{Workflow: 0, Spec: pmFlow(t), Plan: pmPlan()},
+		{Workflow: 5, Spec: pmFlow(t)},
+		{Workflow: 9}, // nil Spec
+	})
+	if len(rep.Missed) != 1 {
+		t.Fatalf("missed = %+v, want only wf 0", rep.Missed)
+	}
+	empty := AnalyzePostmortem(nil, nil)
+	if empty.Events != 0 || len(empty.Missed) != 0 {
+		t.Fatalf("empty analysis = %+v", empty)
+	}
+}

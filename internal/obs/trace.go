@@ -140,6 +140,20 @@ func WriteTrace(w io.Writer, events []Event) error {
 				PID: tracePIDWorkflows, TID: 0,
 				Args: map[string]any{"search_iters": e.N},
 			})
+		case KindHealthSlack:
+			// Counter track: Perfetto renders one "wf<N> slack" graph per
+			// workflow from the periodic health snapshots.
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wf%d slack", e.Workflow), Ph: "C", TS: ts,
+				PID: tracePIDWorkflows, TID: wfThread(e.Workflow, e.Name),
+				Args: map[string]any{"slack": e.N},
+			})
+		case KindHealthFellBehind, KindHealthRecovered, KindHealthPredictedMiss:
+			out = append(out, traceEvent{
+				Name: e.Kind.String(), Ph: "i", TS: ts, S: "t",
+				PID: tracePIDWorkflows, TID: wfThread(e.Workflow, e.Name),
+				Args: map[string]any{"n": e.N},
+			})
 		}
 	}
 	// Workflows still open at the end of the stream render as begin events

@@ -138,4 +138,90 @@ func TestWriteTraceEmpty(t *testing.T) {
 	if len(tes) != 2 {
 		t.Errorf("empty trace has %d events, want 2 metadata records", len(tes))
 	}
+	// An empty (never-written) ring renders identically.
+	sb.Reset()
+	if err := WriteTrace(&sb, NewRing(16).Events()); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeTrace(t, sb.String()); len(got) != 2 {
+		t.Errorf("empty ring trace has %d events, want 2", len(got))
+	}
+}
+
+// A ring that wrapped — evicting each workflow's submission but keeping its
+// completion — must still render a valid trace via the degradation paths.
+func TestWriteTraceWrappedRing(t *testing.T) {
+	ring := NewRing(4)
+	for wf := 0; wf < 8; wf++ {
+		ring.Emit(Event{Kind: KindWorkflowSubmitted, Time: at(time.Duration(wf) * time.Second),
+			Workflow: wf, Job: -1, Tracker: -1, Slot: -1, Name: "w"})
+	}
+	for wf := 0; wf < 4; wf++ {
+		ring.Emit(Event{Kind: KindWorkflowCompleted, Time: at(time.Duration(10+wf) * time.Second),
+			Workflow: wf, Job: -1, Tracker: -1, Slot: -1, Name: "w"})
+	}
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, evs); err != nil {
+		t.Fatal(err)
+	}
+	// All four survivors are completions whose submissions were evicted, so
+	// each degrades to an instant; no X slices and no dangling B records.
+	tes := decodeTrace(t, sb.String())
+	instants := 0
+	for _, te := range tes {
+		switch te["ph"] {
+		case "i":
+			instants++
+		case "X", "B":
+			t.Errorf("wrapped ring produced a %v slice: %v", te["ph"], te)
+		}
+	}
+	if instants != 4 {
+		t.Errorf("instants = %d, want 4 degraded completions", instants)
+	}
+}
+
+// Health snapshots render as Perfetto counter tracks ("C") plus instants for
+// the threshold crossings.
+func TestWriteTraceSlackCounters(t *testing.T) {
+	events := []Event{
+		{Kind: KindWorkflowSubmitted, Time: at(0), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0"},
+		{Kind: KindHealthSlack, Time: at(30 * time.Second), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", N: 3},
+		{Kind: KindHealthSlack, Time: at(60 * time.Second), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", N: -2},
+		{Kind: KindHealthFellBehind, Time: at(60 * time.Second), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", N: -2},
+		{Kind: KindHealthRecovered, Time: at(90 * time.Second), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", N: 1},
+		{Kind: KindHealthPredictedMiss, Time: at(95 * time.Second), Workflow: 0, Job: -1, Tracker: -1, Slot: -1, Name: "w0", N: 7},
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	tes := decodeTrace(t, sb.String())
+	var counters []float64
+	for _, te := range tes {
+		if te["ph"] == "C" && te["name"] == "wf0 slack" {
+			if te["pid"].(float64) != tracePIDWorkflows {
+				t.Errorf("counter on pid %v, want %d", te["pid"], tracePIDWorkflows)
+			}
+			counters = append(counters, te["args"].(map[string]any)["slack"].(float64))
+		}
+	}
+	if len(counters) != 2 || counters[0] != 3 || counters[1] != -2 {
+		t.Errorf("slack counter samples = %v, want [3 -2]", counters)
+	}
+	for _, name := range []string{"health_fell_behind", "health_recovered", "health_predicted_miss"} {
+		found := false
+		for _, te := range tes {
+			if te["ph"] == "i" && te["name"] == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("crossing instant %q missing", name)
+		}
+	}
 }

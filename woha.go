@@ -79,6 +79,27 @@ type (
 	EventRing = obs.Ring
 	// EventKind discriminates ObsEvent records.
 	EventKind = obs.Kind
+
+	// HealthConfig shapes the deadline-health tracker; enable it with
+	// Instrumentation.EnableHealth before a run starts.
+	HealthConfig = obs.HealthConfig
+	// HealthTracker computes per-workflow slack against the scheduling
+	// plan's progress requirements on a configurable snapshot interval.
+	HealthTracker = obs.HealthTracker
+	// HealthSnapshot is one immutable point-in-time health view (the
+	// /statusz health block).
+	HealthSnapshot = obs.HealthSnapshot
+	// WorkflowHealth is one workflow's row in a HealthSnapshot.
+	WorkflowHealth = obs.WorkflowHealth
+
+	// PostmortemSpec hands AnalyzePostmortem one workflow's DAG and plan.
+	PostmortemSpec = obs.PostmortemSpec
+	// PostmortemReport is the miss root-cause analysis of a run.
+	PostmortemReport = obs.PostmortemReport
+
+	// IntrospectionServer serves /metrics, /statusz, and /debug/pprof for
+	// an instrumented run; see ServeIntrospection.
+	IntrospectionServer = obs.IntrospectionServer
 )
 
 // Event kinds carried by the scheduler event stream (ObsEvent.Kind).
@@ -93,6 +114,12 @@ const (
 	KindQueueDelete       = obs.KindQueueDelete
 	KindQueueHeadHit      = obs.KindQueueHeadHit
 	KindPlanGenerated     = obs.KindPlanGenerated
+
+	KindTaskCompleted       = obs.KindTaskCompleted
+	KindHealthSlack         = obs.KindHealthSlack
+	KindHealthFellBehind    = obs.KindHealthFellBehind
+	KindHealthRecovered     = obs.KindHealthRecovered
+	KindHealthPredictedMiss = obs.KindHealthPredictedMiss
 )
 
 // Slot types.
@@ -325,8 +352,23 @@ func NewInstrumentation(reg *Metrics, sink EventSink) *Instrumentation {
 
 // WriteTrace renders events as Chrome trace-event JSON loadable in Perfetto
 // (ui.perfetto.dev) or chrome://tracing, with per-tracker and per-workflow
-// timeline tracks.
+// timeline tracks (per-workflow slack counter tracks included when the
+// health tracker was enabled).
 func WriteTrace(w io.Writer, events []ObsEvent) error { return obs.WriteTrace(w, events) }
+
+// AnalyzePostmortem reconstructs each missed workflow's timeline from the
+// event stream and attributes the miss: the first unmet progress
+// requirement F_i, the critical-path job/stage that went late, and a
+// wait-vs-run decomposition. See OBSERVABILITY.md for the JSON schema.
+func AnalyzePostmortem(events []ObsEvent, specs []PostmortemSpec) *PostmortemReport {
+	return obs.AnalyzePostmortem(events, specs)
+}
+
+// ServeIntrospection serves the runtime HTTP plane (/metrics, /statusz,
+// /debug/pprof) for ins on addr (":0" picks a free port) until Shutdown.
+func ServeIntrospection(addr string, ins *Instrumentation) (*IntrospectionServer, error) {
+	return obs.ServeIntrospection(addr, ins)
+}
 
 // Session wires a simulated cluster to a scheduler and accepts workflow
 // submissions. It mirrors the paper's submission pipeline: for WOHA
