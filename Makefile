@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify ci fmt-check race-smoke postmortem-smoke bench-plan bench-plan-shared bench-sim bench-live bench-smoke mutex-smoke
+.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke bench-plan bench-plan-shared bench-sim bench-live bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrent subsystems: observability fan-out, the live
-# (RPC) job tracker, the parallel/cached planner, and the scenario runner.
+# (RPC) job tracker, the parallel/cached planner, the scenario runner, and
+# the pooled arena simulator (its equivalence sweep crosses pool handoff).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/...
+	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/...
 
 # Tier-1 gate plus static analysis and race checks — run before every PR.
 verify: build test vet race
@@ -34,9 +35,17 @@ race-smoke:
 	$(GO) test -race -count=1 -run 'TestHealth|TestIntrospection|TestHeartbeatBareAllocs' \
 		./internal/obs/ ./internal/live/
 
-# The CI gate: formatting, static analysis, the tier-1 suite, and the
-# concurrency race smoke.
-ci: fmt-check vet test race-smoke
+# Allocation-budget pins: the arena simulator's steady-state scenario
+# budget (≤3 allocs end to end across both dispatch modes) and the obs
+# heartbeat zero-alloc contract. Run without -race — the race runtime
+# randomizes sync.Pool reuse and the pins skip themselves.
+alloc-pins:
+	$(GO) test -count=1 -run 'TestScenarioAllocs|TestHeartbeatBareAllocs' \
+		./internal/cluster/ ./internal/obs/
+
+# The CI gate: formatting, static analysis, the tier-1 suite, the
+# concurrency race smoke, and the allocation pins.
+ci: fmt-check vet test race-smoke alloc-pins
 
 # Seeded forced-miss scenario through the full attribution pipeline: two
 # feasible workflows contend for one map slot, at least one misses, and the

@@ -200,14 +200,24 @@ type WorkflowState struct {
 // invariants (Jobs indexed by JobID, remaining = total tasks) are enforced
 // in one place.
 func NewWorkflowState(index int, w *workflow.Workflow, p *plan.Plan) *WorkflowState {
-	ws := &WorkflowState{
+	ws := &WorkflowState{}
+	initWorkflowState(ws, make([]JobState, len(w.Jobs)), index, w, p)
+	return ws
+}
+
+// initWorkflowState initializes *ws in place over the given jobs storage
+// (len(jobs) == len(w.Jobs)); the simulator's workflow arena reuses records
+// through here with the same invariants NewWorkflowState enforces. Every
+// field is overwritten, so recycled storage needs no prior clearing.
+func initWorkflowState(ws *WorkflowState, jobs []JobState, index int, w *workflow.Workflow, p *plan.Plan) {
+	*ws = WorkflowState{
 		Index: index,
 		Spec:  w,
 		Plan:  p,
-		Jobs:  make([]JobState, len(w.Jobs)),
+		Jobs:  jobs,
 	}
 	for i := range w.Jobs {
-		ws.Jobs[i] = JobState{
+		jobs[i] = JobState{
 			ID:             workflow.JobID(i),
 			PendingMaps:    w.Jobs[i].Maps,
 			PendingReduces: w.Jobs[i].Reduces,
@@ -215,7 +225,6 @@ func NewWorkflowState(index int, w *workflow.Workflow, p *plan.Plan) *WorkflowSt
 		}
 		ws.remaining += w.Jobs[i].Tasks()
 	}
-	return ws
 }
 
 // TaskDone consumes one finished task and returns how many remain; zero

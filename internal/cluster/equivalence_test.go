@@ -1,0 +1,134 @@
+package cluster_test
+
+// Same-seed equivalence sweep over the pooled arena core: every scheduler ×
+// speculation × failure-injection combination runs the same seeded scenario
+// twice through the simulator pool and must produce a DeepEqual Result. The
+// sweep is table-driven and runs under `make race` (the race targets include
+// this package), so it also proves the pool handoff and the per-run arena
+// reset publish cleanly across goroutines.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// equivScheduler pairs a policy factory with the priority policy WOHA
+// variants need for plan generation (nil for the ported baselines).
+type equivScheduler struct {
+	name string
+	make func() cluster.Policy
+	prio priority.Policy
+}
+
+func equivSchedulers() []equivScheduler {
+	woha := func(p priority.Policy) func() cluster.Policy {
+		return func() cluster.Policy {
+			return core.NewScheduler(core.Options{Seed: 11, PolicyName: p.Name()})
+		}
+	}
+	return []equivScheduler{
+		{"EDF", func() cluster.Policy { return scheduler.NewEDF() }, nil},
+		{"FIFO", func() cluster.Policy { return scheduler.NewFIFO() }, nil},
+		{"Fair", func() cluster.Policy { return scheduler.NewFair() }, nil},
+		{"WOHA-LPF", woha(priority.LPF{}), priority.LPF{}},
+		{"WOHA-HLF", woha(priority.HLF{}), priority.HLF{}},
+		{"WOHA-MPF", woha(priority.MPF{}), priority.MPF{}},
+	}
+}
+
+// equivFlows is a small DAG-bearing workload: two multi-job workflows with
+// staggered releases, enough parallel width to exercise twin attempts and
+// the per-node running lists under contention.
+func equivFlows() []*workflow.Workflow {
+	w1 := workflow.NewBuilder("w1").
+		Job("a", 12, 4, 30*time.Second, 60*time.Second).
+		Job("b", 8, 2, 25*time.Second, 50*time.Second, "a").
+		Job("c", 6, 3, 20*time.Second, 40*time.Second, "a").
+		Job("d", 4, 2, 15*time.Second, 30*time.Second, "b", "c").
+		MustBuild(0, simtime.FromSeconds(900))
+	w2 := workflow.NewBuilder("w2").
+		Job("a", 10, 3, 40*time.Second, 30*time.Second).
+		Job("b", 5, 2, 20*time.Second, 25*time.Second, "a").
+		MustBuild(simtime.FromSeconds(20), simtime.FromSeconds(700))
+	return []*workflow.Workflow{w1, w2}
+}
+
+// TestSameSeedEquivalenceSweep runs each (scheduler, speculation, failures)
+// combination twice with the same seed, through the pooled simulator, and
+// requires byte-identical Results. Noise and heartbeat dispatch stay on
+// throughout so every run crosses the batched drain path and the RNG.
+func TestSameSeedEquivalenceSweep(t *testing.T) {
+	flows := equivFlows()
+	for _, sched := range equivSchedulers() {
+		for _, spec := range []bool{false, true} {
+			for _, fail := range []bool{false, true} {
+				name := fmt.Sprintf("%s/spec=%v/fail=%v", sched.name, spec, fail)
+				t.Run(name, func(t *testing.T) {
+					cfg := cluster.Config{
+						Nodes: 6, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+						HeartbeatInterval: 3 * time.Second,
+						Noise:             0.3, Seed: 7,
+					}
+					if spec {
+						cfg.SpeculativeSlowdown = 1.3
+						cfg.StragglerProb = 0.15
+						cfg.StragglerFactor = 4
+					}
+					if fail {
+						cfg.Failures = []cluster.Failure{
+							{Node: 1, At: simtime.FromSeconds(45), Downtime: 60 * time.Second},
+							{Node: 4, At: simtime.FromSeconds(90)}, // permanent
+						}
+					}
+					var plans []*plan.Plan
+					if sched.prio != nil {
+						caps := plan.Caps{Maps: cfg.MapSlots(), Reduces: cfg.ReduceSlots()}
+						for _, w := range flows {
+							p, err := plan.GenerateCappedTyped(w, caps, sched.prio, 0.85)
+							if err != nil {
+								t.Fatalf("plan: %v", err)
+							}
+							plans = append(plans, p)
+						}
+					}
+					once := func() *cluster.Result {
+						sim, err := cluster.New(cfg, sched.make(), nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, w := range flows {
+							var p *plan.Plan
+							if i < len(plans) {
+								p = plans[i]
+							}
+							if err := sim.Submit(w, p); err != nil {
+								t.Fatal(err)
+							}
+						}
+						res, err := sim.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						sim.Release()
+						return res
+					}
+					first := once()
+					second := once()
+					if !reflect.DeepEqual(first, second) {
+						t.Errorf("same seed diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+					}
+				})
+			}
+		}
+	}
+}

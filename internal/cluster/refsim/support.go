@@ -1,0 +1,118 @@
+package refsim
+
+import (
+	"math/bits"
+
+	"repro/internal/simtime"
+)
+
+// nodeSet and specHeap are frozen copies of the pre-SoA internal/cluster
+// helpers (both unexported there). See refsim.go for why this package
+// duplicates rather than shares.
+
+type nodeSet struct {
+	w []uint64
+}
+
+func (b *nodeSet) reset(n int) {
+	words := (n + 63) / 64
+	if cap(b.w) < words {
+		b.w = make([]uint64, words)
+		return
+	}
+	b.w = b.w[:words]
+	clear(b.w)
+}
+
+func (b *nodeSet) fill(n int) {
+	b.reset(n)
+	for i := range b.w {
+		b.w[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 {
+		b.w[len(b.w)-1] = (uint64(1) << r) - 1
+	}
+}
+
+func (b *nodeSet) set(i int)   { b.w[i>>6] |= 1 << (uint(i) & 63) }
+func (b *nodeSet) clear(i int) { b.w[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (b *nodeSet) next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from >> 6
+	if wi >= len(b.w) {
+		return -1
+	}
+	word := b.w[wi] &^ ((uint64(1) << (uint(from) & 63)) - 1)
+	for {
+		if word != 0 {
+			return wi<<6 + bits.TrailingZeros64(word)
+		}
+		wi++
+		if wi == len(b.w) {
+			return -1
+		}
+		word = b.w[wi]
+	}
+}
+
+type specEntry struct {
+	at  simtime.Time
+	seq int
+}
+
+type specHeap struct {
+	es []specEntry
+}
+
+func (h *specHeap) push(at simtime.Time, seq int) {
+	h.es = append(h.es, specEntry{at: at, seq: seq})
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+func (h *specHeap) peek() (specEntry, bool) {
+	if len(h.es) == 0 {
+		return specEntry{}, false
+	}
+	return h.es[0], true
+}
+
+func (h *specHeap) pop() {
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	n := len(h.es)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+}
+
+func (h *specHeap) less(i, j int) bool {
+	if h.es[i].at != h.es[j].at {
+		return h.es[i].at < h.es[j].at
+	}
+	return h.es[i].seq < h.es[j].seq
+}

@@ -58,6 +58,11 @@ func (s *Simulator) result() *Result {
 
 		SimulatedEvents: s.eventCount,
 	}
+	if n := len(s.states); n > 0 {
+		// Exact-size prealloc; an empty run keeps Workflows nil, as the
+		// append-only construction always did.
+		r.Workflows = make([]WorkflowResult, 0, n)
+	}
 	for _, ws := range s.states {
 		wr := WorkflowResult{
 			Name:     ws.Spec.Name,

@@ -15,6 +15,12 @@ import (
 
 // Simulator executes submitted workflows on the simulated cluster under a
 // scheduling policy. Construct with New, Submit workflows, then Run once.
+//
+// Mutable run state lives in flat struct-of-arrays storage addressed by
+// small-int handles — the attempt arena and workflow arena of arena.go —
+// instead of the map-based layout the pre-SoA core used (frozen in
+// internal/cluster/refsim as the parity oracle). Release() reclaims it all
+// wholesale. See DESIGN.md §12.
 type Simulator struct {
 	cfg Config
 	pol Policy
@@ -22,21 +28,30 @@ type Simulator struct {
 	rng *rand.Rand
 
 	states []*WorkflowState
-	nodes  []nodeState
+	// wsa backs the *WorkflowState records in states with block-stable
+	// reused storage.
+	wsa   wsArena
+	nodes []nodeState
+	// arena holds every in-flight task attempt; events and the speculation
+	// heaps reference attempts by (handle, gen).
+	arena  attemptArena
 	events simtime.Queue[event]
-	now    simtime.Time
+	// batch receives each instant's coalesced events from DrainInstant.
+	batch []event
+	now   simtime.Time
 
 	arrivalsLeft int
 	doneCount    int
 	taskSeq      int
 	// eventCount tallies every discrete event processed (Result.SimulatedEvents).
 	eventCount int
+	// drainBatches/drainCoalesced tally heap drains and the events beyond
+	// the first in each batch, flushed to metrics at the end of Run.
+	drainBatches   int
+	drainCoalesced int
 	// specWake is the earliest armed speculative wake-up (MaxTime = none),
 	// preventing duplicate retry events.
 	specWake simtime.Time
-	// attempts locates every running attempt by sequence number, for twin
-	// cleanup under speculative execution.
-	attempts map[int]attemptRef
 
 	// freeIdx[st] indexes the nodes that are up with at least one free slot
 	// of type st, so dispatch finds a slot without scanning every node.
@@ -60,58 +75,46 @@ type Simulator struct {
 	// per-kind simulated-event counters (nil entries when uninstrumented —
 	// obs counters no-op on nil), and the dispatch counters below track the
 	// hot-path work the free-slot index and heartbeat suppression save.
-	ins          *obs.Obs
-	evCount      [numEventKinds]*obs.Counter
-	offerCount   *obs.Counter
-	hbSupBusy    *obs.Counter
-	hbSupDrained *obs.Counter
-	specWakeups  *obs.Counter
+	// Arena and drain tallies are flushed once per run (flushRunMetrics),
+	// keeping per-event work free of atomics.
+	ins            *obs.Obs
+	evCount        [numEventKinds]*obs.Counter
+	offerCount     *obs.Counter
+	hbSupBusy      *obs.Counter
+	hbSupDrained   *obs.Counter
+	specWakeups    *obs.Counter
+	arenaCap       *obs.Gauge
+	arenaReuses    *obs.Counter
+	arenaGrows     *obs.Counter
+	drainBatchCtr  *obs.Counter
+	drainCoalesCtr *obs.Counter
 
 	ran bool
 }
 
-// simPool recycles simulator state — node tables, task-attempt maps, the
-// event queue, and both hot-path indexes — across runs. New draws from it
-// and Release returns to it, so repeated-scenario workloads (the experiment
-// runner, benches) stop paying per-run allocation for per-run state.
+// simPool recycles simulator state — the node table, attempt and workflow
+// arenas, the event queue, and both hot-path indexes — across runs. New
+// draws from it and Release returns to it, so repeated-scenario workloads
+// (the experiment runner, benches) stop paying per-run allocation for
+// per-run state.
 var simPool = sync.Pool{New: func() any { return new(Simulator) }}
 
 type nodeState struct {
-	freeMap    int
-	freeReduce int
+	freeMap    int32
+	freeReduce int32
 	down       bool
 	// hbArmed reports whether a heartbeat event for this node is pending
 	// (heartbeat mode only). A dormant node — fully busy with speculation
 	// off, or idle with every live workflow done — stays unarmed until a
 	// completion, recovery, or arrival makes a tick useful again.
 	hbArmed bool
-	// running tracks in-flight tasks by sequence number, so completions of
-	// tasks lost to a failure are recognized as stale and ignored.
-	running map[int]runningTask
+	// runHead is the node's running-attempt list: attempt records chained
+	// through their prev/next links, newest first. Completions of attempts
+	// lost to a failure are recognized as stale by their arena generation.
+	runHead int32
 }
 
-// runningTask is the bookkeeping for one in-flight task attempt.
-type runningTask struct {
-	wf  int
-	job workflow.JobID
-	st  SlotType
-	end simtime.Time
-	dur time.Duration
-	// twin is the other attempt's sequence number under speculative
-	// execution (0 = no twin).
-	twin int
-	// speculative marks the duplicate attempt, which carries no JobState
-	// accounting of its own.
-	speculative bool
-}
-
-// attemptRef locates a running attempt.
-type attemptRef struct {
-	node int
-	rt   runningTask
-}
-
-func (n *nodeState) free(st SlotType) int {
+func (n *nodeState) free(st SlotType) int32 {
 	if st == MapSlot {
 		return n.freeMap
 	}
@@ -134,19 +137,22 @@ func (n *nodeState) release(st SlotType) {
 	}
 }
 
-// event is the simulator's single event type; exactly one kind field group is
-// meaningful, selected by kind.
+// event is the simulator's single event type, packed to keep the heap's
+// per-entry footprint small. a and b are kind-specific operands:
+//
+//	evArrival    a = workflow index
+//	evActivate   a = workflow index, b = job id
+//	evComplete   a = attempt handle, gen = attempt generation
+//	evHeartbeat, evFail, evRecover
+//	             a = node index
+//	evRetry      (no operands)
 type event struct {
 	kind eventKind
-
-	wf   int            // arrival, activate, complete
-	job  workflow.JobID // activate, complete
-	st   SlotType       // complete
-	node int            // complete, heartbeat, fail, recover
-	seq  int            // complete
+	a, b int32
+	gen  uint32
 }
 
-type eventKind int
+type eventKind uint8
 
 const (
 	evArrival eventKind = iota
@@ -229,19 +235,16 @@ func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
 		s.states[i] = nil
 	}
 	s.states = s.states[:0]
+	s.wsa.reset()
 	for len(s.nodes) < cfg.Nodes {
 		s.nodes = append(s.nodes, nodeState{})
 	}
 	s.nodes = s.nodes[:cfg.Nodes]
 	for i := range s.nodes {
 		n := &s.nodes[i]
-		n.freeMap, n.freeReduce = cfg.MapSlotsPerNode, cfg.ReduceSlotsPerNode
+		n.freeMap, n.freeReduce = int32(cfg.MapSlotsPerNode), int32(cfg.ReduceSlotsPerNode)
 		n.down, n.hbArmed = false, false
-		if n.running == nil {
-			n.running = make(map[int]runningTask)
-		} else {
-			clear(n.running)
-		}
+		n.runHead = nilAttempt
 	}
 	if cfg.MapSlotsPerNode > 0 {
 		s.freeIdx[MapSlot].fill(cfg.Nodes)
@@ -255,15 +258,13 @@ func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
 	}
 	s.overdue[MapSlot].reset()
 	s.overdue[ReduceSlot].reset()
+	s.arena.reset()
 	s.events.Reset()
+	s.batch = s.batch[:0]
 	s.now = simtime.Epoch
 	s.arrivalsLeft, s.doneCount, s.taskSeq, s.eventCount = 0, 0, 0, 0
+	s.drainBatches, s.drainCoalesced = 0, 0
 	s.specWake = simtime.MaxTime
-	if s.attempts == nil {
-		s.attempts = make(map[int]attemptRef)
-	} else {
-		clear(s.attempts)
-	}
 	s.arrivalTimes = s.arrivalTimes[:0]
 	s.arrIdx = 0
 	s.mapBusy, s.reduceBusy = 0, 0
@@ -276,23 +277,34 @@ func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
 
 // Release returns the simulator's internal state to the package pool for
 // reuse by a later New. Call it after Run when executing many scenarios
-// (Result is self-contained and stays valid); the simulator must not be
-// used afterwards. Release is optional — an unreleased simulator is simply
-// collected.
+// (Result is self-contained and stays valid); the simulator — and any
+// *WorkflowState a policy or observer captured from it — must not be used
+// afterwards: workflow records are arena storage a later run overwrites.
+// Release is optional — an unreleased simulator is simply collected.
 func (s *Simulator) Release() {
 	s.pol, s.obs, s.ins = nil, nil, nil
 	for i := range s.states {
 		s.states[i] = nil
 	}
 	s.states = s.states[:0]
-	for i := range s.nodes {
-		clear(s.nodes[i].running)
-	}
-	clear(s.attempts)
+	// Drop every reference and per-run tally the arenas and queue carry, so
+	// a pooled simulator can neither pin prior-run specs/plans nor leak
+	// prior-run attempt state into the next run's instrumentation flush
+	// (see TestReleaseReuseInstrumentationHygiene).
+	s.wsa.release()
+	s.arena.reset()
 	s.events.Reset()
+	s.batch = s.batch[:0]
+	s.drainBatches, s.drainCoalesced = 0, 0
+	s.clearInstruments()
+	simPool.Put(s)
+}
+
+func (s *Simulator) clearInstruments() {
 	s.evCount = [numEventKinds]*obs.Counter{}
 	s.offerCount, s.hbSupBusy, s.hbSupDrained, s.specWakeups = nil, nil, nil, nil
-	simPool.Put(s)
+	s.arenaCap, s.arenaReuses, s.arenaGrows = nil, nil, nil
+	s.drainBatchCtr, s.drainCoalesCtr = nil, nil
 }
 
 // SetInstrumentation attaches the runtime observability bundle: simulated
@@ -302,8 +314,7 @@ func (s *Simulator) Release() {
 func (s *Simulator) SetInstrumentation(o *obs.Obs) {
 	s.ins = o
 	if o == nil {
-		s.evCount = [numEventKinds]*obs.Counter{}
-		s.offerCount, s.hbSupBusy, s.hbSupDrained, s.specWakeups = nil, nil, nil, nil
+		s.clearInstruments()
 		return
 	}
 	for k, name := range eventKindNames {
@@ -313,6 +324,11 @@ func (s *Simulator) SetInstrumentation(o *obs.Obs) {
 	s.hbSupBusy = o.SimHeartbeatsSuppressed("busy")
 	s.hbSupDrained = o.SimHeartbeatsSuppressed("drained")
 	s.specWakeups = o.SimSpecWakeups()
+	s.arenaCap = o.SimArenaCapacity()
+	s.arenaReuses = o.SimArenaReuses()
+	s.arenaGrows = o.SimArenaGrows()
+	s.drainBatchCtr = o.SimDrainBatches()
+	s.drainCoalesCtr = o.SimDrainCoalesced()
 	o.Health().SetSlots(s.cfg.MapSlots(), s.cfg.ReduceSlots())
 	// Workflows submitted before instrumentation was attached still join
 	// the health table.
@@ -322,6 +338,19 @@ func (s *Simulator) SetInstrumentation(o *obs.Obs) {
 	}
 }
 
+// flushRunMetrics publishes the per-run arena/drain tallies once, at the end
+// of Run.
+func (s *Simulator) flushRunMetrics() {
+	if s.ins == nil {
+		return
+	}
+	s.arenaCap.Set(int64(cap(s.arena.recs)))
+	s.arenaReuses.Add(int64(s.arena.reused))
+	s.arenaGrows.Add(int64(s.arena.grown))
+	s.drainBatchCtr.Add(int64(s.drainBatches))
+	s.drainCoalesCtr.Add(int64(s.drainCoalesced))
+}
+
 // Submit queues a workflow for arrival at its release time. p is the WOHA
 // scheduling plan and may be nil for policies that do not use one. Submit
 // must be called before Run.
@@ -329,13 +358,13 @@ func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
 	if s.ran {
 		return fmt.Errorf("cluster: Submit after Run")
 	}
-	if err := w.Validate(); err != nil {
+	if err := w.Validated(); err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	ws := NewWorkflowState(len(s.states), w, p)
+	ws := s.wsa.alloc(len(s.states), w, p)
 	s.ins.Health().Register(ws.Index, w.Name, w.Release, w.Deadline, w.TotalTasks(), p)
 	s.states = append(s.states, ws)
-	s.events.Push(w.Release, event{kind: evArrival, wf: ws.Index})
+	s.events.Push(w.Release, event{kind: evArrival, a: int32(ws.Index)})
 	s.arrivalTimes = append(s.arrivalTimes, w.Release)
 	s.arrivalsLeft++
 	return nil
@@ -364,36 +393,50 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 	}
 	for _, f := range s.cfg.Failures {
-		s.events.Push(f.At, event{kind: evFail, node: f.Node})
+		s.events.Push(f.At, event{kind: evFail, a: int32(f.Node)})
 		if f.Downtime > 0 {
-			s.events.Push(f.At.Add(f.Downtime), event{kind: evRecover, node: f.Node})
+			s.events.Push(f.At.Add(f.Downtime), event{kind: evRecover, a: int32(f.Node)})
 		}
 	}
+	// The heap is drained once per instant: every event already scheduled
+	// at the earliest pending time arrives in one batch, in push order —
+	// exactly the order a pop-per-event loop would have delivered, so each
+	// handler (and the dispatch pass it triggers) runs against identical
+	// intermediate state. Events a handler pushes at the still-current
+	// instant (a heartbeat wake, an instant activation) form the next
+	// batch, again matching pop-per-event ordering by seq stamp.
 	for s.events.Len() > 0 {
-		at, e, _ := s.events.Pop()
+		s.batch = s.batch[:0]
+		at, n := s.events.DrainInstant(&s.batch)
 		s.now = at
-		s.eventCount++
-		s.evCount[e.kind].Inc()
-		switch e.kind {
-		case evArrival:
-			s.arrive(e.wf)
-		case evActivate:
-			s.activate(e.wf, e.job)
-		case evComplete:
-			s.complete(e)
-		case evHeartbeat:
-			s.heartbeat(e.node)
-		case evFail:
-			s.fail(e.node)
-		case evRecover:
-			s.recover(e.node)
-		case evRetry:
-			if s.specWake <= s.now {
-				s.specWake = simtime.MaxTime
+		s.eventCount += n
+		s.drainBatches++
+		s.drainCoalesced += n - 1
+		for i := 0; i < n; i++ {
+			e := s.batch[i]
+			s.evCount[e.kind].Inc()
+			switch e.kind {
+			case evArrival:
+				s.arrive(int(e.a))
+			case evActivate:
+				s.activate(int(e.a), workflow.JobID(e.b))
+			case evComplete:
+				s.complete(e.a, e.gen)
+			case evHeartbeat:
+				s.heartbeat(int(e.a))
+			case evFail:
+				s.fail(int(e.a))
+			case evRecover:
+				s.recover(int(e.a))
+			case evRetry:
+				if s.specWake <= s.now {
+					s.specWake = simtime.MaxTime
+				}
+				s.dispatchAll()
 			}
-			s.dispatchAll()
 		}
 	}
+	s.flushRunMetrics()
 	if s.doneCount != len(s.states) {
 		for _, ws := range s.states {
 			if !ws.Done {
@@ -413,7 +456,7 @@ func (s *Simulator) arrive(wf int) {
 	s.pol.WorkflowAdded(ws, s.now)
 	// Activate every root before offering slots, so the policy sees the
 	// whole ready set when the first slot is dispatched.
-	for _, r := range ws.Spec.Roots() {
+	for _, r := range ws.Spec.RootIDs() {
 		s.scheduleActivation(wf, r)
 	}
 	s.dispatchAll()
@@ -424,7 +467,7 @@ func (s *Simulator) arrive(wf int) {
 // changes of the current instant are applied.
 func (s *Simulator) scheduleActivation(wf int, job workflow.JobID) {
 	if s.cfg.SubmitterOverhead > 0 {
-		s.events.Push(s.now.Add(s.cfg.SubmitterOverhead), event{kind: evActivate, wf: wf, job: job})
+		s.events.Push(s.now.Add(s.cfg.SubmitterOverhead), event{kind: evActivate, a: int32(wf), b: int32(job)})
 		return
 	}
 	s.activateNow(wf, job)
@@ -445,23 +488,25 @@ func (s *Simulator) activateNow(wf int, job workflow.JobID) {
 	s.pol.JobActivated(ws, job, s.now)
 }
 
-func (s *Simulator) complete(e event) {
-	node := &s.nodes[e.node]
-	rt, ok := node.running[e.seq]
-	if !ok {
+func (s *Simulator) complete(h int32, gen uint32) {
+	rec := &s.arena.recs[h]
+	if !rec.live || rec.gen != gen {
 		// The attempt was lost to a node failure (or killed as a losing
-		// speculative twin) after this completion was scheduled.
+		// speculative twin) after this completion was scheduled; a matching
+		// generation proves the record was not recycled since.
 		return
 	}
-	delete(node.running, e.seq)
-	delete(s.attempts, e.seq)
-	s.releaseSlot(e.node, e.st)
-	if rt.twin != 0 {
-		s.killAttempt(rt.twin)
+	node, st := int(rec.node), SlotType(rec.st)
+	wf, job, twin := int(rec.wf), workflow.JobID(rec.job), rec.twin
+	s.unlinkRunning(h)
+	s.arena.free(h)
+	s.releaseSlot(node, st)
+	if twin != nilAttempt {
+		s.killAttempt(twin)
 	}
-	ws := s.states[e.wf]
-	js := &ws.Jobs[e.job]
-	if e.st == MapSlot {
+	ws := s.states[wf]
+	js := &ws.Jobs[job]
+	if st == MapSlot {
 		js.RunningMaps--
 		js.DoneMaps++
 	} else {
@@ -470,17 +515,17 @@ func (s *Simulator) complete(e event) {
 	}
 	ws.RunningTasks--
 	left := ws.TaskDone()
-	s.ins.TaskCompleted(s.now, e.wf, int(e.job), int(e.st), e.node)
+	s.ins.TaskCompleted(s.now, wf, int(job), int(st), node)
 	if s.obs != nil {
-		s.obs.TaskFinished(s.now, ws, e.job, e.st)
+		s.obs.TaskFinished(s.now, ws, job, st)
 	}
-	if e.st == MapSlot && js.MapsDone() && js.PendingReduces > 0 {
+	if st == MapSlot && js.MapsDone() && js.PendingReduces > 0 {
 		if rp, ok := s.pol.(ReducePhasePolicy); ok {
-			rp.ReducesReady(ws, e.job, s.now)
+			rp.ReducesReady(ws, job, s.now)
 		}
 	}
 	if js.Completed() {
-		s.jobCompleted(ws, e.job)
+		s.jobCompleted(ws, job)
 	}
 	if left == 0 && !ws.Done {
 		ws.Done = true
@@ -496,12 +541,12 @@ func (s *Simulator) complete(e event) {
 		s.pol.WorkflowCompleted(ws, s.now)
 	}
 	s.makespan = simtime.MaxOf(s.makespan, s.now)
-	s.wakeNode(e.node)
+	s.wakeNode(node)
 	s.dispatchAll()
 }
 
 func (s *Simulator) jobCompleted(ws *WorkflowState, job workflow.JobID) {
-	for _, d := range ws.Spec.Dependents()[job] {
+	for _, d := range ws.Spec.DependentsOf(job) {
 		dj := &ws.Jobs[d]
 		dj.unmet--
 		if dj.unmet == 0 {
@@ -530,7 +575,7 @@ func (s *Simulator) heartbeat(node int) {
 // armHeartbeat schedules node's next heartbeat tick.
 func (s *Simulator) armHeartbeat(node int, at simtime.Time) {
 	s.nodes[node].hbArmed = true
-	s.events.Push(at, event{kind: evHeartbeat, node: node})
+	s.events.Push(at, event{kind: evHeartbeat, a: int32(node)})
 }
 
 // rearmHeartbeat decides when node ticks next. The default is one interval
@@ -608,8 +653,40 @@ func (s *Simulator) nextArrival() simtime.Time {
 	return s.arrivalTimes[s.arrIdx]
 }
 
+// linkRunning pushes attempt h onto node's running list (newest first).
+func (s *Simulator) linkRunning(node int, h int32) {
+	n := &s.nodes[node]
+	rec := &s.arena.recs[h]
+	rec.prev = nilAttempt
+	rec.next = n.runHead
+	if n.runHead != nilAttempt {
+		s.arena.recs[n.runHead].prev = h
+	}
+	n.runHead = h
+}
+
+// unlinkRunning removes attempt h from its node's running list. Must
+// precede arena.free, which repurposes the next link.
+func (s *Simulator) unlinkRunning(h int32) {
+	rec := &s.arena.recs[h]
+	if rec.prev != nilAttempt {
+		s.arena.recs[rec.prev].next = rec.next
+	} else {
+		s.nodes[rec.node].runHead = rec.next
+	}
+	if rec.next != nilAttempt {
+		s.arena.recs[rec.next].prev = rec.prev
+	}
+}
+
 // fail takes a node down: its running tasks are lost and re-queued as
 // pending, and its slots vanish until recovery.
+//
+// The walk visits attempts newest-launched first (list insertion order) —
+// deterministic, unlike the map iteration it replaces, which relied on the
+// per-attempt handling being order-independent (it still is: the twin
+// detach below mutates the surviving record in place, so a pair split
+// across walk positions resolves identically either way).
 func (s *Simulator) fail(nodeIdx int) {
 	node := &s.nodes[nodeIdx]
 	if node.down {
@@ -619,30 +696,39 @@ func (s *Simulator) fail(nodeIdx int) {
 	node.freeMap, node.freeReduce = 0, 0
 	s.freeIdx[MapSlot].clear(nodeIdx)
 	s.freeIdx[ReduceSlot].clear(nodeIdx)
-	for seq, rt := range node.running {
-		delete(node.running, seq)
-		delete(s.attempts, seq)
-		ws := s.states[rt.wf]
-		if rt.st == MapSlot {
-			s.mapBusy -= rt.end.Sub(s.now) // the lost remainder never runs
+	h := node.runHead
+	node.runHead = nilAttempt
+	for h != nilAttempt {
+		rec := &s.arena.recs[h]
+		next := rec.next
+		wf, job, st := int(rec.wf), workflow.JobID(rec.job), SlotType(rec.st)
+		end, twin, spec := rec.end, rec.twin, rec.speculative
+		s.arena.free(h)
+		ws := s.states[wf]
+		if st == MapSlot {
+			s.mapBusy -= end.Sub(s.now) // the lost remainder never runs
 		} else {
-			s.reduceBusy -= rt.end.Sub(s.now)
+			s.reduceBusy -= end.Sub(s.now)
 		}
 		if s.obs != nil {
 			// Balance the observer's start/finish pairing: the lost attempt
 			// stopped occupying its slot at the failure instant.
-			s.obs.TaskFinished(s.now, ws, rt.job, rt.st)
+			s.obs.TaskFinished(s.now, ws, job, st)
 		}
-		if rt.twin != 0 {
+		if twin != nilAttempt {
 			// The other attempt survives and carries the task; detach it.
-			s.detachTwin(rt.twin)
+			// (If it sits later in this same walk, the cleared twin link
+			// routes it into the requeue branch below, as it must.)
+			s.detachTwin(twin)
+			h = next
 			continue
 		}
-		if rt.speculative {
+		if spec {
+			h = next
 			continue // the original attempt still runs the task
 		}
-		js := &ws.Jobs[rt.job]
-		if rt.st == MapSlot {
+		js := &ws.Jobs[job]
+		if st == MapSlot {
 			js.RunningMaps--
 			js.PendingMaps++
 		} else {
@@ -652,8 +738,9 @@ func (s *Simulator) fail(nodeIdx int) {
 		ws.RunningTasks--
 		ws.ScheduledTasks--
 		if rq, ok := s.pol.(RequeuePolicy); ok {
-			rq.TaskRequeued(ws, rt.job, rt.st, s.now)
+			rq.TaskRequeued(ws, job, st, s.now)
 		}
+		h = next
 	}
 	// Remaining workflows may now be unschedulable if every node died;
 	// Run's stuck detection reports that case.
@@ -667,8 +754,8 @@ func (s *Simulator) recover(nodeIdx int) {
 		return
 	}
 	node.down = false
-	node.freeMap = s.cfg.MapSlotsPerNode
-	node.freeReduce = s.cfg.ReduceSlotsPerNode
+	node.freeMap = int32(s.cfg.MapSlotsPerNode)
+	node.freeReduce = int32(s.cfg.ReduceSlotsPerNode)
 	if node.freeMap > 0 {
 		s.freeIdx[MapSlot].set(nodeIdx)
 	}
@@ -685,7 +772,7 @@ func (s *Simulator) dispatchAll() {
 	if s.cfg.HeartbeatInterval > 0 {
 		return
 	}
-	for _, st := range []SlotType{MapSlot, ReduceSlot} {
+	for st := MapSlot; st <= ReduceSlot; st++ {
 		node := 0
 		for {
 			// Find a node with a free slot of this type. The index walks
@@ -712,7 +799,7 @@ func (s *Simulator) takeSlot(node int, st SlotType) {
 }
 
 // releaseSlot frees an st slot on node. Never called on a down node: a
-// failure clears its running table, so no completion or kill reaches it.
+// failure empties its running list, so no completion or kill reaches it.
 func (s *Simulator) releaseSlot(node int, st SlotType) {
 	s.nodes[node].release(st)
 	s.freeIdx[st].set(node)
@@ -720,7 +807,7 @@ func (s *Simulator) releaseSlot(node int, st SlotType) {
 
 // dispatchNode assigns tasks to one node's idle slots (heartbeat mode).
 func (s *Simulator) dispatchNode(node int) {
-	for _, st := range []SlotType{MapSlot, ReduceSlot} {
+	for st := MapSlot; st <= ReduceSlot; st++ {
 		for s.nodes[node].free(st) > 0 {
 			if !s.offer(node, st) {
 				break
@@ -798,61 +885,67 @@ func (s *Simulator) offer(node int, st SlotType) bool {
 	}
 	s.taskSeq++
 	end := s.now.Add(dur)
-	rt := runningTask{wf: ws.Index, job: job, st: st, end: end, dur: dur}
-	s.nodes[node].running[s.taskSeq] = rt
-	s.attempts[s.taskSeq] = attemptRef{node: node, rt: rt}
+	h, rec := s.arena.alloc()
+	rec.end, rec.dur = end, dur
+	rec.wf, rec.job, rec.node = int32(ws.Index), int32(job), int32(node)
+	rec.twin = nilAttempt
+	rec.seq = int32(s.taskSeq)
+	rec.st = uint8(st)
+	rec.speculative = false
+	rec.live = true
+	s.linkRunning(node, h)
 	if s.cfg.SpeculativeSlowdown != 0 {
-		s.overdue[st].push(s.specCrossing(rt), s.taskSeq)
+		s.overdue[st].push(s.specCrossing(rec), rec.seq, h, rec.gen)
 	}
-	s.events.Push(end, event{kind: evComplete, wf: ws.Index, job: job, st: st, node: node, seq: s.taskSeq})
+	s.events.Push(end, event{kind: evComplete, a: h, gen: rec.gen})
 	return true
 }
 
 // killAttempt removes a losing speculative attempt, freeing its slot and
-// crediting back the slot-time it will no longer consume.
-func (s *Simulator) killAttempt(seq int) {
-	ref, ok := s.attempts[seq]
-	if !ok {
+// crediting back the slot-time it will no longer consume. The handle comes
+// from a live record's twin field, which never dangles (see attemptRec), but
+// the live guard keeps the operation safe to repeat.
+func (s *Simulator) killAttempt(h int32) {
+	rec := &s.arena.recs[h]
+	if !rec.live {
 		return
 	}
-	delete(s.attempts, seq)
-	delete(s.nodes[ref.node].running, seq)
-	s.releaseSlot(ref.node, ref.rt.st)
-	if ref.rt.st == MapSlot {
-		s.mapBusy -= ref.rt.end.Sub(s.now)
+	node, st := int(rec.node), SlotType(rec.st)
+	wf, job, end := int(rec.wf), workflow.JobID(rec.job), rec.end
+	s.unlinkRunning(h)
+	s.arena.free(h)
+	s.releaseSlot(node, st)
+	if st == MapSlot {
+		s.mapBusy -= end.Sub(s.now)
 	} else {
-		s.reduceBusy -= ref.rt.end.Sub(s.now)
+		s.reduceBusy -= end.Sub(s.now)
 	}
 	if s.obs != nil {
-		s.obs.TaskFinished(s.now, s.states[ref.rt.wf], ref.rt.job, ref.rt.st)
+		s.obs.TaskFinished(s.now, s.states[wf], job, st)
 	}
 }
 
 // detachTwin clears the twin linkage on a surviving attempt, making it a
 // speculation candidate again.
-func (s *Simulator) detachTwin(seq int) {
-	ref, ok := s.attempts[seq]
-	if !ok {
+func (s *Simulator) detachTwin(h int32) {
+	rec := &s.arena.recs[h]
+	if !rec.live {
 		return
 	}
-	ref.rt.twin = 0
-	ref.rt.speculative = false // it now carries the task outright
-	s.attempts[seq] = ref
-	s.nodes[ref.node].running[seq] = ref.rt
+	rec.twin = nilAttempt
+	rec.speculative = false // it now carries the task outright
 	if s.cfg.SpeculativeSlowdown != 0 {
-		s.overdue[ref.rt.st].push(s.specCrossing(ref.rt), seq)
+		s.overdue[rec.st].push(s.specCrossing(rec), rec.seq, h, rec.gen)
 	}
 }
 
 // setTwin links two attempts of the same task.
-func (s *Simulator) setTwin(seq, twin int) {
-	ref, ok := s.attempts[seq]
-	if !ok {
+func (s *Simulator) setTwin(h, twin int32) {
+	rec := &s.arena.recs[h]
+	if !rec.live {
 		return
 	}
-	ref.rt.twin = twin
-	s.attempts[seq] = ref
-	s.nodes[ref.node].running[seq] = ref.rt
+	rec.twin = twin
 }
 
 // speculate launches duplicate attempts for overdue running tasks onto idle
@@ -862,20 +955,28 @@ func (s *Simulator) speculate() {
 	if s.cfg.SpeculativeSlowdown == 0 {
 		return
 	}
-	for _, st := range []SlotType{MapSlot, ReduceSlot} {
+	for st := MapSlot; st <= ReduceSlot; st++ {
 		for {
 			node := s.freeIdx[st].next(0)
 			if node < 0 {
 				break
 			}
-			seq, ok := s.popOverdue(st)
+			h, ok := s.popOverdue(st)
 			if !ok {
 				break
 			}
-			s.launchSpeculative(node, seq)
+			s.launchSpeculative(node, h)
 		}
 	}
 	s.armSpeculativeWake()
+}
+
+// specLive reports whether heap entry e still names a live, untwinned,
+// original attempt — the lazily-checked validity condition for speculation
+// candidates. A recycled record fails the generation match.
+func (s *Simulator) specLive(e specEntry) bool {
+	rec := &s.arena.recs[e.h]
+	return rec.live && rec.gen == e.gen && rec.twin == nilAttempt && !rec.speculative
 }
 
 // popOverdue pops the attempt of type st that has been past its straggler
@@ -884,36 +985,35 @@ func (s *Simulator) speculate() {
 // tie-break, but deterministic by construction instead of by a guarded map
 // iteration. Stale heap entries (attempt completed, killed, lost to a
 // failure, or already twinned) are discarded on the way.
-func (s *Simulator) popOverdue(st SlotType) (int, bool) {
+func (s *Simulator) popOverdue(st SlotType) (int32, bool) {
 	h := &s.overdue[st]
 	for {
 		e, ok := h.peek()
 		if !ok {
-			return 0, false
+			return nilAttempt, false
 		}
-		ref, live := s.attempts[e.seq]
-		if !live || ref.rt.twin != 0 || ref.rt.speculative {
+		if !s.specLive(e) {
 			h.pop()
 			continue
 		}
 		if e.at > s.now {
-			return 0, false // earliest candidate is not overdue yet
+			return nilAttempt, false // earliest candidate is not overdue yet
 		}
 		h.pop()
-		return e.seq, true
+		return e.h, true
 	}
 }
 
-// specCrossing returns the instant rt crosses its straggler threshold: the
+// specCrossing returns the instant rec crosses its straggler threshold: the
 // first instant at which elapsed > SpeculativeSlowdown * estimate holds.
 // It is fixed at launch, so candidates can be heap-ordered by it.
-func (s *Simulator) specCrossing(rt runningTask) simtime.Time {
-	spec := &s.states[rt.wf].Spec.Jobs[rt.job]
+func (s *Simulator) specCrossing(rec *attemptRec) simtime.Time {
+	spec := &s.states[rec.wf].Spec.Jobs[rec.job]
 	estimate := spec.MapTime
-	if rt.st == ReduceSlot {
+	if SlotType(rec.st) == ReduceSlot {
 		estimate = spec.ReduceTime
 	}
-	start := rt.end.Add(-rt.dur)
+	start := rec.end.Add(-rec.dur)
 	return start.Add(time.Duration(s.cfg.SpeculativeSlowdown*float64(estimate)) + time.Nanosecond)
 }
 
@@ -932,8 +1032,7 @@ func (s *Simulator) armSpeculativeWake() {
 			if !ok {
 				break
 			}
-			ref, live := s.attempts[e.seq]
-			if !live || ref.rt.twin != 0 || ref.rt.speculative {
+			if !s.specLive(e) {
 				h.pop()
 				continue
 			}
@@ -946,7 +1045,7 @@ func (s *Simulator) armSpeculativeWake() {
 					if c.at <= s.now || c.at >= next {
 						continue
 					}
-					if r, ok := s.attempts[c.seq]; ok && r.rt.twin == 0 && !r.rt.speculative {
+					if s.specLive(c) {
 						next = c.at
 					}
 				}
@@ -961,18 +1060,19 @@ func (s *Simulator) armSpeculativeWake() {
 	}
 }
 
-// launchSpeculative starts a duplicate attempt of the task behind seq.
-func (s *Simulator) launchSpeculative(node, seq int) {
-	orig := s.attempts[seq]
-	ws := s.states[orig.rt.wf]
-	spec := &ws.Spec.Jobs[orig.rt.job]
+// launchSpeculative starts a duplicate attempt of the task behind orig.
+func (s *Simulator) launchSpeculative(node int, orig int32) {
+	origRec := &s.arena.recs[orig]
+	wf, job, st := origRec.wf, origRec.job, SlotType(origRec.st)
+	ws := s.states[wf]
+	spec := &ws.Spec.Jobs[job]
 	base := spec.MapTime
-	if orig.rt.st == ReduceSlot {
+	if st == ReduceSlot {
 		base = spec.ReduceTime
 	}
 	dur := s.noisy(base)
-	s.takeSlot(node, orig.rt.st)
-	if orig.rt.st == MapSlot {
+	s.takeSlot(node, st)
+	if st == MapSlot {
 		s.mapBusy += dur
 	} else {
 		s.reduceBusy += dur
@@ -980,17 +1080,21 @@ func (s *Simulator) launchSpeculative(node, seq int) {
 	s.tasksStarted++
 	s.taskSeq++
 	end := s.now.Add(dur)
-	rt := runningTask{
-		wf: orig.rt.wf, job: orig.rt.job, st: orig.rt.st,
-		end: end, dur: dur, twin: seq, speculative: true,
-	}
-	s.nodes[node].running[s.taskSeq] = rt
-	s.attempts[s.taskSeq] = attemptRef{node: node, rt: rt}
-	s.setTwin(seq, s.taskSeq)
+	// alloc may grow the arena; origRec is dead past this point.
+	h, rec := s.arena.alloc()
+	rec.end, rec.dur = end, dur
+	rec.wf, rec.job, rec.node = wf, job, int32(node)
+	rec.twin = orig
+	rec.seq = int32(s.taskSeq)
+	rec.st = uint8(st)
+	rec.speculative = true
+	rec.live = true
+	s.linkRunning(node, h)
+	s.setTwin(orig, h)
 	if s.obs != nil {
-		s.obs.TaskStarted(s.now, ws, rt.job, rt.st, dur)
+		s.obs.TaskStarted(s.now, ws, workflow.JobID(job), st, dur)
 	}
-	s.events.Push(end, event{kind: evComplete, wf: rt.wf, job: rt.job, st: rt.st, node: node, seq: s.taskSeq})
+	s.events.Push(end, event{kind: evComplete, a: h, gen: rec.gen})
 }
 
 // drawLocality reports whether a map assignment finds its data on the

@@ -2,17 +2,22 @@ package cluster
 
 import "repro/internal/simtime"
 
-// specEntry is one speculation candidate: a running attempt and the instant
-// it crosses its straggler threshold.
+// specEntry is one speculation candidate: a running attempt — located by its
+// arena handle plus the generation the handle had when pushed — and the
+// instant it crosses its straggler threshold. seq is the attempt's launch
+// sequence, kept as the explicit secondary ordering key (a reused handle
+// number would not be monotonic in launch order).
 type specEntry struct {
 	at  simtime.Time
-	seq int
+	seq int32
+	h   int32
+	gen uint32
 }
 
 // specHeap is a min-heap of speculation candidates ordered by (crossing
 // instant, launch sequence). The simulator keeps one per slot type so
 // speculate pops the most-overdue attempt in O(log n) instead of scanning
-// the whole attempts map per dispatch.
+// every running attempt per dispatch.
 //
 // Ordering equivalence with the scan it replaces: the scan maximized
 // over = elapsed - threshold = now - (start + threshold); since `now` is
@@ -21,10 +26,10 @@ type specEntry struct {
 // tie-break is the heap's secondary key.
 //
 // Entries are invalidated lazily: the consumer checks each popped/peeked
-// sequence against the live attempts table and discards entries whose
-// attempt completed, was killed, failed, or already has a twin. detachTwin
-// re-pushes a surviving attempt when its twin dies, making it a candidate
-// again.
+// entry's (h, gen) against the arena — a freed or recycled record fails the
+// gen match — and discards entries whose attempt completed, was killed,
+// failed, or already has a twin. detachTwin re-pushes a surviving attempt
+// when its twin dies, making it a candidate again.
 type specHeap struct {
 	es []specEntry
 }
@@ -33,8 +38,8 @@ func (h *specHeap) reset() {
 	h.es = h.es[:0]
 }
 
-func (h *specHeap) push(at simtime.Time, seq int) {
-	h.es = append(h.es, specEntry{at: at, seq: seq})
+func (h *specHeap) push(at simtime.Time, seq, hd int32, gen uint32) {
+	h.es = append(h.es, specEntry{at: at, seq: seq, h: hd, gen: gen})
 	i := len(h.es) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -105,10 +105,13 @@ type Options struct {
 type Scheduler struct {
 	opts  Options
 	queue dsl.Queue
-	// byID maps a workflow's arrival index to its runtime state.
-	byID map[int]*cluster.WorkflowState
+	// byID maps a workflow's arrival index to its runtime state. Arrival
+	// indices are dense, so both lookup tables are plain slices — bestJob
+	// and the Ascend callback hit them once per considered workflow, and
+	// map hashing was the scheduler's dominant cost on the Fig 8 corpus.
+	byID []*cluster.WorkflowState
 	// ranks maps a workflow's arrival index to its plan's job ranking.
-	ranks map[int][]int
+	ranks [][]int
 	// schedulable counts tasks currently startable per slot type, so a
 	// slot offer with no startable work anywhere returns without scanning
 	// the queue — at tens of thousands of queued workflows the scan is
@@ -130,9 +133,18 @@ func NewScheduler(opts Options) *Scheduler {
 	return &Scheduler{
 		opts:  opts,
 		queue: q,
-		byID:  make(map[int]*cluster.WorkflowState),
-		ranks: make(map[int][]int),
 	}
+}
+
+// track records ws and its plan ranking under its arrival index, growing
+// the dense lookup tables as needed.
+func (s *Scheduler) track(ws *cluster.WorkflowState, ranks []int) {
+	for ws.Index >= len(s.byID) {
+		s.byID = append(s.byID, nil)
+		s.ranks = append(s.ranks, nil)
+	}
+	s.byID[ws.Index] = ws
+	s.ranks[ws.Index] = ranks
 }
 
 // Name implements cluster.Policy. It includes the intra-workflow policy
@@ -149,17 +161,16 @@ func (s *Scheduler) Name() string {
 // plan is scheduled with an empty requirement list (it accrues priority only
 // as it is starved relative to others' requirements) and job-ID ranking.
 func (s *Scheduler) WorkflowAdded(ws *cluster.WorkflowState, now simtime.Time) {
-	s.byID[ws.Index] = ws
 	var reqs []plan.Req
 	if ws.Plan != nil {
 		reqs = ws.Plan.Reqs
-		s.ranks[ws.Index] = ws.Plan.Ranks
+		s.track(ws, ws.Plan.Ranks)
 	} else {
 		ids := make([]int, len(ws.Jobs))
 		for i := range ids {
 			ids[i] = i
 		}
-		s.ranks[ws.Index] = ids
+		s.track(ws, ids)
 	}
 	entry := dsl.NewEntryDemoteOverdue(ws.Index, ws.Spec.Deadline, reqs)
 	if s.opts.ServeOverdueFirst {
@@ -249,8 +260,8 @@ func (s *Scheduler) TaskRequeued(ws *cluster.WorkflowState, _ workflow.JobID, st
 // WorkflowCompleted implements cluster.Policy.
 func (s *Scheduler) WorkflowCompleted(ws *cluster.WorkflowState, _ simtime.Time) {
 	s.queue.Remove(ws.Index)
-	delete(s.byID, ws.Index)
-	delete(s.ranks, ws.Index)
+	s.byID[ws.Index] = nil
+	s.ranks[ws.Index] = nil
 }
 
 // QueueLen reports the number of workflows currently queued (for tests and

@@ -157,7 +157,7 @@ func (jt *JobTracker) releaseDue(now simtime.Time) {
 		jt.relCursor++
 		jt.ins.WorkflowSubmitted(now, ws.Index, ws.Spec.Name)
 		jt.pol.WorkflowAdded(ws, now)
-		for _, r := range ws.Spec.Roots() {
+		for _, r := range ws.Spec.RootIDs() {
 			jt.activate(ws, r, now)
 		}
 	}
@@ -243,7 +243,7 @@ func (jt *JobTracker) complete(id TaskID, tracker int, now simtime.Time) {
 
 // jobCompleted activates dependents whose prerequisites all finished.
 func (jt *JobTracker) jobCompleted(ws *cluster.WorkflowState, job workflow.JobID, now simtime.Time) {
-	for _, d := range ws.Spec.Dependents()[job] {
+	for _, d := range ws.Spec.DependentsOf(job) {
 		dj := &ws.Jobs[d]
 		if dj.Ready {
 			continue

@@ -196,7 +196,7 @@ func (c *Cluster) Submit(w *workflow.Workflow, p *plan.Plan) error {
 	if c.started {
 		return fmt.Errorf("live: Submit after Start")
 	}
-	if err := w.Validate(); err != nil {
+	if err := w.Validated(); err != nil {
 		return fmt.Errorf("live: %w", err)
 	}
 	idx := c.jt.registered()

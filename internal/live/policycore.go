@@ -69,7 +69,7 @@ func (st *shardedTracker) apply(e *policyEvent) int64 {
 		st.ins.WorkflowSubmitted(e.now, ws.Index, ws.Spec.Name)
 		st.core.pol.WorkflowAdded(ws, e.now)
 		var added int64
-		for _, r := range ws.Spec.Roots() {
+		for _, r := range ws.Spec.RootIDs() {
 			added += st.notifyActivated(ws, r, e.now)
 		}
 		return added

@@ -193,7 +193,7 @@ func (st *shardedTracker) bookkeep(due []int, completed []TaskID, tracker int, n
 func (st *shardedTracker) admit(lw *liveWorkflow, now simtime.Time) {
 	st.lockShard(lw.shard)
 	ws := lw.ws
-	for _, r := range ws.Spec.Roots() {
+	for _, r := range ws.Spec.RootIDs() {
 		js := &ws.Jobs[r]
 		js.Ready = true
 		js.ActivatedAt = now
@@ -243,7 +243,7 @@ func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, tracker 
 // The caller holds the workflow's shard lock.
 func (st *shardedTracker) activateDependents(lw *liveWorkflow, job workflow.JobID, now simtime.Time) {
 	ws := lw.ws
-	for _, d := range ws.Spec.Dependents()[job] {
+	for _, d := range ws.Spec.DependentsOf(job) {
 		dj := &ws.Jobs[d]
 		if dj.Ready {
 			continue

@@ -47,6 +47,15 @@ const (
 	MetricSimHeartbeatsSuppressed = "woha_sim_dispatch_heartbeats_suppressed_total"
 	MetricSimSpecWakeups          = "woha_sim_dispatch_spec_wakeups_total"
 
+	// Simulator memory layout (internal/cluster): attempt-arena occupancy
+	// and the event batching of the struct-of-arrays core. Flushed once per
+	// Run, not per event.
+	MetricSimArenaCapacity  = "woha_sim_arena_capacity"
+	MetricSimArenaReuses    = "woha_sim_arena_attempt_reuses_total"
+	MetricSimArenaGrows     = "woha_sim_arena_grows_total"
+	MetricSimDrainBatches   = "woha_sim_drain_batches_total"
+	MetricSimDrainCoalesced = "woha_sim_drain_coalesced_events_total"
+
 	// Runner subsystem (internal/runner): parallel scenario execution.
 	MetricRunnerCells        = "woha_runner_cells_total"
 	MetricRunnerCellFailures = "woha_runner_cell_failures_total"
@@ -340,6 +349,59 @@ func (o *Obs) SimSpecWakeups() *Counter {
 	}
 	return o.reg.Counter(MetricSimSpecWakeups,
 		"Retry events armed for the next straggler-threshold crossing.")
+}
+
+// SimArenaCapacity returns the gauge of the simulator attempt arena's record
+// capacity (high-water working set of the most recently finished run),
+// registering it on first use.
+func (o *Obs) SimArenaCapacity() *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge(MetricSimArenaCapacity,
+		"Attempt-arena record capacity after the latest simulator run.")
+}
+
+// SimArenaReuses returns the counter of attempt records served from the
+// arena free list instead of fresh storage, registering it on first use.
+func (o *Obs) SimArenaReuses() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSimArenaReuses,
+		"Attempt records recycled through the arena free list.")
+}
+
+// SimArenaGrows returns the counter of attempt-arena slice growths (backing
+// array reallocations), registering it on first use.
+func (o *Obs) SimArenaGrows() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSimArenaGrows,
+		"Attempt-arena backing array growths.")
+}
+
+// SimDrainBatches returns the counter of event-heap instant drains (one per
+// distinct simulated instant with pending events), registering it on first
+// use.
+func (o *Obs) SimDrainBatches() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSimDrainBatches,
+		"Event-heap drains performed by the simulator (one per simulated instant).")
+}
+
+// SimDrainCoalesced returns the counter of events beyond the first in each
+// drained batch — the heap pops the grid batching saved — registering it on
+// first use.
+func (o *Obs) SimDrainCoalesced() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSimDrainCoalesced,
+		"Same-instant events coalesced into an existing drain batch.")
 }
 
 // QueueStats bundles the per-backend operation counters of an inter-workflow

@@ -253,7 +253,10 @@ type genSim struct {
 
 	active activeHeap
 	events simtime.Queue[genEvent]
-	raw    []rawReq
+	// batch receives each instant's events from DrainInstant, replacing the
+	// former Pop+Peek loop with one heap drain per instant.
+	batch []genEvent
+	raw   []rawReq
 }
 
 var genSimPool = sync.Pool{New: func() any { return new(genSim) }}
@@ -313,16 +316,12 @@ func (s *genSim) activate(j workflow.JobID) {
 func (s *genSim) run() ([]rawReq, time.Duration, error) {
 	var end simtime.Time
 	for s.events.Len() > 0 {
-		t, e, _ := s.events.Pop()
-		s.apply(e)
 		// Batch all events sharing this instant before scheduling, so a
-		// free-up and an activation at the same time are seen together.
-		for {
-			at, ok := s.events.Peek()
-			if !ok || at != t {
-				break
-			}
-			_, e, _ := s.events.Pop()
+		// free-up and an activation at the same time are seen together
+		// (apply never pushes, so the batch is the complete instant).
+		s.batch = s.batch[:0]
+		t, _ := s.events.DrainInstant(&s.batch)
+		for _, e := range s.batch {
 			s.apply(e)
 		}
 		// Work-conserving scheduling at time t (Algorithm 1 lines 14-35,

@@ -144,7 +144,10 @@ type typedSim struct {
 	scan   []workflow.JobID
 
 	events simtime.Queue[typedEvent]
-	raw    []rawReq
+	// batch receives each instant's events from DrainInstant, replacing the
+	// former Pop+Peek loop with one heap drain per instant.
+	batch []typedEvent
+	raw   []rawReq
 }
 
 var typedSimPool = sync.Pool{New: func() any { return new(typedSim) }}
@@ -205,14 +208,11 @@ func (s *typedSim) deactivate(j workflow.JobID) {
 func (s *typedSim) run() ([]rawReq, time.Duration, error) {
 	var end simtime.Time
 	for s.events.Len() > 0 {
-		t, e, _ := s.events.Pop()
-		s.apply(e)
-		for {
-			at, ok := s.events.Peek()
-			if !ok || at != t {
-				break
-			}
-			_, e, _ := s.events.Pop()
+		// One heap drain per instant; apply never pushes, so the batch is
+		// the complete instant.
+		s.batch = s.batch[:0]
+		t, _ := s.events.DrainInstant(&s.batch)
+		for _, e := range s.batch {
 			s.apply(e)
 		}
 

@@ -217,11 +217,15 @@ func (r *Runner) runCell(c *Cell) (res *cluster.Result, err error) {
 			p = plans[i]
 		}
 		if err := sim.Submit(w, p); err != nil {
+			// Failed cells recycle their simulator too — nothing past this
+			// point references it.
+			sim.Release()
 			return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
 		}
 	}
 	res, err = sim.Run()
 	if err != nil {
+		sim.Release()
 		return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
 	}
 	sim.Release()

@@ -54,6 +54,38 @@ func (q *Queue[T]) Peek() (at Time, ok bool) {
 	return q.h[0].at, true
 }
 
+// DrainInstant pops every event scheduled at the earliest pending instant,
+// appending their payloads to *out in the exact order repeated Pop calls
+// would have produced (FIFO among the shared instant), and returns that
+// instant with the number of payloads appended. n is 0 when the queue is
+// empty. Events pushed while the caller processes the batch — even at the
+// same instant — are NOT part of it; they surface on the next call, which is
+// precisely when a Pop-per-event loop would have reached them (their seq
+// stamps are newer than everything drained here).
+//
+// Batching exists for the simulators' grid-aligned workloads (heartbeat
+// ticks, synchronized wave completions): the heap is popped once per instant
+// instead of once per event, so the sift-down traffic for k coincident
+// events touches a heap that shrinks k times between time advances.
+func (q *Queue[T]) DrainInstant(out *[]T) (at Time, n int) {
+	if len(q.h) == 0 {
+		return 0, 0
+	}
+	at = q.h[0].at
+	for len(q.h) > 0 && q.h[0].at == at {
+		*out = append(*out, q.h[0].payload)
+		n++
+		last := len(q.h) - 1
+		q.h[0] = q.h[last]
+		q.h[last] = event[T]{}
+		q.h = q.h[:last]
+		if last > 0 {
+			q.down(0)
+		}
+	}
+	return at, n
+}
+
 // Len returns the number of pending events.
 func (q *Queue[T]) Len() int { return len(q.h) }
 

@@ -207,3 +207,74 @@ func TestQueueInterleavedPushPop(t *testing.T) {
 		}
 	}
 }
+
+// TestQueueDrainInstantMatchesPop checks that DrainInstant produces exactly
+// the batches repeated Pop calls would, over randomized workloads with heavy
+// instant collisions, including events pushed mid-stream at already-drained
+// and still-pending instants.
+func TestQueueDrainInstantMatchesPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var byPop, byDrain Queue[int]
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(10)) // few instants → many ties
+			byPop.Push(at, i)
+			byDrain.Push(at, i)
+		}
+		var got []int
+		var gotAts []Time
+		batch := make([]int, 0, n)
+		for byDrain.Len() > 0 {
+			batch = batch[:0]
+			at, k := byDrain.DrainInstant(&batch)
+			if k != len(batch) {
+				t.Fatalf("trial %d: DrainInstant n=%d, appended %d", trial, k, len(batch))
+			}
+			got = append(got, batch...)
+			for range batch {
+				gotAts = append(gotAts, at)
+			}
+		}
+		for i := range got {
+			at, v, ok := byPop.Pop()
+			if !ok {
+				t.Fatalf("trial %d: reference queue exhausted at %d", trial, i)
+			}
+			if v != got[i] || at != gotAts[i] {
+				t.Fatalf("trial %d: event %d = (%v, %d), Pop gives (%v, %d)",
+					trial, i, gotAts[i], got[i], at, v)
+			}
+		}
+		if _, _, ok := byPop.Pop(); ok {
+			t.Fatalf("trial %d: DrainInstant dropped events", trial)
+		}
+	}
+}
+
+// TestQueueDrainInstantExcludesMidBatchPushes pins the batching contract:
+// an event pushed at the instant being processed joins the NEXT batch, the
+// same position a Pop-per-event loop gives it.
+func TestQueueDrainInstantExcludesMidBatchPushes(t *testing.T) {
+	var q Queue[string]
+	q.Push(5, "a")
+	q.Push(5, "b")
+	var batch []string
+	at, n := q.DrainInstant(&batch)
+	if at != 5 || n != 2 {
+		t.Fatalf("first drain = (%v, %d), want (5, 2)", at, n)
+	}
+	q.Push(5, "c") // pushed "while processing" the instant-5 batch
+	q.Push(6, "d")
+	batch = batch[:0]
+	if at, n = q.DrainInstant(&batch); at != 5 || n != 1 || batch[0] != "c" {
+		t.Fatalf("second drain = (%v, %d, %v), want (5, 1, [c])", at, n, batch)
+	}
+	batch = batch[:0]
+	if at, n = q.DrainInstant(&batch); at != 6 || n != 1 || batch[0] != "d" {
+		t.Fatalf("third drain = (%v, %d, %v), want (6, 1, [d])", at, n, batch)
+	}
+	if at, n = q.DrainInstant(&batch); n != 0 {
+		t.Fatalf("empty drain = (%v, %d), want n=0", at, n)
+	}
+}

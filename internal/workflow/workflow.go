@@ -12,6 +12,7 @@ package workflow
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/simtime"
@@ -77,6 +78,72 @@ type Workflow struct {
 	Release simtime.Time
 	// Deadline is the absolute deadline D_i.
 	Deadline simtime.Time
+
+	// der caches structure derived from the immutable job table
+	// (validation verdict, root set, dependents CSR), built once on first
+	// use. Workflows are shared across simulator runs and cells, so the
+	// cache keeps per-completion dependent walks and per-Submit validation
+	// allocation-free after the first touch.
+	der derivedDAG
+}
+
+// derivedDAG is the once-built read-only cache behind Validate, RootIDs,
+// and DependentsOf.
+type derivedDAG struct {
+	once     sync.Once
+	validate error
+	roots    []JobID
+	// depIdx/depList form a CSR adjacency: job j's dependents are
+	// depList[depIdx[j]:depIdx[j+1]], in ascending ID order (the same
+	// order Dependents builds).
+	depIdx  []int32
+	depList []JobID
+}
+
+// derive builds the cache on first use. The build never consults the cache
+// itself (Dependents and validate compute from the job table directly), so
+// there is no recursion through the Once.
+func (w *Workflow) derive() *derivedDAG {
+	w.der.once.Do(func() {
+		d := &w.der
+		d.validate = w.validate()
+		for i := range w.Jobs {
+			if len(w.Jobs[i].Prereqs) == 0 {
+				d.roots = append(d.roots, JobID(i))
+			}
+		}
+		n := len(w.Jobs)
+		d.depIdx = make([]int32, n+1)
+		for i := range w.Jobs {
+			for _, p := range w.Jobs[i].Prereqs {
+				d.depIdx[p+1]++
+			}
+		}
+		for j := 0; j < n; j++ {
+			d.depIdx[j+1] += d.depIdx[j]
+		}
+		d.depList = make([]JobID, d.depIdx[n])
+		fill := make([]int32, n)
+		for i := range w.Jobs {
+			for _, p := range w.Jobs[i].Prereqs {
+				d.depList[d.depIdx[p]+fill[p]] = JobID(i)
+				fill[p]++
+			}
+		}
+	})
+	return &w.der
+}
+
+// RootIDs returns the jobs with no prerequisites, cached. Callers must not
+// mutate the returned slice; Roots returns a fresh copy instead.
+func (w *Workflow) RootIDs() []JobID { return w.derive().roots }
+
+// DependentsOf returns the IDs of jobs that list j as a prerequisite, in
+// ascending ID order, cached (one CSR sub-slice — no allocation). Callers
+// must not mutate the returned slice.
+func (w *Workflow) DependentsOf(j JobID) []JobID {
+	d := w.derive()
+	return d.depList[d.depIdx[j]:d.depIdx[j+1]]
 }
 
 // RelativeDeadline returns D_i - S_i, the time budget the workflow has from
@@ -124,11 +191,21 @@ var (
 	ErrCycle         = errors.New("workflow: dependency cycle")
 )
 
+// Validated returns the validation verdict computed on the workflow's first
+// derived-DAG use and cached. Hot paths that re-submit shared immutable
+// specs (the pooled simulator, the live trackers) use this; Validate below
+// re-checks from scratch for callers that mutate between calls.
+func (w *Workflow) Validated() error { return w.derive().validate }
+
 // Validate checks structural invariants: at least one job, consistent IDs,
 // unique non-empty names, in-range unique prerequisites, non-negative task
 // counts with positive durations where counts are positive, deadline after
 // release, and acyclicity. It returns the first problem found.
-func (w *Workflow) Validate() error {
+func (w *Workflow) Validate() error { return w.validate() }
+
+// validate is the always-recomputed check behind Validate and the cached
+// verdict behind Validated.
+func (w *Workflow) validate() error {
 	if len(w.Jobs) == 0 {
 		return ErrEmptyWorkflow
 	}
@@ -291,7 +368,11 @@ func (w *Workflow) SerialWork() time.Duration {
 	return total
 }
 
-// Clone returns a deep copy of w. Simulators mutate per-run state derived
+// Clone returns a deep copy of w with a fresh (unbuilt) derived-DAG cache.
+// Mutate the clone before its first Validate/RootIDs/DependentsOf call — the
+// cache snapshots the structure on first use.
+//
+// Simulators mutate per-run state derived
 // from workflows but never the workflow itself; Clone exists for callers that
 // want to perturb a workflow (e.g. deadline sweeps) without aliasing.
 func (w *Workflow) Clone() *Workflow {

@@ -478,6 +478,9 @@ func (s *Session) SubmitAll(flows []*Workflow) error {
 
 // SubmitWithPlan queues a workflow with a caller-provided plan (may be nil).
 func (s *Session) SubmitWithPlan(w *Workflow, p *Plan) error {
+	if s.sim == nil {
+		return fmt.Errorf("woha: Submit after Run")
+	}
 	if err := s.sim.Submit(w, p); err != nil {
 		return fmt.Errorf("woha: %w", err)
 	}
@@ -486,9 +489,21 @@ func (s *Session) SubmitWithPlan(w *Workflow, p *Plan) error {
 
 // Run executes the simulation to completion. It may be called once.
 func (s *Session) Run() (*Result, error) {
+	if s.sim == nil {
+		return nil, fmt.Errorf("woha: Run called twice")
+	}
 	res, err := s.sim.Run()
 	if err != nil {
 		return nil, fmt.Errorf("woha: %w", err)
+	}
+	if s.opts.policy == nil && s.opts.observer == nil {
+		// Built-in schedulers and instrumentation retain nothing from the
+		// simulator past Run, so its arenas can go straight back to the
+		// pool (Result is self-contained). With a user-supplied policy or
+		// observer the session cannot know what simulator state the caller
+		// still references, so the simulator is left for the collector.
+		s.sim.Release()
+		s.sim = nil
 	}
 	return res, nil
 }
