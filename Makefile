@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke bench-plan bench-plan-shared bench-sim bench-live bench-smoke mutex-smoke
+.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke bench-plan bench-plan-shared bench-sim bench-live bench-queue bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrent subsystems: observability fan-out, the live
-# (RPC) job tracker, the parallel/cached planner, the scenario runner, and
-# the pooled arena simulator (its equivalence sweep crosses pool handoff).
+# (RPC) job tracker, the parallel/cached planner, the scenario runner, the
+# pooled arena simulator (its equivalence sweep crosses pool handoff), and
+# the queue backends (the randomized op-sequence property test).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/...
+	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/... ./internal/dsl/...
 
 # Tier-1 gate plus static analysis and race checks — run before every PR.
 verify: build test vet race
@@ -36,12 +37,15 @@ race-smoke:
 		./internal/obs/ ./internal/live/
 
 # Allocation-budget pins: the arena simulator's steady-state scenario
-# budget (≤3 allocs end to end across both dispatch modes) and the obs
-# heartbeat zero-alloc contract. Run without -race — the race runtime
-# randomizes sync.Pool reuse and the pins skip themselves.
+# budget (≤3 allocs end to end across both dispatch modes), the obs
+# heartbeat zero-alloc contract, and the queue-op pin (Best/Scheduled/
+# Unscheduled at 0 allocs/op on a warm queue for the DSL, BST, and Det
+# backends). Run without -race — the race runtime randomizes sync.Pool
+# reuse and inflates allocation counts, so the pins skip themselves.
 alloc-pins:
 	$(GO) test -count=1 -run 'TestScenarioAllocs|TestHeartbeatBareAllocs' \
 		./internal/cluster/ ./internal/obs/
+	$(GO) test -count=1 -run 'TestQueueOpAllocs' ./internal/dsl/
 
 # The CI gate: formatting, static analysis, the tier-1 suite, the
 # concurrency race smoke, and the allocation pins.
@@ -76,6 +80,12 @@ bench-sim:
 # legacy single-mutex JobTracker at 1/4/16/64 concurrent trackers).
 bench-live:
 	$(GO) run ./cmd/wohabench -live-bench-out BENCH_live.json
+
+# Regenerate the committed queue-backend microbenchmark (steady-state
+# decision round-trips for DSL/BST/Det/Naive at 1k/10k/100k queued
+# workflows, with allocs/op).
+bench-queue:
+	$(GO) run ./cmd/wohabench -queue-bench-out BENCH_queue.json
 
 # One-iteration pass over every benchmark: proves they still run without
 # paying for stable timings.

@@ -9,7 +9,10 @@
 // throughput over the Fig 8 corpus (serial vs 8-worker runner; see
 // internal/runner). With -live-bench-out it benchmarks live JobTracker
 // heartbeat service under concurrent TaskTrackers (sharded vs legacy
-// single-mutex control plane; see internal/live).
+// single-mutex control plane; see internal/live). With -queue-bench-out it
+// microbenchmarks the four inter-workflow queue backends in isolation
+// (steady-state decision round-trips at 1k/10k/100k queued workflows; see
+// internal/dsl).
 //
 // Usage:
 //
@@ -17,6 +20,7 @@
 //	wohabench -bench-out BENCH_plan.json
 //	wohabench -sim-bench-out BENCH_sim.json
 //	wohabench -live-bench-out BENCH_live.json
+//	wohabench -queue-bench-out BENCH_queue.json
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "benchmark plan-generation throughput and write the JSON report to this file (- for stdout); skips the figure sweep")
 	simBenchOut := flag.String("sim-bench-out", "", "benchmark simulation throughput over the Fig 8 corpus (serial vs 8 workers) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	liveBenchOut := flag.String("live-bench-out", "", "benchmark live JobTracker heartbeat service under concurrent trackers (sharded vs legacy single-mutex) and write the JSON report to this file (- for stdout); skips the figure sweep")
+	queueBenchOut := flag.String("queue-bench-out", "", "microbenchmark the four inter-workflow queue backends (steady-state decision round-trips at 1k/10k/100k queued workflows) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	metricsAddr := flag.String("metrics-addr", "", "serve the introspection plane (/metrics, /statusz, /debug/pprof) on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
 	flag.Parse()
 
@@ -97,6 +102,15 @@ func main() {
 
 	if *liveBenchOut != "" {
 		if err := runLiveBench(*liveBenchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		finish()
+		return
+	}
+
+	if *queueBenchOut != "" {
+		if err := runQueueBench(*queueBenchOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wohabench:", err)
 			os.Exit(1)
 		}

@@ -23,10 +23,13 @@ import (
 // the corpus is timed serially and over an 8-worker pool — the runner
 // guarantees identical results either way, so the ratio is pure wall-clock.
 
-// simCoreLabel names the simulator memory layout the canonical numbers are
-// measured on; it keys the per-mode throughput history so re-baselining
-// after a core rewrite preserves the prior generation's figures.
-const simCoreLabel = "soa-arena"
+// simCoreLabel names the simulator memory layout and policy-decision path
+// the canonical numbers are measured on; it keys the per-mode throughput
+// history so re-baselining after a core rewrite preserves the prior
+// generation's figures. "soa-arena+o1-policy" is the arena core with
+// constant-time policy decisions: the bucketed lag index in the DSL, pooled
+// ct/set nodes, and per-workflow schedulable-job indexes.
+const simCoreLabel = "soa-arena+o1-policy"
 
 // preSoaCoreLabel labels history entries inherited from a BENCH_sim.json
 // written before core labels existed (the map-based pop-per-event core).

@@ -14,6 +14,9 @@ type Tree[K any] struct {
 	root   *node[K]
 	less   ordered.Less[K]
 	length int
+	// free chains recycled nodes through their right pointers, so the
+	// delete+reinsert churn of a steady-state queue stops allocating.
+	free *node[K]
 }
 
 type node[K any] struct {
@@ -32,6 +35,37 @@ func New[K any](less ordered.Less[K]) *Tree[K] {
 // Len returns the number of keys in the tree.
 func (t *Tree[K]) Len() int { return t.length }
 
+// alloc returns a fresh leaf holding key, recycling a freed node when one
+// exists.
+func (t *Tree[K]) alloc(key K) *node[K] {
+	if n := t.free; n != nil {
+		t.free = n.right
+		n.key, n.left, n.right, n.height = key, nil, nil, 1
+		return n
+	}
+	return &node[K]{key: key, height: 1}
+}
+
+// recycle pushes a detached node onto the free list.
+func (t *Tree[K]) recycle(n *node[K]) {
+	var zero K
+	n.key, n.left = zero, nil
+	n.right = t.free
+	t.free = n
+}
+
+// Move removes old and inserts new as one operation, reporting whether old
+// was present. An AVL deletion has no stable node to splice (interior
+// removals copy the successor key), so Move is delete+insert over the free
+// list — allocation-free at steady state, still O(log n).
+func (t *Tree[K]) Move(old, new K) bool {
+	if !t.Delete(old) {
+		return false
+	}
+	t.Insert(new)
+	return true
+}
+
 // Insert adds key to the tree. Inserting a key equal to an existing one
 // (under less) replaces it.
 func (t *Tree[K]) Insert(key K) {
@@ -44,7 +78,7 @@ func (t *Tree[K]) Insert(key K) {
 
 func (t *Tree[K]) insert(n *node[K], key K) (*node[K], bool) {
 	if n == nil {
-		return &node[K]{key: key, height: 1}, true
+		return t.alloc(key), true
 	}
 	var added bool
 	switch {
@@ -82,10 +116,14 @@ func (t *Tree[K]) remove(n *node[K], key K) (*node[K], bool) {
 	default:
 		removed = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			t.recycle(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			t.recycle(n)
+			return l, true
 		}
 		// Replace with in-order successor.
 		succ := n.right

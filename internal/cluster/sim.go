@@ -362,6 +362,7 @@ func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
 		return fmt.Errorf("cluster: %w", err)
 	}
 	ws := s.wsa.alloc(len(s.states), w, p)
+	ws.EnableSchedIndex(s.wsa.allocWords(2 * ((len(w.Jobs) + 63) / 64)))
 	s.ins.Health().Register(ws.Index, w.Name, w.Release, w.Deadline, w.TotalTasks(), p)
 	s.states = append(s.states, ws)
 	s.events.Push(w.Release, event{kind: evArrival, a: int32(ws.Index)})
@@ -484,6 +485,7 @@ func (s *Simulator) activateNow(wf int, job workflow.JobID) {
 	js := &ws.Jobs[job]
 	js.Ready = true
 	js.ActivatedAt = s.now
+	ws.RefreshJob(job)
 	s.ins.JobActivated(s.now, wf, int(job))
 	s.pol.JobActivated(ws, job, s.now)
 }
@@ -513,6 +515,7 @@ func (s *Simulator) complete(h int32, gen uint32) {
 		js.RunningReduces--
 		js.DoneReduces++
 	}
+	ws.RefreshJob(job)
 	ws.RunningTasks--
 	left := ws.TaskDone()
 	s.ins.TaskCompleted(s.now, wf, int(job), int(st), node)
@@ -735,6 +738,7 @@ func (s *Simulator) fail(nodeIdx int) {
 			js.RunningReduces--
 			js.PendingReduces++
 		}
+		ws.RefreshJob(job)
 		ws.RunningTasks--
 		ws.ScheduledTasks--
 		if rq, ok := s.pol.(RequeuePolicy); ok {
@@ -862,6 +866,7 @@ func (s *Simulator) offer(node int, st SlotType) bool {
 		js.RunningReduces++
 		base = spec.ReduceTime
 	}
+	ws.RefreshJob(job)
 	dur := s.noisy(base)
 	if st == MapSlot && !local {
 		dur = time.Duration(float64(dur) * s.cfg.RemotePenalty)

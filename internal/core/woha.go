@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	mbits "math/bits"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/dsl"
@@ -106,17 +108,60 @@ type Scheduler struct {
 	opts  Options
 	queue dsl.Queue
 	// byID maps a workflow's arrival index to its runtime state. Arrival
-	// indices are dense, so both lookup tables are plain slices — bestJob
-	// and the Ascend callback hit them once per considered workflow, and
-	// map hashing was the scheduler's dominant cost on the Fig 8 corpus.
+	// indices are dense, so the lookup tables are plain slices — the
+	// Ascend callback hits them once per considered workflow, and map
+	// hashing was the scheduler's dominant cost on the Fig 8 corpus.
 	byID []*cluster.WorkflowState
 	// ranks maps a workflow's arrival index to its plan's job ranking.
 	ranks [][]int
+	// sched maps a workflow's arrival index to its rank-ordered
+	// schedulable-job index (see wfSched).
+	sched []wfSched
 	// schedulable counts tasks currently startable per slot type, so a
 	// slot offer with no startable work anywhere returns without scanning
 	// the queue — at tens of thousands of queued workflows the scan is
 	// the dominant cost.
 	schedulable [2]int
+	// skips counts workflows passed over during the queue descent because
+	// their index showed nothing startable for the slot type (nil-safe).
+	skips *obs.Counter
+	// ntVisit is the Ascend callback, bound once at construction; ntSlot,
+	// ntFound, and ntJob thread NextTask's argument and result through it.
+	// A literal closure in NextTask would heap-allocate per decision —
+	// the scheduler's only steady-state allocation once the queue and
+	// index stopped allocating.
+	ntVisit func(*dsl.Entry) bool
+	ntSlot  cluster.SlotType
+	ntFound *cluster.WorkflowState
+	ntJob   workflow.JobID
+}
+
+// wfSched is the per-workflow schedulable-job index, maintained purely from
+// policy callbacks (JobActivated / ReducesReady / TaskStarted /
+// TaskRequeued), which every control plane fires after mutating the job
+// counters. Jobs are arranged by plan rank so the old O(jobs) bestJob scan
+// becomes a find-first-set over a bitset of rank positions.
+type wfSched struct {
+	// order maps rank position to job ID, sorted by (plan rank, job ID) —
+	// ranks need not be a permutation; pos is the inverse mapping.
+	order []int32
+	pos   []int32
+	// bits[st] marks rank positions whose job can start a task of type st;
+	// cnt[st] counts them.
+	bits [2][]uint64
+	cnt  [2]int32
+}
+
+// firstJob returns the schedulable job with the smallest (rank, ID); the
+// caller guarantees cnt[st] > 0.
+func (sc *wfSched) firstJob(st cluster.SlotType) workflow.JobID {
+	for w, word := range sc.bits[st] {
+		if word != 0 {
+			p := w<<6 | mbits.TrailingZeros64(word)
+			return workflow.JobID(sc.order[p])
+		}
+	}
+	panic("core: schedulable count positive but bitset empty")
 }
 
 var (
@@ -130,21 +175,71 @@ var _ cluster.Policy = (*Scheduler)(nil)
 func NewScheduler(opts Options) *Scheduler {
 	q := opts.Queue.newQueue(opts.Seed)
 	q.Instrument(opts.Obs.NewQueueStats(opts.Queue.String()))
-	return &Scheduler{
+	s := &Scheduler{
 		opts:  opts,
 		queue: q,
+		skips: opts.Obs.SchedIndexSkips(),
 	}
+	s.ntVisit = s.visit
+	return s
 }
 
 // track records ws and its plan ranking under its arrival index, growing
-// the dense lookup tables as needed.
+// the dense lookup tables as needed, and builds the workflow's rank-ordered
+// schedulable-job index. All jobs start non-schedulable from the policy's
+// point of view: JobActivated callbacks follow for root jobs.
 func (s *Scheduler) track(ws *cluster.WorkflowState, ranks []int) {
 	for ws.Index >= len(s.byID) {
 		s.byID = append(s.byID, nil)
 		s.ranks = append(s.ranks, nil)
+		s.sched = append(s.sched, wfSched{})
 	}
 	s.byID[ws.Index] = ws
 	s.ranks[ws.Index] = ranks
+	sc := &s.sched[ws.Index]
+	n := len(ws.Jobs)
+	sc.order = make([]int32, n)
+	for i := range sc.order {
+		sc.order[i] = int32(i)
+	}
+	sort.Slice(sc.order, func(a, b int) bool {
+		ja, jb := sc.order[a], sc.order[b]
+		if ranks[ja] != ranks[jb] {
+			return ranks[ja] < ranks[jb]
+		}
+		return ja < jb
+	})
+	sc.pos = make([]int32, n)
+	for p, j := range sc.order {
+		sc.pos[j] = int32(p)
+	}
+	words := (n + 63) / 64
+	sc.bits[0] = make([]uint64, words)
+	sc.bits[1] = make([]uint64, words)
+	sc.cnt = [2]int32{}
+}
+
+// refreshJob reconciles one job's bits in the workflow's schedulable index
+// with its current counters. Called from the policy callbacks, which every
+// control plane fires after mutating the counters, so the index is exact at
+// every decision point.
+func (s *Scheduler) refreshJob(ws *cluster.WorkflowState, job workflow.JobID) {
+	sc := &s.sched[ws.Index]
+	js := &ws.Jobs[job]
+	p := uint(sc.pos[job])
+	w, bit := p>>6, uint64(1)<<(p&63)
+	for st := cluster.MapSlot; st <= cluster.ReduceSlot; st++ {
+		has := sc.bits[st][w]&bit != 0
+		if want := js.Schedulable(st); want != has {
+			if want {
+				sc.bits[st][w] |= bit
+				sc.cnt[st]++
+			} else {
+				sc.bits[st][w] &^= bit
+				sc.cnt[st]--
+			}
+		}
+	}
 }
 
 // Name implements cluster.Policy. It includes the intra-workflow policy
@@ -191,12 +286,28 @@ func (s *Scheduler) JobActivated(ws *cluster.WorkflowState, job workflow.JobID, 
 	} else {
 		s.schedulable[cluster.ReduceSlot] += spec.Reduces
 	}
+	s.refreshJob(ws, job)
 }
 
 // ReducesReady implements cluster.ReducePhasePolicy: the job's reduce tasks
 // become startable once its map phase completes.
 func (s *Scheduler) ReducesReady(ws *cluster.WorkflowState, job workflow.JobID, _ simtime.Time) {
 	s.schedulable[cluster.ReduceSlot] += ws.Jobs[job].PendingReduces
+	s.refreshJob(ws, job)
+}
+
+// visit is the queue-descent callback (see ntVisit).
+func (s *Scheduler) visit(e *dsl.Entry) bool {
+	sc := &s.sched[e.ID]
+	if sc.cnt[s.ntSlot] == 0 {
+		// Nothing startable here; without the index this cost a scan of
+		// every job in the workflow.
+		s.skips.Inc()
+		// Strict mode: consider only the single most-lagging workflow.
+		return !s.opts.Strict
+	}
+	s.ntFound, s.ntJob = s.byID[e.ID], sc.firstJob(s.ntSlot)
+	return false
 }
 
 // NextTask implements cluster.Policy: pick the workflow lagging furthest
@@ -205,63 +316,39 @@ func (s *Scheduler) NextTask(now simtime.Time, st cluster.SlotType) (*cluster.Wo
 	if s.schedulable[st] == 0 {
 		return nil, 0, false
 	}
-	var (
-		found    *cluster.WorkflowState
-		foundJob workflow.JobID
-	)
-	s.queue.Ascend(now, func(e *dsl.Entry) bool {
-		ws := s.byID[e.ID]
-		if job, ok := s.bestJob(ws, st); ok {
-			found, foundJob = ws, job
-			return false
-		}
-		// Strict mode: consider only the single most-lagging workflow.
-		return !s.opts.Strict
-	})
+	s.ntSlot, s.ntFound = st, nil
+	s.queue.Ascend(now, s.ntVisit)
+	found := s.ntFound
 	if found == nil {
 		return nil, 0, false
 	}
-	return found, foundJob, true
-}
-
-// bestJob returns ws's schedulable job with the smallest plan rank.
-func (s *Scheduler) bestJob(ws *cluster.WorkflowState, st cluster.SlotType) (workflow.JobID, bool) {
-	ranks := s.ranks[ws.Index]
-	best := -1
-	for i := range ws.Jobs {
-		if !ws.Jobs[i].Schedulable(st) {
-			continue
-		}
-		if best < 0 || ranks[i] < ranks[best] {
-			best = i
-		}
-	}
-	if best < 0 {
-		return 0, false
-	}
-	return workflow.JobID(best), true
+	s.ntFound = nil // don't pin the workflow past its completion
+	return found, s.ntJob, true
 }
 
 // TaskStarted implements cluster.Policy: advance the workflow's true
 // progress ρ in the queue (Algorithm 2 lines 20-23).
-func (s *Scheduler) TaskStarted(ws *cluster.WorkflowState, _ workflow.JobID, st cluster.SlotType, now simtime.Time) {
+func (s *Scheduler) TaskStarted(ws *cluster.WorkflowState, job workflow.JobID, st cluster.SlotType, now simtime.Time) {
 	s.schedulable[st]--
+	s.refreshJob(ws, job)
 	s.queue.Scheduled(ws.Index, now)
 }
 
 // TaskRequeued implements cluster.RequeuePolicy: a task lost to a node
 // failure becomes startable again and the workflow's true progress rolls
 // back by one, so its lag reflects the lost work.
-func (s *Scheduler) TaskRequeued(ws *cluster.WorkflowState, _ workflow.JobID, st cluster.SlotType, now simtime.Time) {
+func (s *Scheduler) TaskRequeued(ws *cluster.WorkflowState, job workflow.JobID, st cluster.SlotType, now simtime.Time) {
 	s.schedulable[st]++
+	s.refreshJob(ws, job)
 	s.queue.Unscheduled(ws.Index, now)
 }
 
 // WorkflowCompleted implements cluster.Policy.
-func (s *Scheduler) WorkflowCompleted(ws *cluster.WorkflowState, _ simtime.Time) {
-	s.queue.Remove(ws.Index)
+func (s *Scheduler) WorkflowCompleted(ws *cluster.WorkflowState, now simtime.Time) {
+	s.queue.Remove(ws.Index, now)
 	s.byID[ws.Index] = nil
 	s.ranks[ws.Index] = nil
+	s.sched[ws.Index] = wfSched{}
 }
 
 // QueueLen reports the number of workflows currently queued (for tests and

@@ -1,0 +1,51 @@
+package dsl
+
+// Steady-state allocation pins for the queue hot path. On a warm queue —
+// entries added, pages and node pools grown, every due requirement settled —
+// a Best decision followed by a Scheduled/Unscheduled progress round-trip
+// must not allocate: the bucketed lag index repositions entries with pointer
+// moves, and the set-backed ct/priority structures recycle their nodes
+// through free lists. Wired into `make ci` via the alloc-pins target.
+
+import (
+	"testing"
+)
+
+func TestQueueOpAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts; the zero-alloc pin holds only in regular builds")
+	}
+	backends := map[string]Queue{
+		"DSL": New(11),
+		"BST": NewBST(),
+		"Det": NewDeterministic(),
+	}
+	for name, q := range backends {
+		t.Run(name, func(t *testing.T) {
+			const n = 1000
+			for i := 0; i < n; i++ {
+				// Staggered deadlines so the warm queue holds a spread of
+				// priorities across buckets.
+				deadline := at(float64(100 + (i%7)*50))
+				q.Add(NewEntry(i, deadline, testReqs()), at(0))
+			}
+			now := at(60) // past several requirement boundaries
+			op := func() {
+				e, ok := q.Best(now)
+				if !ok {
+					t.Fatal("Best found nothing on a populated queue")
+				}
+				q.Scheduled(e.ID, now)
+				q.Unscheduled(e.ID, now)
+			}
+			// Warm up: the first Best settles every fired requirement, and
+			// the first progress round-trip faults in any adjacent lag
+			// buckets and primes the node free lists.
+			op()
+			op()
+			if got := testing.AllocsPerRun(100, op); got != 0 {
+				t.Errorf("%s Best+Scheduled+Unscheduled allocates %.1f/op, want 0", name, got)
+			}
+		})
+	}
+}

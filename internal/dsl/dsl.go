@@ -11,17 +11,21 @@
 // where larger lag means the workflow has fallen further behind its plan and
 // deserves slots sooner.
 //
-// The Double Skip List keeps two correlated ordered sets over the same
+// The Double Skip List keeps two correlated ordered structures over the same
 // entries: the "ct list" ordered by next-change time and the "priority list"
 // ordered by lag. On every AssignTask call only the head of the ct list is
 // inspected; the few workflows whose requirement changed since the last call
 // are re-prioritized, so the per-call cost is O(changes · log n) instead of
 // the naive O(n log n) full rebuild. Head pops — the dominant operation — hit
-// the skip list's O(1) fast path.
+// the ct skip list's O(1) fast path, and since lags are small dense integers
+// that move by ±1 on Scheduled/Unscheduled, the priority side is a bucketed
+// lag index (lagindex.go) whose repositionings are O(1) pointer moves rather
+// than ordered-set delete+reinsert pairs.
 //
-// Three Queue implementations exist for the Fig 13(a) throughput comparison:
+// Four Queue implementations exist for the Fig 13(a) throughput comparison:
 // the Double Skip List (New), the same algorithm over balanced search trees
-// (NewBST), and the naive recompute-and-rescan baseline (NewNaive).
+// (NewBST), over deterministic 1-2-3 skip lists (NewDeterministic), and the
+// naive recompute-and-rescan baseline (NewNaive).
 package dsl
 
 import (
@@ -63,6 +67,15 @@ type Entry struct {
 	// workflows of very different sizes compete on relative progress. An
 	// extension beyond the paper; see core.Options.NormalizedLag.
 	normalized bool
+
+	// Priority-index linkage, owned by the queue the entry is in. For the
+	// bucketed lag index these record the entry's band/bucket and its
+	// intrusive neighbours; set-backed priority lists use bktKey alone to
+	// cache the indexed priority so repositioning knows the old key.
+	bktBand int8
+	bktKey  int
+	bktPrev *Entry
+	bktNext *Entry
 }
 
 // overdueBias shifts an overdue entry's priority below any achievable lag
@@ -176,9 +189,9 @@ func (e *Entry) changeTime(i int) simtime.Time {
 type Queue interface {
 	// Add inserts a workflow entry, computing its initial priority at now.
 	Add(e *Entry, now simtime.Time)
-	// Remove deletes the workflow with the given id, reporting whether it
-	// was present.
-	Remove(id int) bool
+	// Remove deletes the workflow with the given id at time now, reporting
+	// whether it was present.
+	Remove(id int, now simtime.Time) bool
 	// Best returns the entry with the greatest lag at time now. ok is
 	// false when the queue is empty.
 	Best(now simtime.Time) (e *Entry, ok bool)
@@ -213,7 +226,8 @@ func ctLess(a, b ctKey) bool {
 	return a.id < b.id
 }
 
-// prioKey orders the priority list by decreasing lag, ties by workflow ID.
+// prioKey orders a set-backed priority list by decreasing lag, ties by
+// workflow ID.
 type prioKey struct {
 	p  int
 	id int
@@ -226,34 +240,64 @@ func prioLess(a, b prioKey) bool {
 	return a.id < b.id
 }
 
-// List is the Double Skip List (or Double-BST) queue.
+// prioIndex is the priority-side structure of the queue: the bucketed lag
+// index for the DSL proper, or an ordered.Set adapter for the BST/Det
+// variants that run Algorithm 2 literally over those structures.
+type prioIndex interface {
+	insert(e *Entry)
+	remove(e *Entry)
+	// update repositions e after its prio/overdue fields changed; a no-op
+	// when the indexed position is unchanged.
+	update(e *Entry)
+	// min returns the highest-priority entry, or nil when empty.
+	min() *Entry
+	// ascend visits entries in decreasing-priority order until fn returns
+	// false. fn must not mutate the index.
+	ascend(fn func(e *Entry) bool)
+	// takeMoves returns and resets the bucket-move count since the last
+	// call (always 0 for set-backed indexes, whose repositionings are
+	// counted as node reuses at the set layer instead).
+	takeMoves() int
+}
+
+// reuser is implemented by pooled ordered sets that count node reuses.
+type reuser interface{ Reuses() int }
+
+// List is the Double Skip List (or Double-BST / Double-Det) queue.
 type List struct {
-	ct      ordered.Set[ctKey]
-	prio    ordered.Set[prioKey]
-	entries map[int]*Entry
+	ct   ordered.Set[ctKey]
+	prio prioIndex
+	// entries maps workflow ID (arrival index — dense by construction) to
+	// its entry; nil slots are absent workflows.
+	entries []*Entry
+	count   int
 	stats   *obs.QueueStats
+	// reusers tracks pooled backing sets for woha_queue_node_reuses_total;
+	// seenReuses is the portion already flushed to stats.
+	reusers    [2]reuser
+	seenReuses int
 }
 
 var _ Queue = (*List)(nil)
 
-// New returns a Double Skip List queue. seed drives the skip lists'
-// deterministic tower PRNG.
+// New returns the Double Skip List queue: a seeded skip list for the ct
+// side, the bucketed lag index for the priority side. seed drives the skip
+// list's deterministic tower PRNG.
 func New(seed int64) *List {
-	return &List{
-		ct:      skiplist.New(ctLess, seed),
-		prio:    skiplist.New(prioLess, seed+1),
-		entries: make(map[int]*Entry),
-	}
+	l := &List{ct: skiplist.New(ctLess, seed)}
+	l.prio = &lagIndex{}
+	l.initReusers(nil)
+	return l
 }
 
 // NewBST returns the same Algorithm 2 queue backed by AVL trees — the "BST"
 // baseline of Fig 13(a).
 func NewBST() *List {
-	return &List{
-		ct:      avl.New(ctLess),
-		prio:    avl.New(prioLess),
-		entries: make(map[int]*Entry),
-	}
+	l := &List{ct: avl.New(ctLess)}
+	prio := avl.New(prioLess)
+	l.prio = &setPrio{s: prio, l: l}
+	l.initReusers(prio)
+	return l
 }
 
 // NewDeterministic returns the queue backed by Munro-Papadakis-Sedgewick
@@ -261,83 +305,128 @@ func NewBST() *List {
 // the seeded list's O(1) expected head pop for worst-case O(log n) bounds on
 // every operation.
 func NewDeterministic() *List {
-	return &List{
-		ct:      skiplist.NewDet(ctLess),
-		prio:    skiplist.NewDet(prioLess),
-		entries: make(map[int]*Entry),
+	l := &List{ct: skiplist.NewDet(ctLess)}
+	prio := skiplist.NewDet(prioLess)
+	l.prio = &setPrio{s: prio, l: l}
+	l.initReusers(prio)
+	return l
+}
+
+// initReusers records which backing sets expose pooled-reuse counters.
+func (l *List) initReusers(prioSet any) {
+	if r, ok := l.ct.(reuser); ok {
+		l.reusers[0] = r
+	}
+	if r, ok := prioSet.(reuser); ok {
+		l.reusers[1] = r
 	}
 }
 
 // Len implements Queue.
-func (l *List) Len() int { return len(l.entries) }
+func (l *List) Len() int { return l.count }
 
 // Instrument implements Queue.
 func (l *List) Instrument(stats *obs.QueueStats) { l.stats = stats }
+
+// entry returns the entry for id, or nil when absent.
+func (l *List) entry(id int) *Entry {
+	if id < 0 || id >= len(l.entries) {
+		return nil
+	}
+	return l.entries[id]
+}
 
 // Add implements Queue.
 func (l *List) Add(e *Entry, now simtime.Time) {
 	l.stats.OnInsert(now, e.ID)
 	e.refresh(now)
+	for e.ID >= len(l.entries) {
+		l.entries = append(l.entries, nil)
+	}
 	l.entries[e.ID] = e
+	l.count++
 	if e.nextChange != simtime.MaxTime {
 		l.ct.Insert(ctKey{t: e.nextChange, id: e.ID})
 		e.inCT = true
 	} else {
 		e.inCT = false
 	}
-	l.prio.Insert(prioKey{p: e.prio, id: e.ID})
+	l.prio.insert(e)
 }
 
 // Remove implements Queue.
-func (l *List) Remove(id int) bool {
-	e, ok := l.entries[id]
-	if !ok {
+func (l *List) Remove(id int, now simtime.Time) bool {
+	e := l.entry(id)
+	if e == nil {
 		return false
 	}
-	delete(l.entries, id)
+	l.entries[id] = nil
+	l.count--
 	if e.inCT {
 		l.ct.Delete(ctKey{t: e.nextChange, id: e.ID})
 	}
-	l.prio.Delete(prioKey{p: e.prio, id: e.ID})
-	l.stats.OnDelete(simtime.Epoch, id)
+	l.prio.remove(e)
+	l.stats.OnDelete(now, id)
 	return true
 }
 
 // settle re-prioritizes every workflow whose next requirement change fired at
 // or before now — the while loop of Algorithm 2 (lines 4-19). It returns the
 // number of entries re-prioritized; zero is the O(1) head-read fast path.
+// A refreshed next-change time is always strictly later than the fired one,
+// so the ct reposition is a forward Move that reuses the node in place.
 func (l *List) settle(now simtime.Time) int {
 	moved := 0
 	for {
 		k, ok := l.ct.Min()
 		if !ok || k.t > now {
-			l.stats.OnLagRecomputes(moved)
-			return moved
+			break
 		}
-		l.ct.DeleteMin()
 		e := l.entries[k.id]
-		l.prio.Delete(prioKey{p: e.prio, id: e.ID})
 		e.refresh(now)
 		moved++
 		if e.nextChange != simtime.MaxTime {
-			l.ct.Insert(ctKey{t: e.nextChange, id: e.ID})
-			e.inCT = true
+			l.ct.Move(k, ctKey{t: e.nextChange, id: e.ID})
 		} else {
+			l.ct.DeleteMin()
 			e.inCT = false
 		}
-		l.prio.Insert(prioKey{p: e.prio, id: e.ID})
+		l.prio.update(e)
+	}
+	l.stats.OnLagRecomputes(moved)
+	if l.stats != nil {
+		l.flushStats()
+	}
+	return moved
+}
+
+// flushStats forwards accumulated bucket-move and node-reuse tallies to the
+// attached QueueStats. Callers check l.stats != nil first.
+func (l *List) flushStats() {
+	if m := l.prio.takeMoves(); m > 0 {
+		l.stats.OnBucketMoves(m)
+	}
+	total := 0
+	for _, r := range l.reusers {
+		if r != nil {
+			total += r.Reuses()
+		}
+	}
+	if total > l.seenReuses {
+		l.stats.OnNodeReuses(total - l.seenReuses)
+		l.seenReuses = total
 	}
 }
 
 // Best implements Queue.
 func (l *List) Best(now simtime.Time) (*Entry, bool) {
 	settled := l.settle(now)
-	k, ok := l.prio.Min()
-	if !ok {
+	e := l.prio.min()
+	if e == nil {
 		return nil, false
 	}
-	l.stats.OnHeadHit(now, k.id, settled)
-	return l.entries[k.id], true
+	l.stats.OnHeadHit(now, e.ID, settled)
+	return e, true
 }
 
 // Scheduled implements Queue.
@@ -351,26 +440,70 @@ func (l *List) Unscheduled(id int, now simtime.Time) {
 }
 
 func (l *List) adjustProgress(id, delta int) {
-	e, ok := l.entries[id]
-	if !ok {
+	e := l.entry(id)
+	if e == nil {
 		return
 	}
-	l.prio.Delete(prioKey{p: e.prio, id: e.ID})
 	e.rho += delta
 	e.computePrio()
-	l.prio.Insert(prioKey{p: e.prio, id: e.ID})
+	l.prio.update(e)
+	if l.stats != nil {
+		l.flushStats()
+	}
 }
 
 // Ascend implements Queue.
 func (l *List) Ascend(now simtime.Time, fn func(e *Entry) bool) {
 	settled := l.settle(now)
-	first := true
-	l.prio.Ascend(func(k prioKey) bool {
-		if first {
-			// The first visited entry is a head read, same as Best.
-			first = false
-			l.stats.OnHeadHit(now, k.id, settled)
+	if l.stats != nil {
+		// The first visited entry is the head, same as Best; recording it
+		// up front keeps the uninstrumented path free of the wrapper
+		// closure a per-visit hook would allocate.
+		if e := l.prio.min(); e != nil {
+			l.stats.OnHeadHit(now, e.ID, settled)
 		}
-		return fn(l.entries[k.id])
-	})
+	}
+	l.prio.ascend(fn)
 }
+
+// setPrio adapts an ordered.Set to the prioIndex contract for the BST and
+// Det queue variants. Each entry's indexed priority is cached in its bktKey
+// field, so repositioning is a single Move from the old key (pooled
+// delete+insert underneath) with no auxiliary lookup.
+type setPrio struct {
+	s ordered.Set[prioKey]
+	l *List
+}
+
+var _ prioIndex = (*setPrio)(nil)
+
+func (p *setPrio) insert(e *Entry) {
+	e.bktKey = e.prio
+	p.s.Insert(prioKey{p: e.prio, id: e.ID})
+}
+
+func (p *setPrio) remove(e *Entry) {
+	p.s.Delete(prioKey{p: e.bktKey, id: e.ID})
+}
+
+func (p *setPrio) update(e *Entry) {
+	if e.prio == e.bktKey {
+		return
+	}
+	p.s.Move(prioKey{p: e.bktKey, id: e.ID}, prioKey{p: e.prio, id: e.ID})
+	e.bktKey = e.prio
+}
+
+func (p *setPrio) min() *Entry {
+	k, ok := p.s.Min()
+	if !ok {
+		return nil
+	}
+	return p.l.entries[k.id]
+}
+
+func (p *setPrio) ascend(fn func(e *Entry) bool) {
+	p.s.Ascend(func(k prioKey) bool { return fn(p.l.entries[k.id]) })
+}
+
+func (p *setPrio) takeMoves() int { return 0 }

@@ -97,10 +97,10 @@ func TestRemove(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			q.Add(NewEntry(1, at(100), testReqs()), at(0))
 			q.Add(NewEntry(2, at(90), testReqs()), at(0))
-			if !q.Remove(1) {
+			if !q.Remove(1, at(10)) {
 				t.Fatal("Remove(1) = false")
 			}
-			if q.Remove(1) {
+			if q.Remove(1, at(10)) {
 				t.Fatal("second Remove(1) = true")
 			}
 			if q.Len() != 1 {
@@ -110,7 +110,7 @@ func TestRemove(t *testing.T) {
 			if !ok || e.ID != 2 {
 				t.Fatalf("Best = %v, want workflow 2", e)
 			}
-			q.Remove(2)
+			q.Remove(2, at(60))
 			if _, ok := q.Best(at(60)); ok {
 				t.Fatal("Best on empty queue reported ok")
 			}
@@ -210,7 +210,7 @@ func TestImplementationsAgree(t *testing.T) {
 		case r < 5: // remove a random present id
 			for id := range present {
 				for _, im := range impls {
-					if !im.q.Remove(id) {
+					if !im.q.Remove(id, now) {
 						t.Fatalf("step %d: %s.Remove(%d) = false", step, im.name, id)
 					}
 				}

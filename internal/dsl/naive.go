@@ -12,19 +12,24 @@ import (
 // maximum, costing O(n_w) (or O(n_w log n_w) to produce a full ordering) per
 // slot free-up. Fig 13(a) shows it collapsing beyond ~10k queued workflows.
 type Naive struct {
-	entries map[int]*Entry
+	// entries maps workflow ID (dense arrival index) to its entry; nil
+	// slots are absent workflows.
+	entries []*Entry
+	count   int
 	stats   *obs.QueueStats
+	// scratch is reused by Ascend's sort.
+	scratch []*Entry
 }
 
 var _ Queue = (*Naive)(nil)
 
 // NewNaive returns an empty naive queue.
 func NewNaive() *Naive {
-	return &Naive{entries: make(map[int]*Entry)}
+	return &Naive{}
 }
 
 // Len implements Queue.
-func (n *Naive) Len() int { return len(n.entries) }
+func (n *Naive) Len() int { return n.count }
 
 // Instrument implements Queue.
 func (n *Naive) Instrument(stats *obs.QueueStats) { n.stats = stats }
@@ -33,16 +38,21 @@ func (n *Naive) Instrument(stats *obs.QueueStats) { n.stats = stats }
 func (n *Naive) Add(e *Entry, now simtime.Time) {
 	n.stats.OnInsert(now, e.ID)
 	e.refresh(now)
+	for e.ID >= len(n.entries) {
+		n.entries = append(n.entries, nil)
+	}
 	n.entries[e.ID] = e
+	n.count++
 }
 
 // Remove implements Queue.
-func (n *Naive) Remove(id int) bool {
-	if _, ok := n.entries[id]; !ok {
+func (n *Naive) Remove(id int, now simtime.Time) bool {
+	if id < 0 || id >= len(n.entries) || n.entries[id] == nil {
 		return false
 	}
-	delete(n.entries, id)
-	n.stats.OnDelete(simtime.Epoch, id)
+	n.entries[id] = nil
+	n.count--
+	n.stats.OnDelete(now, id)
 	return true
 }
 
@@ -51,18 +61,22 @@ func (n *Naive) Remove(id int) bool {
 func (n *Naive) Best(now simtime.Time) (*Entry, bool) {
 	var best *Entry
 	for _, e := range n.entries {
+		if e == nil {
+			continue
+		}
 		e.refresh(now)
 		if best == nil || e.prio > best.prio || (e.prio == best.prio && e.ID < best.ID) {
 			best = e
 		}
 	}
-	n.stats.OnLagRecomputes(len(n.entries))
+	n.stats.OnLagRecomputes(n.count)
 	return best, best != nil
 }
 
 // Scheduled implements Queue.
 func (n *Naive) Scheduled(id int, now simtime.Time) {
-	if e, ok := n.entries[id]; ok {
+	if id >= 0 && id < len(n.entries) && n.entries[id] != nil {
+		e := n.entries[id]
 		e.rho++
 		e.computePrio()
 	}
@@ -70,7 +84,8 @@ func (n *Naive) Scheduled(id int, now simtime.Time) {
 
 // Unscheduled implements Queue.
 func (n *Naive) Unscheduled(id int, now simtime.Time) {
-	if e, ok := n.entries[id]; ok {
+	if id >= 0 && id < len(n.entries) && n.entries[id] != nil {
+		e := n.entries[id]
 		e.rho--
 		e.computePrio()
 	}
@@ -78,11 +93,15 @@ func (n *Naive) Unscheduled(id int, now simtime.Time) {
 
 // Ascend implements Queue. It recomputes and fully sorts the queue.
 func (n *Naive) Ascend(now simtime.Time, fn func(e *Entry) bool) {
-	all := make([]*Entry, 0, len(n.entries))
+	all := n.scratch[:0]
 	for _, e := range n.entries {
+		if e == nil {
+			continue
+		}
 		e.refresh(now)
 		all = append(all, e)
 	}
+	n.scratch = all
 	n.stats.OnLagRecomputes(len(all))
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].prio != all[j].prio {

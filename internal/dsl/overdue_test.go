@@ -76,7 +76,7 @@ func TestOverdueDropsBelowAchievable(t *testing.T) {
 				t.Fatalf("Best(60s) = wf %d, want achievable workflow", e.ID)
 			}
 			// With only zombies left, remaining-lag order still serves them.
-			q.Remove(2)
+			q.Remove(2, at(60))
 			e, ok := q.Best(at(60))
 			if !ok || e.ID != 1 {
 				t.Fatalf("Best with only zombie = %v, %v", e, ok)

@@ -74,7 +74,7 @@ func TestDSLNaiveParity(t *testing.T) {
 		// Periodically remove a workflow, as completions do.
 		if step%17 == 16 {
 			victim := db.ID
-			if dq.Remove(victim) != nq.Remove(victim) {
+			if dq.Remove(victim, now) != nq.Remove(victim, now) {
 				t.Fatalf("step %d: Remove(%d) disagreed", step, victim)
 			}
 			removedAt[victim] = true
@@ -117,7 +117,7 @@ func TestQueueInstrumentNilIsSafe(t *testing.T) {
 			t.Fatal("Best found nothing")
 		}
 		q.Scheduled(0, simtime.Epoch)
-		if !q.Remove(0) {
+		if !q.Remove(0, simtime.Epoch) {
 			t.Fatal("Remove failed")
 		}
 	}

@@ -1,0 +1,229 @@
+package dsl
+
+// Randomized operation-sequence property test: the bucketed-lag-index DSL,
+// the set-backed BST and Det backends, and the naive full-recompute queue
+// are driven with one interleaved stream of adds, removals, schedulings,
+// unschedulings, Best queries, and full Ascend scans, and must agree
+// decision for decision — same heads, same lags, same visit order. Times
+// are adversarial: besides small random steps, the clock jumps to land
+// exactly on requirement-change boundaries and deadlines (and 1ns on either
+// side), the instants where the incremental settle and a full recompute are
+// most likely to diverge. Runs under -race via `make race`.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/simtime"
+)
+
+// propMode selects the entry construction the whole run uses (mixing
+// normalization modes within one queue is not a supported configuration).
+type propMode int
+
+const (
+	propPlain propMode = iota
+	propDemoteOverdue
+	propNormalized
+)
+
+func (m propMode) String() string {
+	switch m {
+	case propDemoteOverdue:
+		return "demote-overdue"
+	case propNormalized:
+		return "normalized"
+	default:
+		return "plain"
+	}
+}
+
+func (m propMode) entry(id int, deadline simtime.Time, reqs []plan.Req) *Entry {
+	var e *Entry
+	if m == propDemoteOverdue {
+		e = NewEntryDemoteOverdue(id, deadline, reqs)
+	} else {
+		e = NewEntry(id, deadline, reqs)
+	}
+	if m == propNormalized {
+		e.Normalized()
+	}
+	return e
+}
+
+func TestPropertyBackendsMatchNaive(t *testing.T) {
+	for _, mode := range []propMode{propPlain, propDemoteOverdue, propNormalized} {
+		for _, seed := range []int64{1, 42, 20140623} {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				t.Parallel()
+				runPropertySequence(t, mode, seed)
+			})
+		}
+	}
+}
+
+func runPropertySequence(t *testing.T, mode propMode, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	impls := []struct {
+		name string
+		q    Queue
+	}{
+		{"DSL", New(seed)},
+		{"BST", NewBST()},
+		{"Det", NewDeterministic()},
+	}
+	ref := NewNaive()
+	all := make([]Queue, 0, len(impls)+1)
+	for _, im := range impls {
+		all = append(all, im.q)
+	}
+	all = append(all, ref)
+
+	// boundaries accumulates every entry's requirement-change times and
+	// deadline, the instants the clock deliberately jumps to.
+	var boundaries []simtime.Time
+	// sched tracks net Scheduled calls per live id so Unscheduled never
+	// drives true progress negative.
+	sched := map[int]int{}
+	present := []int{}
+	nextID := 0
+	now := simtime.Epoch
+
+	mkReqs := func(deadline simtime.Time) []plan.Req {
+		n := rng.Intn(6)
+		reqs := make([]plan.Req, 0, n)
+		ttd := time.Duration(50+rng.Intn(300)) * time.Second
+		cum := 0
+		for i := 0; i < n; i++ {
+			cum += 1 + rng.Intn(4)
+			reqs = append(reqs, plan.Req{TTD: ttd, Cum: cum})
+			boundaries = append(boundaries, deadline.Add(-ttd))
+			ttd -= time.Duration(1+rng.Intn(40)) * time.Second
+		}
+		return reqs
+	}
+
+	advance := func() {
+		if len(boundaries) > 0 && rng.Intn(2) == 0 {
+			// Jump onto a boundary (or 1ns on either side), if it is ahead.
+			b := boundaries[rng.Intn(len(boundaries))]
+			b = b.Add(time.Duration(rng.Intn(3)-1) * time.Nanosecond)
+			if b > now {
+				now = b
+				return
+			}
+		}
+		now = now.Add(time.Duration(rng.Intn(20_000)) * time.Millisecond)
+	}
+
+	checkBest := func(step int) {
+		want, wantOK := ref.Best(now)
+		for _, im := range impls {
+			got, ok := im.q.Best(now)
+			if ok != wantOK {
+				t.Fatalf("step %d @%v: %s.Best ok=%v, naive ok=%v", step, now, im.name, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			if got.ID != want.ID || got.Lag() != want.Lag() {
+				t.Fatalf("step %d @%v: %s.Best = wf %d (lag %d), naive wf %d (lag %d)",
+					step, now, im.name, got.ID, got.Lag(), want.ID, want.Lag())
+			}
+		}
+	}
+
+	checkAscend := func(step int) {
+		type visit struct {
+			id, lag int
+		}
+		var want []visit
+		ref.Ascend(now, func(e *Entry) bool {
+			want = append(want, visit{e.ID, e.Lag()})
+			return true
+		})
+		for _, im := range impls {
+			var got []visit
+			im.q.Ascend(now, func(e *Entry) bool {
+				got = append(got, visit{e.ID, e.Lag()})
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("step %d @%v: %s.Ascend visited %d entries, naive %d",
+					step, now, im.name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d @%v: %s.Ascend[%d] = %+v, naive %+v",
+						step, now, im.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		advance()
+		switch r := rng.Intn(20); {
+		case r < 6: // add
+			nextID++
+			deadline := now.Add(time.Duration(30+rng.Intn(500)) * time.Second)
+			boundaries = append(boundaries, deadline)
+			reqs := mkReqs(deadline)
+			for _, q := range all {
+				// Each queue owns its own entry and mutable reqs copy.
+				q.Add(mode.entry(nextID, deadline, append([]plan.Req(nil), reqs...)), now)
+			}
+			present = append(present, nextID)
+			sched[nextID] = 0
+		case r < 8: // remove
+			if len(present) == 0 {
+				continue
+			}
+			i := rng.Intn(len(present))
+			id := present[i]
+			for _, q := range all {
+				if !q.Remove(id, now) {
+					t.Fatalf("step %d: Remove(%d) = false", step, id)
+				}
+			}
+			present[i] = present[len(present)-1]
+			present = present[:len(present)-1]
+			delete(sched, id)
+		case r < 12: // scheduled
+			if len(present) == 0 {
+				continue
+			}
+			id := present[rng.Intn(len(present))]
+			for _, q := range all {
+				q.Scheduled(id, now)
+			}
+			sched[id]++
+		case r < 14: // unscheduled (requeue), never below zero progress
+			if len(present) == 0 {
+				continue
+			}
+			id := present[rng.Intn(len(present))]
+			if sched[id] == 0 {
+				continue
+			}
+			for _, q := range all {
+				q.Unscheduled(id, now)
+			}
+			sched[id]--
+		case r < 19: // Best decision
+			checkBest(step)
+		default: // full Ascend order
+			checkAscend(step)
+		}
+	}
+	checkAscend(4000)
+	for _, im := range impls {
+		if im.q.Len() != ref.Len() {
+			t.Errorf("final %s.Len = %d, naive %d", im.name, im.q.Len(), ref.Len())
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package dsl
+
+// raceEnabled reports that this binary was built with -race. The race
+// runtime inflates and reorders allocations, so the zero-alloc queue-op
+// pins skip themselves and keep only the behavioral assertions.
+const raceEnabled = true

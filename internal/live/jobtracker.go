@@ -64,7 +64,9 @@ func (jt *JobTracker) register(w *workflow.Workflow, p *plan.Plan) {
 	if jt.live.Load() {
 		panic(fmt.Sprintf("live: register(%q) after the cluster started; Submit every workflow before Run or DeliverHeartbeat", w.Name))
 	}
-	jt.states = append(jt.states, cluster.NewWorkflowState(len(jt.states), w, p))
+	ws := cluster.NewWorkflowState(len(jt.states), w, p)
+	ws.EnableSchedIndex(nil)
+	jt.states = append(jt.states, ws)
 	jt.finish = append(jt.finish, 0)
 	jt.remaining++
 }
@@ -167,6 +169,7 @@ func (jt *JobTracker) activate(ws *cluster.WorkflowState, job workflow.JobID, no
 	js := &ws.Jobs[job]
 	js.Ready = true
 	js.ActivatedAt = now
+	ws.RefreshJob(job)
 	jt.ins.JobActivated(now, ws.Index, int(job))
 	jt.pol.JobActivated(ws, job, now)
 }
@@ -191,6 +194,7 @@ func (jt *JobTracker) assign(st cluster.SlotType, tracker int, now simtime.Time)
 	}
 	ws.ScheduledTasks++
 	ws.RunningTasks++
+	ws.RefreshJob(job)
 	jt.started++
 	jt.seq++
 	jt.ins.TaskAssigned(now, ws.Index, int(job), int(st), tracker, dur)
@@ -213,6 +217,7 @@ func (jt *JobTracker) complete(id TaskID, tracker int, now simtime.Time) {
 		js.DoneReduces++
 	}
 	ws.RunningTasks--
+	ws.RefreshJob(id.Job)
 	jt.ins.TaskCompleted(now, ws.Index, int(id.Job), int(id.Type), tracker)
 	if id.Type == cluster.MapSlot && js.MapsDone() && js.PendingReduces > 0 {
 		if rp, ok := jt.pol.(cluster.ReducePhasePolicy); ok {

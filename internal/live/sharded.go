@@ -102,8 +102,10 @@ func (st *shardedTracker) register(w *workflow.Workflow, p *plan.Plan) {
 		panic(fmt.Sprintf("live: register(%q) after the cluster started; Submit every workflow before Run or DeliverHeartbeat", w.Name))
 	}
 	i := len(st.wfs)
+	ws := cluster.NewWorkflowState(i, w, p)
+	ws.EnableSchedIndex(nil)
 	st.wfs = append(st.wfs, &liveWorkflow{
-		ws:    cluster.NewWorkflowState(i, w, p),
+		ws:    ws,
 		shard: st.shards[i%len(st.shards)],
 	})
 	st.remaining.Add(1)
@@ -197,6 +199,7 @@ func (st *shardedTracker) admit(lw *liveWorkflow, now simtime.Time) {
 		js := &ws.Jobs[r]
 		js.Ready = true
 		js.ActivatedAt = now
+		ws.RefreshJob(r)
 	}
 	st.events.push(policyEvent{kind: evWorkflowReleased, wf: lw, now: now})
 	lw.shard.mu.Unlock()
@@ -218,6 +221,7 @@ func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, tracker 
 			js.DoneReduces++
 		}
 		ws.RunningTasks--
+		ws.RefreshJob(id.Job)
 		st.ins.TaskCompleted(now, ws.Index, int(id.Job), int(id.Type), tracker)
 		if id.Type == cluster.MapSlot && js.MapsDone() && js.PendingReduces > 0 {
 			st.events.push(policyEvent{kind: evReducesReady, wf: lw, job: id.Job, now: now})
@@ -258,6 +262,7 @@ func (st *shardedTracker) activateDependents(lw *liveWorkflow, job workflow.JobI
 		if ready {
 			dj.Ready = true
 			dj.ActivatedAt = now
+			ws.RefreshJob(d)
 			st.events.push(policyEvent{kind: evJobActivated, wf: lw, job: d, now: now})
 		}
 	}
@@ -354,6 +359,7 @@ func (st *shardedTracker) assignOne(slot cluster.SlotType, tracker int, now simt
 	}
 	ws.ScheduledTasks++
 	ws.RunningTasks++
+	ws.RefreshJob(job)
 	st.started.Add(1)
 	st.schedulable.Add(-1)
 	seq := st.seq.Add(1)

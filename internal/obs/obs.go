@@ -27,6 +27,9 @@ const (
 	MetricQueueDeletes         = "woha_queue_deletes_total"
 	MetricQueueHeadHits        = "woha_queue_head_hits_total"
 	MetricQueueLagRecomputes   = "woha_queue_lag_recomputes_total"
+	MetricQueueNodeReuses      = "woha_queue_node_reuses_total"
+	MetricQueueBucketMoves     = "woha_queue_bucket_moves_total"
+	MetricSchedIndexSkips      = "woha_sched_index_skips_total"
 
 	// Planner subsystem (internal/planner): cached, parallel plan generation.
 	MetricPlannerPlans           = "woha_planner_plans_total"
@@ -415,6 +418,13 @@ type QueueStats struct {
 	Deletes       *Counter
 	HeadHits      *Counter
 	LagRecomputes *Counter
+	// NodeReuses counts pooled nodes recycled by the queue's backing sets
+	// (free-list draws and in-place Moves) instead of fresh allocations;
+	// BucketMoves counts O(1) bucket-to-bucket repositionings in the
+	// bucketed lag index. Both are batch-flushed tallies with no per-event
+	// emission — they fire on every hot-path operation.
+	NodeReuses  *Counter
+	BucketMoves *Counter
 
 	o *Obs
 }
@@ -431,6 +441,8 @@ func (o *Obs) NewQueueStats(queue string) *QueueStats {
 		Deletes:       o.reg.CounterWith(MetricQueueDeletes, "Workflow deletions from the inter-workflow queue.", l),
 		HeadHits:      o.reg.CounterWith(MetricQueueHeadHits, "Best calls served from the priority-list head.", l),
 		LagRecomputes: o.reg.CounterWith(MetricQueueLagRecomputes, "Per-entry lag recomputations during queue reads.", l),
+		NodeReuses:    o.reg.CounterWith(MetricQueueNodeReuses, "Pooled queue nodes reused instead of allocated.", l),
+		BucketMoves:   o.reg.CounterWith(MetricQueueBucketMoves, "Lag-index bucket-to-bucket entry moves.", l),
 		o:             o,
 	}
 }
@@ -470,6 +482,33 @@ func (q *QueueStats) OnLagRecomputes(n int) {
 		return
 	}
 	q.LagRecomputes.Add(int64(n))
+}
+
+// OnNodeReuses adds n pooled-node reuses (counter only; no event stream).
+func (q *QueueStats) OnNodeReuses(n int) {
+	if q == nil {
+		return
+	}
+	q.NodeReuses.Add(int64(n))
+}
+
+// OnBucketMoves adds n lag-index bucket moves (counter only).
+func (q *QueueStats) OnBucketMoves(n int) {
+	if q == nil {
+		return
+	}
+	q.BucketMoves.Add(int64(n))
+}
+
+// SchedIndexSkips returns the counter of workflows skipped by the WOHA
+// scheduler's per-workflow schedulable index without invoking the per-job
+// scan, registering it on first use.
+func (o *Obs) SchedIndexSkips() *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(MetricSchedIndexSkips,
+		"Workflows skipped during queue descent because their schedulable index showed no startable task for the slot type.")
 }
 
 // PlannerStats bundles the instruments of the plan-generation service

@@ -21,6 +21,13 @@ type Set[K any] interface {
 	// set is empty. Implementations optimize this head-of-list case; it is
 	// the dominant operation in Algorithm 2 of the paper.
 	DeleteMin() (key K, ok bool)
+	// Move removes old and inserts new as a single operation, reporting
+	// whether old was present (new is not inserted when old was absent).
+	// Implementations reuse old's storage and, when new sorts after old,
+	// resume the position search from old's location instead of the root —
+	// the Double Skip List's settle path always moves keys forward in time,
+	// so Move turns its delete+reinsert pair into a pointer splice.
+	Move(old, new K) bool
 	// Len returns the number of keys in the set.
 	Len() int
 	// Ascend calls fn on every key in ascending order until fn returns

@@ -58,17 +58,14 @@ func (b *base) ordered() []*cluster.WorkflowState {
 
 // earliestSchedulableJob returns ws's Ready job with a pending task of type
 // st that was activated first (ties by job ID) — Hadoop's per-job FIFO order
-// within a workflow.
+// within a workflow. Iterating the schedulable index visits jobs in ascending
+// ID order, so keeping the first strictly-earlier activation preserves the
+// tie-break.
 func earliestSchedulableJob(ws *cluster.WorkflowState, st cluster.SlotType) (workflow.JobID, bool) {
 	best := -1
-	for i := range ws.Jobs {
-		js := &ws.Jobs[i]
-		if !js.Schedulable(st) {
-			continue
-		}
-		if best < 0 || js.ActivatedAt < ws.Jobs[best].ActivatedAt ||
-			(js.ActivatedAt == ws.Jobs[best].ActivatedAt && i < best) {
-			best = i
+	for j, ok := ws.NextSchedulableJob(st, 0); ok; j, ok = ws.NextSchedulableJob(st, j+1) {
+		if best < 0 || ws.Jobs[j].ActivatedAt < ws.Jobs[best].ActivatedAt {
+			best = int(j)
 		}
 	}
 	if best < 0 {
@@ -111,25 +108,28 @@ func (f *FIFO) JobActivated(ws *cluster.WorkflowState, job workflow.JobID, _ sim
 	f.queue = append(f.queue, fifoEntry{ws: ws, job: job})
 }
 
-// NextTask implements cluster.Policy.
+// NextTask implements cluster.Policy: compact and search in one pass,
+// returning the first schedulable entry. Only completed jobs are dropped —
+// a fully scheduled job can re-enter the pending pool when a node failure
+// re-queues its running tasks. Entries past the first hit keep their order
+// and are compacted by a later call; a completed job is never schedulable,
+// so deferring its removal cannot change a decision.
 func (f *FIFO) NextTask(_ simtime.Time, st cluster.SlotType) (*cluster.WorkflowState, workflow.JobID, bool) {
 	w := 0
-	for _, e := range f.queue {
+	for i, e := range f.queue {
 		js := &e.ws.Jobs[e.job]
-		// Drop only completed jobs: a fully scheduled job can re-enter the
-		// pending pool when a node failure re-queues its running tasks.
 		if js.Completed() {
 			continue
 		}
 		f.queue[w] = e
 		w++
-	}
-	f.queue = f.queue[:w]
-	for _, e := range f.queue {
-		if e.ws.Jobs[e.job].Schedulable(st) {
+		if js.Schedulable(st) {
+			n := copy(f.queue[w:], f.queue[i+1:])
+			f.queue = f.queue[:w+n]
 			return e.ws, e.job, true
 		}
 	}
+	f.queue = f.queue[:w]
 	return nil, 0, false
 }
 
@@ -177,12 +177,9 @@ func (f *Fair) NextTask(_ simtime.Time, st cluster.SlotType) (*cluster.WorkflowS
 		return false // earlier workflow/job in scan order wins remaining ties
 	}
 	for _, ws := range f.ordered() {
-		for i := range ws.Jobs {
-			if !ws.Jobs[i].Schedulable(st) {
-				continue
-			}
-			if better(ws, workflow.JobID(i)) {
-				bestWS, bestJob, found = ws, workflow.JobID(i), true
+		for j, ok := ws.NextSchedulableJob(st, 0); ok; j, ok = ws.NextSchedulableJob(st, j+1) {
+			if better(ws, j) {
+				bestWS, bestJob, found = ws, j, true
 			}
 		}
 	}

@@ -29,6 +29,11 @@ type Det[K any] struct {
 	less   ordered.Less[K]
 	levels int
 	length int
+	// free chains recycled nodes through their right pointers; rebalancing
+	// merges and deletions feed it, raises and insertions drain it, so a
+	// steady-state queue churns without allocating.
+	free   *detNode[K]
+	reuses int
 }
 
 type detNode[K any] struct {
@@ -52,6 +57,42 @@ func NewDet[K any](less ordered.Less[K]) *Det[K] {
 
 // Len returns the number of keys in the list.
 func (d *Det[K]) Len() int { return d.length }
+
+// Reuses reports how many nodes were served from the free list instead of
+// freshly allocated.
+func (d *Det[K]) Reuses() int { return d.reuses }
+
+// alloc returns a node with the given fields, recycling a freed one when
+// available.
+func (d *Det[K]) alloc(key K, right, down *detNode[K], sentinel bool) *detNode[K] {
+	if n := d.free; n != nil {
+		d.free = n.right
+		n.key, n.right, n.down, n.sentinel = key, right, down, sentinel
+		d.reuses++
+		return n
+	}
+	return &detNode[K]{key: key, right: right, down: down, sentinel: sentinel}
+}
+
+// recycle pushes a node dropped from the structure onto the free list.
+func (d *Det[K]) recycle(n *detNode[K]) {
+	var zero K
+	n.key, n.down, n.sentinel = zero, nil, false
+	n.right = d.free
+	d.free = n
+}
+
+// Move removes old and inserts new as one operation, reporting whether old
+// was present. The 1-2-3 list has no stable node identity to splice (columns
+// are copied separators), so Move is delete+insert — but both halves draw
+// from the free list, so the pair allocates nothing at steady state.
+func (d *Det[K]) Move(old, new K) bool {
+	if !d.Delete(old) {
+		return false
+	}
+	d.Insert(new)
+	return true
+}
 
 // eq reports key equality under the comparator.
 func (d *Det[K]) eq(a, b K) bool { return !d.less(a, b) && !d.less(b, a) }
@@ -88,7 +129,7 @@ func (d *Det[K]) raiseAt(x *detNode[K], idx int) {
 	for i := 0; i < idx; i++ {
 		mid = mid.right
 	}
-	x.right = &detNode[K]{key: mid.key, right: x.right, down: mid}
+	x.right = d.alloc(mid.key, x.right, mid, false)
 }
 
 // Insert adds key to the list. Inserting a key equal to an existing one is
@@ -96,7 +137,8 @@ func (d *Det[K]) raiseAt(x *detNode[K], idx int) {
 func (d *Det[K]) Insert(key K) {
 	// Grow a level when the top is full so pre-splits always have room.
 	if d.topSize() == 3 {
-		d.head = &detNode[K]{sentinel: true, down: d.head}
+		var zero K
+		d.head = d.alloc(zero, nil, d.head, true)
 		d.levels++
 	}
 	x := d.head
@@ -120,7 +162,7 @@ func (d *Det[K]) Insert(key K) {
 	if x.right != nil && d.eq(x.right.key, key) {
 		return
 	}
-	x.right = &detNode[K]{key: key, right: x.right}
+	x.right = d.alloc(key, x.right, nil, false)
 	d.length++
 }
 
@@ -142,8 +184,11 @@ func (d *Det[K]) Delete(key K) bool {
 		return false
 	}
 	// copies collects key's separator nodes above level 0, renamed to the
-	// bottom predecessor once it is known.
-	var copies []*detNode[K]
+	// bottom predecessor once it is known. The buffer is stack-sized: levels
+	// grow at most logarithmically (each level-h+1 gap covers >= 2 level-h
+	// elements), so 48 covers any feasible list.
+	var copiesBuf [48]*detNode[K]
+	copies := copiesBuf[:0]
 
 	x := d.head
 	// limit is the right wall of the gap being traversed: the lower copy of
@@ -203,6 +248,7 @@ func (d *Det[K]) Delete(key K) bool {
 		}
 		copies[len(copies)-1].down = x
 	}
+	d.recycle(target)
 
 	d.shrink()
 	return true
@@ -214,7 +260,11 @@ func (d *Det[K]) Delete(key K) bool {
 // (raising the plain middle of a four-gap could recreate a one-gap on the
 // descent side).
 func (d *Det[K]) mergeRight(x *detNode[K], key K) {
-	x.right = x.right.right
+	dead := x.right
+	x.right = dead.right
+	// The lowered separator has height exactly this level (a taller column
+	// would be the gap wall), so nothing above references it.
+	d.recycle(dead)
 	d.rebalanceMerged(x, key)
 }
 
@@ -222,7 +272,9 @@ func (d *Det[K]) mergeRight(x *detNode[K], key K) {
 // right neighbor is the gap wall or the level end) into the gap below prev;
 // it returns prev, from which the descent continues.
 func (d *Det[K]) mergeLeft(prev *detNode[K], key K) *detNode[K] {
-	prev.right = prev.right.right
+	dead := prev.right
+	prev.right = dead.right
+	d.recycle(dead)
 	d.rebalanceMerged(prev, key)
 	return prev
 }
@@ -252,8 +304,10 @@ func (d *Det[K]) rebalanceMerged(x *detNode[K], key K) {
 // shrink drops empty top levels.
 func (d *Det[K]) shrink() {
 	for d.levels > 1 && d.head.right == nil {
+		dead := d.head
 		d.head = d.head.down
 		d.levels--
+		d.recycle(dead)
 	}
 }
 

@@ -8,6 +8,12 @@
 // deletion, O(1) expected head deletion, and bit-for-bit reproducible
 // behaviour for a fixed seed — without the considerably more intricate 2-3
 // rebalancing machinery of the deterministic variant.
+//
+// Nodes live in a flat arena (parallel key/height/tower-offset slices plus
+// one shared tower slice) addressed by int32 handles, with per-height free
+// lists so a steady-state queue — the settle path deletes and reinserts the
+// same entries over and over — recycles towers instead of allocating. The
+// layout mirrors the simulator's attempt arena (DESIGN.md §12).
 package skiplist
 
 import (
@@ -23,21 +29,30 @@ const (
 	// pBits controls the promotion probability 1/2: one random bit per
 	// level.
 	pBits = 1
+	// nilNode is the null handle; it also stands for the head sentinel on
+	// the left end of a search (next resolves it through l.head).
+	nilNode = int32(-1)
 )
 
 // List is an ordered set of unique keys implemented as a skip list.
 // Construct with New; the zero value is not usable.
 type List[K any] struct {
-	head   *node[K]
-	less   ordered.Less[K]
-	rng    *rand.Rand
+	less ordered.Less[K]
+	rng  *rand.Rand
+	// head holds the sentinel's forward pointers, one per level.
+	head   [maxLevel]int32
 	level  int // highest level in use, >= 1
 	length int
-}
 
-type node[K any] struct {
-	key  K
-	next []*node[K]
+	// Arena storage: node n's key is keys[n], its tower occupies
+	// towers[off[n] : off[n]+ht[n]]. Freed nodes chain per height through
+	// their tower slot 0.
+	keys   []K
+	off    []int32
+	ht     []int8
+	towers []int32
+	free   [maxLevel + 1]int32
+	reuses int
 }
 
 var _ ordered.Set[int] = (*List[int])(nil)
@@ -46,16 +61,44 @@ var _ ordered.Set[int] = (*List[int])(nil)
 // PRNG seeded with seed, so two lists built with the same seed and the same
 // operation sequence are identical.
 func New[K any](less ordered.Less[K], seed int64) *List[K] {
-	return &List[K]{
-		head:  &node[K]{next: make([]*node[K], maxLevel)},
+	l := &List[K]{
 		less:  less,
 		rng:   rand.New(rand.NewSource(seed)),
 		level: 1,
 	}
+	for i := range l.head {
+		l.head[i] = nilNode
+	}
+	for i := range l.free {
+		l.free[i] = nilNode
+	}
+	return l
 }
 
 // Len returns the number of keys in the list.
 func (l *List[K]) Len() int { return l.length }
+
+// Reuses reports how many nodes were served from the free lists or spliced
+// in place by Move instead of freshly allocated.
+func (l *List[K]) Reuses() int { return l.reuses }
+
+// next returns x's forward pointer at level h; x == nilNode addresses the
+// head sentinel.
+func (l *List[K]) next(x int32, h int) int32 {
+	if x == nilNode {
+		return l.head[h]
+	}
+	return l.towers[l.off[x]+int32(h)]
+}
+
+// setNext updates x's forward pointer at level h.
+func (l *List[K]) setNext(x int32, h int, to int32) {
+	if x == nilNode {
+		l.head[h] = to
+		return
+	}
+	l.towers[l.off[x]+int32(h)] = to
+}
 
 // randomLevel draws a tower height with P(height >= h) = 2^-(h-1).
 func (l *List[K]) randomLevel() int {
@@ -66,61 +109,160 @@ func (l *List[K]) randomLevel() int {
 	return lvl
 }
 
-// Insert adds key to the list. Keys equal to an existing key (under less) are
-// inserted adjacent to it; callers are expected to keep keys unique.
-func (l *List[K]) Insert(key K) {
-	var update [maxLevel]*node[K]
-	x := l.head
+// alloc returns a node of height h, recycling a freed tower when one exists.
+func (l *List[K]) alloc(h int) int32 {
+	if n := l.free[h]; n != nilNode {
+		l.free[h] = l.towers[l.off[n]]
+		l.reuses++
+		return n
+	}
+	n := int32(len(l.keys))
+	var zero K
+	l.keys = append(l.keys, zero)
+	l.off = append(l.off, int32(len(l.towers)))
+	l.ht = append(l.ht, int8(h))
+	for i := 0; i < h; i++ {
+		l.towers = append(l.towers, nilNode)
+	}
+	return n
+}
+
+// freeNode pushes n onto the free list for its height, clearing the key so
+// pointer-bearing keys don't pin garbage.
+func (l *List[K]) freeNode(n int32) {
+	var zero K
+	l.keys[n] = zero
+	h := int(l.ht[n])
+	l.towers[l.off[n]] = l.free[h]
+	l.free[h] = n
+}
+
+// findPath walks down to key's position, recording the rightmost node before
+// key at every level in update. It returns the bottom-level successor (the
+// key's node when present).
+func (l *List[K]) findPath(key K, update *[maxLevel]int32) int32 {
+	x := nilNode
 	for h := l.level - 1; h >= 0; h-- {
-		for x.next[h] != nil && l.less(x.next[h].key, key) {
-			x = x.next[h]
+		for nxt := l.next(x, h); nxt != nilNode && l.less(l.keys[nxt], key); nxt = l.next(x, h) {
+			x = nxt
 		}
 		update[h] = x
 	}
+	return l.next(x, 0)
+}
+
+// Insert adds key to the list. Keys equal to an existing key (under less) are
+// inserted adjacent to it; callers are expected to keep keys unique.
+func (l *List[K]) Insert(key K) {
+	var update [maxLevel]int32
+	l.findPath(key, &update)
 	lvl := l.randomLevel()
 	if lvl > l.level {
 		for h := l.level; h < lvl; h++ {
-			update[h] = l.head
+			update[h] = nilNode
 		}
 		l.level = lvl
 	}
-	n := &node[K]{key: key, next: make([]*node[K], lvl)}
+	n := l.alloc(lvl)
+	l.keys[n] = key
 	for h := 0; h < lvl; h++ {
-		n.next[h] = update[h].next[h]
-		update[h].next[h] = n
+		l.setNext(n, h, l.next(update[h], h))
+		l.setNext(update[h], h, n)
 	}
 	l.length++
 }
 
+// unlink detaches target from every level, given the predecessor vector of
+// its key.
+func (l *List[K]) unlink(target int32, update *[maxLevel]int32) {
+	for h := 0; h < int(l.ht[target]); h++ {
+		if l.next(update[h], h) != target {
+			break
+		}
+		l.setNext(update[h], h, l.next(target, h))
+	}
+}
+
 // Delete removes key from the list, reporting whether it was present.
 func (l *List[K]) Delete(key K) bool {
-	var update [maxLevel]*node[K]
-	x := l.head
+	var update [maxLevel]int32
+	target := l.findPath(key, &update)
+	if target == nilNode || l.less(key, l.keys[target]) {
+		return false
+	}
+	l.unlink(target, &update)
+	l.shrinkLevel()
+	l.length--
+	l.freeNode(target)
+	return true
+}
+
+// Move removes old and inserts new, reusing old's node and tower height. When
+// new sorts at or after old — the settle path's invariant: a refreshed
+// next-change time is always later than the fired one — the position search
+// resumes forward from old's predecessor fingers instead of the head, so the
+// common "advance to the adjacent slot" case is a pointer splice. It reports
+// whether old was present; new is not inserted otherwise.
+//
+// Move reuses the node's existing tower height rather than drawing a fresh
+// one, so a Move consumes no PRNG state (unlike Delete+Insert, which draws a
+// level). Ordering — the only property callers observe — is unaffected.
+func (l *List[K]) Move(old, new K) bool {
+	var update [maxLevel]int32
+	target := l.findPath(old, &update)
+	if target == nilNode || l.less(old, l.keys[target]) {
+		return false
+	}
+	if l.less(new, old) {
+		// Backward move: rare (the queue only moves keys forward); restart
+		// the search from the head but keep the pooled storage.
+		l.unlink(target, &update)
+		l.shrinkLevel()
+		htKept := int(l.ht[target])
+		l.keys[target] = new
+		l.findPath(new, &update)
+		if htKept > l.level {
+			for h := l.level; h < htKept; h++ {
+				update[h] = nilNode
+			}
+			l.level = htKept
+		}
+		for h := 0; h < htKept; h++ {
+			l.setNext(target, h, l.next(update[h], h))
+			l.setNext(update[h], h, target)
+		}
+		l.reuses++
+		return true
+	}
+	ht := int(l.ht[target])
+	l.unlink(target, &update)
+	// Resume the search forward for new's position. At each level start from
+	// the further-right of the carried node and that level's old-key finger
+	// (both precede new's position; the finger can be ahead of the node
+	// carried down from the level above).
+	x := nilNode
 	for h := l.level - 1; h >= 0; h-- {
-		for x.next[h] != nil && l.less(x.next[h].key, key) {
-			x = x.next[h]
+		if u := update[h]; u != nilNode && (x == nilNode || l.less(l.keys[x], l.keys[u])) {
+			x = u
+		}
+		for nxt := l.next(x, h); nxt != nilNode && l.less(l.keys[nxt], new); nxt = l.next(x, h) {
+			x = nxt
 		}
 		update[h] = x
 	}
-	target := x.next[0]
-	if target == nil || l.less(key, target.key) {
-		return false
+	l.keys[target] = new
+	for h := 0; h < ht; h++ {
+		l.setNext(target, h, l.next(update[h], h))
+		l.setNext(update[h], h, target)
 	}
-	for h := 0; h < len(target.next); h++ {
-		if update[h].next[h] != target {
-			break
-		}
-		update[h].next[h] = target.next[h]
-	}
-	l.shrinkLevel()
-	l.length--
+	l.reuses++
 	return true
 }
 
 // Min returns the smallest key. ok is false when the list is empty.
 func (l *List[K]) Min() (key K, ok bool) {
-	if n := l.head.next[0]; n != nil {
-		return n.key, true
+	if n := l.head[0]; n != nilNode {
+		return l.keys[n], true
 	}
 	var zero K
 	return zero, false
@@ -130,35 +272,37 @@ func (l *List[K]) Min() (key K, ok bool) {
 // head node), which is O(1) in expectation — the fast path Algorithm 2
 // exploits for its frequent head pops.
 func (l *List[K]) DeleteMin() (key K, ok bool) {
-	n := l.head.next[0]
-	if n == nil {
+	n := l.head[0]
+	if n == nilNode {
 		var zero K
 		return zero, false
 	}
-	for h := 0; h < len(n.next); h++ {
-		l.head.next[h] = n.next[h]
+	key = l.keys[n]
+	for h := 0; h < int(l.ht[n]); h++ {
+		l.head[h] = l.next(n, h)
 	}
+	l.freeNode(n)
 	l.shrinkLevel()
 	l.length--
-	return n.key, true
+	return key, true
 }
 
 // Contains reports whether key is in the list.
 func (l *List[K]) Contains(key K) bool {
-	x := l.head
+	x := nilNode
 	for h := l.level - 1; h >= 0; h-- {
-		for x.next[h] != nil && l.less(x.next[h].key, key) {
-			x = x.next[h]
+		for nxt := l.next(x, h); nxt != nilNode && l.less(l.keys[nxt], key); nxt = l.next(x, h) {
+			x = nxt
 		}
 	}
-	n := x.next[0]
-	return n != nil && !l.less(key, n.key)
+	n := l.next(x, 0)
+	return n != nilNode && !l.less(key, l.keys[n])
 }
 
 // Ascend calls fn on every key in ascending order until fn returns false.
 func (l *List[K]) Ascend(fn func(key K) bool) {
-	for n := l.head.next[0]; n != nil; n = n.next[0] {
-		if !fn(n.key) {
+	for n := l.head[0]; n != nilNode; n = l.next(n, 0) {
+		if !fn(l.keys[n]) {
 			return
 		}
 	}
@@ -166,7 +310,7 @@ func (l *List[K]) Ascend(fn func(key K) bool) {
 
 // shrinkLevel drops empty top levels so future searches start lower.
 func (l *List[K]) shrinkLevel() {
-	for l.level > 1 && l.head.next[l.level-1] == nil {
+	for l.level > 1 && l.head[l.level-1] == nilNode {
 		l.level--
 	}
 }
