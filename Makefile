@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke bench-plan bench-plan-shared bench-sim bench-live bench-queue bench-smoke mutex-smoke
+.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke admission-smoke bench-plan bench-plan-shared bench-sim bench-live bench-queue bench-admission bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ vet:
 
 # Race-check the concurrent subsystems: observability fan-out, the live
 # (RPC) job tracker, the parallel/cached planner, the scenario runner, the
-# pooled arena simulator (its equivalence sweep crosses pool handoff), and
-# the queue backends (the randomized op-sequence property test).
+# pooled arena simulator (its equivalence sweep crosses pool handoff), the
+# queue backends (the randomized op-sequence property test), and the
+# admission front door (a locked pipeline shared across tracker shards).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/... ./internal/dsl/...
+	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/... ./internal/dsl/... ./internal/admission/...
 
 # Tier-1 gate plus static analysis and race checks — run before every PR.
 verify: build test vet race
@@ -46,6 +47,7 @@ alloc-pins:
 	$(GO) test -count=1 -run 'TestScenarioAllocs|TestHeartbeatBareAllocs' \
 		./internal/cluster/ ./internal/obs/
 	$(GO) test -count=1 -run 'TestQueueOpAllocs' ./internal/dsl/
+	$(GO) test -count=1 -run 'TestAlwaysAdmitAllocs' ./internal/admission/
 
 # The CI gate: formatting, static analysis, the tier-1 suite, the
 # concurrency race smoke, and the allocation pins.
@@ -57,6 +59,13 @@ ci: fmt-check vet test race-smoke alloc-pins
 # missed workflow, its first unmet F_i, and the critical-path stage.
 postmortem-smoke:
 	$(GO) test -count=1 -v -run 'TestPostmortemSmoke' ./cmd/wohasim/
+
+# Seeded overload through the feasibility front door: four identical
+# workflows swamp a 4-map/2-reduce cluster, so at least one is rejected, and
+# the test asserts every refusal names its stage and counter-offers an
+# achievable deadline while every admitted workflow still meets its own.
+admission-smoke:
+	$(GO) test -count=1 -v -run 'TestAdmissionSmoke' ./cmd/wohasim/
 
 # Regenerate the committed planner throughput numbers (includes the
 # shared-vs-per-cell Fig 8 sweep and the contended shared-planner sections).
@@ -86,6 +95,11 @@ bench-live:
 # workflows, with allocs/op).
 bench-queue:
 	$(GO) run ./cmd/wohabench -queue-bench-out BENCH_queue.json
+
+# Regenerate the committed admission-control numbers: the rejected-vs-missed
+# trade-off sweep plus the always-admit decision cost (pinned at 0 allocs).
+bench-admission:
+	$(GO) run ./cmd/wohabench -admission-bench-out BENCH_admission.json
 
 # One-iteration pass over every benchmark: proves they still run without
 # paying for stable timings.

@@ -1,0 +1,166 @@
+package woha_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	woha "repro"
+)
+
+// scriptedAdmission replays per-workflow decision queues, admitting once a
+// queue runs dry. It lets the facade tests pin how each verdict propagates
+// through the simulator without depending on the real pipeline's policy.
+type scriptedAdmission struct {
+	decisions map[string][]woha.AdmissionDecision
+	completed []string
+}
+
+func (s *scriptedAdmission) Name() string { return "scripted" }
+
+func (s *scriptedAdmission) Decide(w *woha.Workflow, _ *woha.Plan, _ woha.Time) woha.AdmissionDecision {
+	q := s.decisions[w.Name]
+	if len(q) == 0 {
+		return woha.AdmissionDecision{Verdict: woha.AdmissionAdmit}
+	}
+	s.decisions[w.Name] = q[1:]
+	return q[0]
+}
+
+func (s *scriptedAdmission) Complete(w *woha.Workflow, _ woha.Time) {
+	s.completed = append(s.completed, w.Name)
+}
+
+func runWithAdmission(t *testing.T, ctrl woha.AdmissionController, flows ...*woha.Workflow) *woha.Result {
+	t.Helper()
+	opts := []woha.SessionOption{woha.WithSeed(1)}
+	if ctrl != nil {
+		opts = append(opts, woha.WithAdmission(ctrl))
+	}
+	sess, err := woha.NewSession(woha.ClusterConfig{
+		Nodes: 4, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+	}, woha.SchedulerWOHALPF, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range flows {
+		if err := sess.Submit(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAdmissionRejectSurfacesInResult checks a rejected workflow never runs
+// and its result row carries the refusal: reason, counter-offer, and zeroed
+// execution fields, with the aggregate counters excluding it.
+func TestAdmissionRejectSurfacesInResult(t *testing.T) {
+	offer := woha.At(30 * time.Minute)
+	ctrl := &scriptedAdmission{decisions: map[string][]woha.AdmissionDecision{
+		"turned-away": {{Verdict: woha.AdmissionReject, Reason: "infeasible", CounterOffer: offer}},
+	}}
+	res := runWithAdmission(t, ctrl,
+		etl(t, "runs", 2*time.Hour),
+		etl(t, "turned-away", 2*time.Hour),
+	)
+	if res.Rejections() != 1 {
+		t.Fatalf("Rejections = %d, want 1", res.Rejections())
+	}
+	var row woha.WorkflowResult
+	for _, wr := range res.Workflows {
+		if wr.Name == "turned-away" {
+			row = wr
+		}
+	}
+	if !row.Rejected || row.RejectReason != "infeasible" || row.CounterOffer != offer {
+		t.Fatalf("rejected row = %+v", row)
+	}
+	if row.Met || row.Finish != 0 {
+		t.Errorf("rejected workflow reports execution: %+v", row)
+	}
+	if res.AdmittedMissRatio() != 0 {
+		t.Errorf("AdmittedMissRatio = %v, want 0 (the admitted workflow met)", res.AdmittedMissRatio())
+	}
+	if len(ctrl.completed) != 1 || ctrl.completed[0] != "runs" {
+		t.Errorf("Complete calls = %v, want exactly the admitted workflow", ctrl.completed)
+	}
+}
+
+// TestAdmissionDeferDelaysStart runs the same workload with and without a
+// one-shot deferral and checks the deferred run finishes later by at least
+// the deferral gap while still completing.
+func TestAdmissionDeferDelaysStart(t *testing.T) {
+	const gap = 10 * time.Minute
+	base := runWithAdmission(t, nil, etl(t, "w", 2*time.Hour))
+	ctrl := &scriptedAdmission{decisions: map[string][]woha.AdmissionDecision{
+		"w": {{Verdict: woha.AdmissionDefer, Reason: "scripted", RetryAt: woha.At(gap)}},
+	}}
+	deferred := runWithAdmission(t, ctrl, etl(t, "w", 2*time.Hour))
+	b, d := base.Workflows[0], deferred.Workflows[0]
+	if b.Rejected || d.Rejected {
+		t.Fatalf("unexpected rejection: base %+v deferred %+v", b, d)
+	}
+	if got := d.Finish.Sub(b.Finish); got < gap {
+		t.Errorf("deferral moved finish by %v, want >= %v", got, gap)
+	}
+	if !d.Met {
+		t.Errorf("deferred workflow missed: %+v", d)
+	}
+}
+
+// TestRunSeedsRejectsAdmission pins the guard: admission controllers are
+// stateful per-run, so the seed-sweep API refuses them.
+func TestRunSeedsRejectsAdmission(t *testing.T) {
+	_, err := woha.RunSeeds(
+		woha.ClusterConfig{Nodes: 2, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1},
+		woha.SchedulerWOHALPF,
+		[]*woha.Workflow{etl(t, "w", 2*time.Hour)},
+		[]int64{1, 2}, 1,
+		woha.WithAdmission(woha.AlwaysAdmit(nil)),
+	)
+	if err == nil || !strings.Contains(err.Error(), "WithAdmission") {
+		t.Errorf("err = %v, want WithAdmission rejection", err)
+	}
+}
+
+// TestFeasibleFrontDoorEndToEnd drives the real pipeline through the facade:
+// an impossible deadline is refused at the door with a counter-offer past
+// the asked deadline, while the feasible workflow is admitted and meets.
+func TestFeasibleFrontDoorEndToEnd(t *testing.T) {
+	ctrl, err := woha.NewAdmission(woha.AdmissionConfig{
+		Cluster: woha.PlanCaps{Maps: 8, Reduces: 4},
+		Mode:    woha.AdmissionModeFeasible,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := etl(t, "ok", 2*time.Hour)
+	hopeless := woha.NewWorkflow("hopeless").
+		Job("extract", 40, 8, 45*time.Second, 2*time.Minute).
+		Job("clean", 20, 4, 30*time.Second, 90*time.Second, "extract").
+		Job("aggregate", 20, 4, 30*time.Second, 3*time.Minute, "clean").
+		MustBuild(woha.At(10*time.Second), woha.At(3*time.Minute))
+	res := runWithAdmission(t, ctrl, ok, hopeless)
+	if res.Rejections() != 1 {
+		t.Fatalf("Rejections = %d, want 1: %+v", res.Rejections(), res.Workflows)
+	}
+	for _, wr := range res.Workflows {
+		switch wr.Name {
+		case "ok":
+			if wr.Rejected || !wr.Met {
+				t.Errorf("ok: %+v, want admitted and met", wr)
+			}
+		case "hopeless":
+			if !wr.Rejected || wr.RejectReason != "infeasible" {
+				t.Errorf("hopeless: %+v, want infeasible rejection", wr)
+			}
+			if wr.CounterOffer <= hopeless.Deadline {
+				t.Errorf("counter-offer %v not past asked deadline %v", wr.CounterOffer, hopeless.Deadline)
+			}
+		}
+	}
+}

@@ -12,7 +12,9 @@
 // single-mutex control plane; see internal/live). With -queue-bench-out it
 // microbenchmarks the four inter-workflow queue backends in isolation
 // (steady-state decision round-trips at 1k/10k/100k queued workflows; see
-// internal/dsl).
+// internal/dsl). With -admission-bench-out it runs the admission front door's
+// rejected-vs-missed trade-off sweep (always-admit vs the feasible controller
+// over a shrinking cluster; see internal/experiments.AdmissionSweep).
 //
 // Usage:
 //
@@ -21,6 +23,7 @@
 //	wohabench -sim-bench-out BENCH_sim.json
 //	wohabench -live-bench-out BENCH_live.json
 //	wohabench -queue-bench-out BENCH_queue.json
+//	wohabench -admission-bench-out BENCH_admission.json
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 	simBenchOut := flag.String("sim-bench-out", "", "benchmark simulation throughput over the Fig 8 corpus (serial vs 8 workers) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	liveBenchOut := flag.String("live-bench-out", "", "benchmark live JobTracker heartbeat service under concurrent trackers (sharded vs legacy single-mutex) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	queueBenchOut := flag.String("queue-bench-out", "", "microbenchmark the four inter-workflow queue backends (steady-state decision round-trips at 1k/10k/100k queued workflows) and write the JSON report to this file (- for stdout); skips the figure sweep")
+	admBenchOut := flag.String("admission-bench-out", "", "run the admission rejected-vs-missed trade-off sweep (always-admit vs feasible front door over a shrinking cluster) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	metricsAddr := flag.String("metrics-addr", "", "serve the introspection plane (/metrics, /statusz, /debug/pprof) on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
 	flag.Parse()
 
@@ -111,6 +115,15 @@ func main() {
 
 	if *queueBenchOut != "" {
 		if err := runQueueBench(*queueBenchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		finish()
+		return
+	}
+
+	if *admBenchOut != "" {
+		if err := runAdmissionBench(*admBenchOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wohabench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	woha "repro"
+	"repro/internal/plan"
+)
+
+// admissionOpts carries the front-door flags: the controller mode and the
+// per-tenant policy spec.
+type admissionOpts struct {
+	mode    string // "", always, feasible, or token-bucket
+	tenants string // "t1:rate=6,burst=2,quota=0.5,tier=1;t2:quota=0.25"
+}
+
+// controller builds the admission controller the flags select, plus the
+// tenant names (in spec order) for round-robin workflow assignment. All three
+// results are zero when no front door was requested.
+func (ao admissionOpts) controller(maps, reds int, ins *woha.Instrumentation) (woha.AdmissionController, []string, error) {
+	if ao.mode == "" {
+		if ao.tenants != "" {
+			return nil, nil, fmt.Errorf("-tenants requires -admission feasible or token-bucket")
+		}
+		return nil, nil, nil
+	}
+	tenants, names, err := parseTenants(ao.tenants)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ao.mode == woha.AdmissionModeAlways {
+		if len(names) > 0 {
+			return nil, nil, fmt.Errorf("-tenants has no effect under -admission always")
+		}
+		return woha.AlwaysAdmit(ins), nil, nil
+	}
+	ctrl, err := woha.NewAdmission(woha.AdmissionConfig{
+		Cluster: plan.Caps{Maps: maps, Reduces: reds},
+		Mode:    ao.mode,
+		Tenants: tenants,
+		Obs:     ins,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, names, nil
+}
+
+// parseTenants decodes the -tenants spec: semicolon-separated tenants, each
+// "name:key=value,..." with keys rate (admissions per virtual hour), burst,
+// quota (fraction of cluster slots), and tier. Returns the config map plus
+// the tenant names in spec order.
+func parseTenants(spec string) (map[string]woha.AdmissionTenant, []string, error) {
+	if spec == "" {
+		return nil, nil, nil
+	}
+	tenants := make(map[string]woha.AdmissionTenant)
+	var names []string
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, kvs, ok := strings.Cut(entry, ":")
+		if !ok || name == "" {
+			return nil, nil, fmt.Errorf("-tenants entry %q, want name:key=value,...", entry)
+		}
+		if _, dup := tenants[name]; dup {
+			return nil, nil, fmt.Errorf("-tenants names tenant %q twice", name)
+		}
+		var t woha.AdmissionTenant
+		for _, kv := range strings.Split(kvs, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("-tenants entry %q: %q, want key=value", entry, kv)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("-tenants entry %q: %q: %v", entry, kv, err)
+			}
+			switch k {
+			case "rate":
+				t.Rate = f
+			case "burst":
+				t.Burst = int(f)
+			case "quota":
+				t.Quota = f
+			case "tier":
+				t.Tier = int(f)
+			default:
+				return nil, nil, fmt.Errorf("-tenants entry %q: unknown key %q (want rate, burst, quota, or tier)", entry, k)
+			}
+		}
+		tenants[name] = t
+		names = append(names, name)
+	}
+	return tenants, names, nil
+}
+
+// assignTenants stamps tenant names onto the workflows round-robin, in
+// submission order. A no-op when no tenants were configured.
+func assignTenants(flows []*woha.Workflow, names []string) {
+	if len(names) == 0 {
+		return
+	}
+	for i, w := range flows {
+		w.Tenant = names[i%len(names)]
+	}
+}
+
+// outcomeLabel renders one workflow's outcome column, covering the rejected
+// case the admission front door introduces.
+func outcomeLabel(w woha.WorkflowResult, met string) string {
+	if w.Rejected {
+		s := "REJECTED (" + w.RejectReason + ")"
+		if w.CounterOffer > 0 {
+			s += fmt.Sprintf(", counter-offer %.0fs", w.CounterOffer.Seconds())
+		}
+		return s
+	}
+	if !w.Met {
+		return fmt.Sprintf("MISS by %v", w.Tardiness.Round(time.Second))
+	}
+	return met
+}
+
+// printAdmissionSummary reports the front door's aggregate outcome after a
+// run. A no-op without a controller.
+func printAdmissionSummary(adm woha.AdmissionController, flows []woha.WorkflowResult) {
+	if adm == nil {
+		return
+	}
+	rejected, offered := 0, 0
+	admitted, missed := 0, 0
+	for _, w := range flows {
+		if w.Rejected {
+			rejected++
+			if w.CounterOffer > 0 {
+				offered++
+			}
+			continue
+		}
+		admitted++
+		if !w.Met {
+			missed++
+		}
+	}
+	ratio := 0.0
+	if admitted > 0 {
+		ratio = float64(missed) / float64(admitted)
+	}
+	fmt.Printf("admission %s: %d admitted, %d rejected (%d counter-offered), miss ratio among admitted %.1f%%\n",
+		adm.Name(), admitted, rejected, offered, 100*ratio)
+}

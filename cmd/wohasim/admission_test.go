@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	woha "repro"
+)
+
+// TestAdmissionSmoke overloads a small cluster behind the feasibility front
+// door and asserts the refusal surface end to end: the seeded workload
+// produces at least one rejection, every rejection names the refusing stage
+// and carries a counter-offer past the asked deadline, and every admitted
+// workflow meets its deadline (the trade-off the front door exists to buy).
+func TestAdmissionSmoke(t *testing.T) {
+	cfg := woha.ClusterConfig{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, Seed: 1}
+	ins := woha.NewInstrumentation(nil, nil)
+	ao := admissionOpts{mode: "feasible"}
+	adm, _, err := ao.controller(cfg.MapSlots(), cfg.ReduceSlots(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []*woha.Workflow
+	for i := 0; i < 4; i++ {
+		rel := time.Duration(i) * 50 * time.Second
+		flows = append(flows, woha.NewWorkflow("w"+string(rune('1'+i))).
+			Job("crunch", 8, 2, 100*time.Second, 100*time.Second).
+			MustBuild(woha.At(rel), woha.At(rel+600*time.Second)))
+	}
+	sess, err := woha.NewSession(cfg, woha.SchedulerWOHALPF,
+		woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins), woha.WithAdmission(adm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SubmitAll(flows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejections() == 0 {
+		t.Fatalf("seeded overload produced no rejections: %+v", res.Workflows)
+	}
+	for _, w := range res.Workflows {
+		if w.Rejected {
+			if w.RejectReason == "" {
+				t.Errorf("%s: rejection without a reason", w.Name)
+			}
+			if w.CounterOffer <= w.Deadline {
+				t.Errorf("%s: counter-offer %v not past the asked deadline %v", w.Name, w.CounterOffer, w.Deadline)
+			}
+			if got := outcomeLabel(w, "no"); !strings.Contains(got, "REJECTED") || !strings.Contains(got, "counter-offer") {
+				t.Errorf("%s: outcome label %q missing refusal fields", w.Name, got)
+			}
+			continue
+		}
+		if !w.Met {
+			t.Errorf("%s: admitted but missed its deadline by %v", w.Name, w.Tardiness)
+		}
+	}
+	if res.AdmittedMissRatio() != 0 {
+		t.Errorf("AdmittedMissRatio = %v, want 0", res.AdmittedMissRatio())
+	}
+}

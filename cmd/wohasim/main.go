@@ -52,12 +52,19 @@ func main() {
 		planCache    = flag.Int("plan-cache", 0, "structural plan cache capacity (0 = disabled)")
 		replicas     = flag.Int("replicas", 1, "replay the run once per seed (seed, seed+1, ...) and report per-seed outcomes")
 		replicaWork  = flag.Int("replica-workers", 0, "concurrent replicas (0 = one per core, 1 = serial; results identical either way)")
+		admMode      = flag.String("admission", "", "front-door admission controller: always, feasible, or token-bucket (empty = no front door, the seed behaviour)")
+		admTenants   = flag.String("tenants", "", "per-tenant admission policies, e.g. \"t1:rate=6,burst=2,quota=0.5,tier=0;t2:quota=0.25,tier=1\"; workflows are assigned tenants round-robin")
 	)
 	flag.Parse()
 	po := planOpts{workers: *planWorkers, cache: *planCache}
+	ao := admissionOpts{mode: *admMode, tenants: *admTenants}
 
 	if *postmortem != "" && *replicas > 1 {
 		fmt.Fprintln(os.Stderr, "wohasim: -postmortem records a single run; drop it or -replicas")
+		os.Exit(1)
+	}
+	if ao.mode != "" && *replicas > 1 {
+		fmt.Fprintln(os.Stderr, "wohasim: -admission controllers are stateful per-run; drop it or -replicas")
 		os.Exit(1)
 	}
 
@@ -98,7 +105,7 @@ func main() {
 	pl := po.shared(ins)
 
 	if *liveMode {
-		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, pl, pm); err != nil {
+		if err := runLive(*workloadName, *schedName, *nodes, *mapSlots, *reduceSlots, *shards, *timeScale, ins, pl, pm, ao); err != nil {
 			fmt.Fprintln(os.Stderr, "wohasim:", err)
 			os.Exit(1)
 		}
@@ -130,7 +137,7 @@ func main() {
 			err = runReplicas(*workloadName, *schedName, cfg, *replicas, *replicaWork, ins, pl)
 		}
 	} else {
-		err = run(*workloadName, *schedName, cfg, *timeline, ins, pl, pm)
+		err = run(*workloadName, *schedName, cfg, *timeline, ins, pl, pm, ao)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wohasim:", err)
@@ -236,17 +243,22 @@ func (po planOpts) shared(ins *woha.Instrumentation) *woha.Planner {
 	)
 }
 
-func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, pl *woha.Planner, pm *postmortemCapture) error {
+func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath string, ins *woha.Instrumentation, pl *woha.Planner, pm *postmortemCapture, ao admissionOpts) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
 	}
+	adm, tenantNames, err := ao.controller(cfg.MapSlots(), cfg.ReduceSlots(), ins)
+	if err != nil {
+		return err
+	}
+	assignTenants(flows, tenantNames)
 	if err := pm.addSpecs(flows, schedName, cfg.MapSlots(), cfg.ReduceSlots(), pl); err != nil {
 		return err
 	}
 
 	var tl *metrics.Timeline
-	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins), woha.WithPlanner(pl)}
+	opts := []woha.SessionOption{woha.WithSeed(cfg.Seed), woha.WithInstrumentation(ins), woha.WithPlanner(pl), woha.WithAdmission(adm)}
 	if timelinePath != "" {
 		tl = woha.NewTimeline()
 		opts = append(opts, woha.WithObserver(tl))
@@ -267,17 +279,15 @@ func run(workloadName, schedName string, cfg woha.ClusterConfig, timelinePath st
 		res.Policy, cfg.Nodes, cfg.MapSlots(), cfg.ReduceSlots(), len(res.Workflows), res.TasksStarted)
 	fmt.Printf("%-12s %10s %10s %10s %10s  %s\n", "workflow", "release", "deadline", "finish", "workspan", "met")
 	for _, w := range res.Workflows {
-		met := "yes"
-		if !w.Met {
-			met = fmt.Sprintf("MISS by %v", w.Tardiness.Round(time.Second))
-		}
 		fmt.Printf("%-12s %10.0fs %10.0fs %10.0fs %10.0fs  %s\n",
-			w.Name, w.Release.Seconds(), w.Deadline.Seconds(), w.Finish.Seconds(), w.Workspan.Seconds(), met)
+			w.Name, w.Release.Seconds(), w.Deadline.Seconds(), w.Finish.Seconds(), w.Workspan.Seconds(),
+			outcomeLabel(w, "yes"))
 	}
 	fmt.Printf("misses %d/%d (%.1f%%), max tardiness %v, total tardiness %v, utilization %.3f, makespan %v\n",
 		res.DeadlineMisses(), len(res.Workflows), 100*res.MissRatio(),
 		res.MaxTardiness().Round(time.Second), res.TotalTardiness().Round(time.Second),
 		res.Utilization(), res.Makespan.Duration().Round(time.Second))
+	printAdmissionSummary(adm, res.Workflows)
 
 	if tl != nil {
 		f, err := os.Create(timelinePath)
@@ -329,7 +339,7 @@ func runReplicas(workloadName, schedName string, cfg woha.ClusterConfig, replica
 }
 
 // runLive executes the workload on the concurrent mini-Hadoop.
-func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, pl *woha.Planner, pm *postmortemCapture) error {
+func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shards int, timeScale float64, ins *woha.Instrumentation, pl *woha.Planner, pm *postmortemCapture, ao admissionOpts) error {
 	flows, err := buildWorkload(workloadName)
 	if err != nil {
 		return err
@@ -338,6 +348,11 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shard
 	if err != nil {
 		return err
 	}
+	adm, tenantNames, err := ao.controller(nodes*mapSlots, nodes*reduceSlots, ins)
+	if err != nil {
+		return err
+	}
+	assignTenants(flows, tenantNames)
 	cfg := live.Config{
 		Nodes:              nodes,
 		MapSlotsPerNode:    mapSlots,
@@ -346,6 +361,7 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shard
 		TimeScale:          timeScale,
 		Shards:             shards,
 		Obs:                ins,
+		Admission:          adm,
 	}
 	c, err := live.New(cfg, cluster.InstrumentPolicy(spec.New(1), ins))
 	if err != nil {
@@ -379,12 +395,9 @@ func runLive(workloadName, schedName string, nodes, mapSlots, reduceSlots, shard
 		"   pick -time-scale so that is ~3s to emulate Hadoop's heartbeat period)\n",
 		virtualHB.Round(time.Second))
 	for _, w := range res.Workflows {
-		met := "met"
-		if !w.Met {
-			met = fmt.Sprintf("MISS by %v", w.Tardiness.Round(time.Second))
-		}
-		fmt.Printf("  %-12s workspan %10v (virtual)  %s\n", w.Name, w.Workspan.Round(time.Second), met)
+		fmt.Printf("  %-12s workspan %10v (virtual)  %s\n", w.Name, w.Workspan.Round(time.Second), outcomeLabel(w, "met"))
 	}
+	printAdmissionSummary(adm, res.Workflows)
 	return nil
 }
 

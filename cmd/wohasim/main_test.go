@@ -32,7 +32,7 @@ func clusterCfg() woha.ClusterConfig {
 
 func TestRunXMLWorkload(t *testing.T) {
 	timeline := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}.shared(nil), nil); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), timeline, nil, planOpts{workers: 1}.shared(nil), nil, admissionOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(timeline); err != nil {
@@ -42,16 +42,16 @@ func TestRunXMLWorkload(t *testing.T) {
 
 func TestRunXMLWorkloadParallelCachedPlans(t *testing.T) {
 	// Same workload through the parallel, cached planner path.
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}.shared(nil), nil); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", nil, planOpts{workers: 4, cache: 32}.shared(nil), nil, admissionOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}.shared(nil), nil); err == nil {
+	if err := run("/nonexistent.xml", "WOHA-LPF", clusterCfg(), "", nil, planOpts{}.shared(nil), nil, admissionOpts{}); err == nil {
 		t.Error("missing workload accepted")
 	}
-	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}.shared(nil), nil); err == nil {
+	if err := run(writeXML(t), "Mystery", clusterCfg(), "", nil, planOpts{}.shared(nil), nil, admissionOpts{}); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -61,7 +61,7 @@ func TestRunLiveXMLWorkload(t *testing.T) {
 	// once per control-plane layout (-shards 1 legacy, -shards 2 sharded).
 	for _, shards := range []int{1, 2} {
 		start := time.Now()
-		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}.shared(nil), nil); err != nil {
+		if err := runLive(writeXML(t), "FIFO", 4, 2, 1, shards, 0.00005, nil, planOpts{workers: 1}.shared(nil), nil, admissionOpts{}); err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
 		if time.Since(start) > 20*time.Second {
@@ -82,7 +82,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	defer srv.Shutdown(context.Background())
 
-	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}.shared(ins), nil); err != nil {
+	if err := run(writeXML(t), "WOHA-LPF", clusterCfg(), "", ins, planOpts{workers: 2, cache: 8}.shared(ins), nil, admissionOpts{}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,60 @@
+package admission
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// TestDeferralLimitRejects forces a workflow's defer count to the cap and
+// checks the next ruling rejects instead of deferring forever.
+func TestDeferralLimitRejects(t *testing.T) {
+	ctrl, err := New(Config{
+		Mode:    ModeTokenBucket,
+		Tenants: map[string]Tenant{"t": {Rate: 1, Burst: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ctrl.(*pipeline)
+	w := workflow.NewBuilder("w").
+		Job("j", 1, 0, time.Second, 0).
+		MustBuild(simtime.Epoch, simtime.Epoch.Add(time.Hour))
+	w.Tenant = "t"
+	p.anchors[w.Name] = anchor{at: w.Release, defers: maxDeferrals}
+	d := p.Decide(w, nil, w.Release)
+	if d.Verdict != Reject || d.Reason != "deferral-limit" {
+		t.Fatalf("Decide = %+v, want deferral-limit reject", d)
+	}
+	if _, ok := p.anchors[w.Name]; ok {
+		t.Error("terminal ruling left the anchor behind")
+	}
+}
+
+// TestBucketRefillClamped pins the bucket's out-of-order safety: an anchor
+// earlier than the last refill neither rewinds the clock nor double-refills.
+func TestBucketRefillClamped(t *testing.T) {
+	b := &bucket{rate: 1.0 / float64(time.Hour), burst: 2, tokens: 0, last: simtime.Epoch.Add(time.Hour)}
+	b.refill(simtime.Epoch) // earlier than last: must be a no-op
+	if b.tokens != 0 || b.last != simtime.Epoch.Add(time.Hour) {
+		t.Fatalf("out-of-order refill mutated bucket: tokens=%v last=%v", b.tokens, b.last)
+	}
+	b.refill(simtime.Epoch.Add(2 * time.Hour))
+	if b.tokens != 1 {
+		t.Fatalf("tokens = %v after 1h refill at rate 1/h, want 1", b.tokens)
+	}
+	b.refill(simtime.Epoch.Add(10 * time.Hour))
+	if b.tokens != 2 {
+		t.Fatalf("tokens = %v, want clamped at burst 2", b.tokens)
+	}
+	if w := b.wait(simtime.Epoch.Add(10 * time.Hour)); w != 0 {
+		t.Fatalf("wait = %v with a full bucket, want 0", w)
+	}
+	b.take(simtime.Epoch.Add(10 * time.Hour))
+	b.take(simtime.Epoch.Add(10 * time.Hour))
+	if w := b.wait(simtime.Epoch.Add(10 * time.Hour)); w < time.Hour-time.Second || w > time.Hour+time.Second {
+		t.Fatalf("wait = %v with an empty bucket, want ~1h", w)
+	}
+}

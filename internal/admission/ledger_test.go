@@ -1,0 +1,138 @@
+package admission_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+)
+
+func sec(n int) simtime.Time { return simtime.Epoch.Add(time.Duration(n) * time.Second) }
+
+// usageOracle recomputes the ledger's usage at t by brute force over a
+// commitment snapshot — the independent check the property test trusts.
+func usageOracle(commits []admission.Commitment, t simtime.Time) plan.Caps {
+	var u plan.Caps
+	for _, c := range commits {
+		if c.Start <= t && t < c.End {
+			u.Maps += c.Maps
+			u.Reduces += c.Reduces
+		}
+	}
+	return u
+}
+
+// wouldOvercommit is the test's own feasibility oracle for a candidate
+// commitment: usage can only rise at commitment starts, so the candidate
+// overflows iff usage+candidate exceeds the cluster at its own start or at
+// any existing start inside its window.
+func wouldOvercommit(commits []admission.Commitment, cluster plan.Caps, cand admission.Commitment) bool {
+	instants := []simtime.Time{cand.Start}
+	for _, c := range commits {
+		if cand.Start < c.Start && c.Start < cand.End {
+			instants = append(instants, c.Start)
+		}
+	}
+	for _, t := range instants {
+		u := usageOracle(commits, t)
+		if u.Maps+cand.Maps > cluster.Maps || u.Reduces+cand.Reduces > cluster.Reduces {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLedgerNeverOvercommits drives the ledger through random commit,
+// release, and expire traffic and checks two properties after every step:
+// Commit accepts exactly the commitments the brute-force oracle allows, and
+// the committed set never exceeds cluster capacity at any instant where
+// usage can peak (every commitment start).
+func TestLedgerNeverOvercommits(t *testing.T) {
+	cluster := plan.Caps{Maps: 6, Reduces: 4}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lg := admission.NewLedger(cluster)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0: // release a random (possibly absent) workflow
+				lg.Release(fmt.Sprintf("w%d", rng.Intn(op+1)))
+			case 1: // expire up to a random instant
+				lg.Expire(sec(rng.Intn(200)))
+			default:
+				start := rng.Intn(150)
+				cand := admission.Commitment{
+					Workflow: fmt.Sprintf("w%d", op),
+					Start:    sec(start),
+					End:      sec(start + 1 + rng.Intn(60)),
+					Maps:     rng.Intn(cluster.Maps + 2), // sometimes > cluster
+					Reduces:  rng.Intn(cluster.Reduces + 2),
+				}
+				if cand.Maps == 0 && cand.Reduces == 0 {
+					cand.Maps = 1
+				}
+				before := lg.Committed()
+				wantErr := cand.Maps > cluster.Maps || cand.Reduces > cluster.Reduces ||
+					wouldOvercommit(before, cluster, cand)
+				err := lg.Commit(cand)
+				if (err != nil) != wantErr {
+					t.Fatalf("seed %d op %d: Commit(%+v) err=%v, oracle wantErr=%v (ledger %+v)",
+						seed, op, cand, err, wantErr, before)
+				}
+			}
+			// Global invariant: usage at every commitment start stays within
+			// the cluster.
+			commits := lg.Committed()
+			for _, c := range commits {
+				u := usageOracle(commits, c.Start)
+				if u.Maps > cluster.Maps || u.Reduces > cluster.Reduces {
+					t.Fatalf("seed %d op %d: over-committed at %v: usage %+v > cluster %+v",
+						seed, op, c.Start, u, cluster)
+				}
+			}
+		}
+	}
+}
+
+// TestLedgerWindows pins the window queries the pipeline stages rely on.
+func TestLedgerWindows(t *testing.T) {
+	lg := admission.NewLedger(plan.Caps{Maps: 4, Reduces: 4})
+	mustCommit := func(c admission.Commitment) {
+		t.Helper()
+		if err := lg.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(admission.Commitment{Workflow: "a", Tenant: "t", Start: sec(0), End: sec(100), Maps: 2, Reduces: 1})
+	mustCommit(admission.Commitment{Workflow: "b", Tenant: "t", Start: sec(50), End: sec(150), Maps: 1, Reduces: 2})
+
+	if peak := lg.PeakOver(sec(0), sec(200)); peak.Maps != 3 || peak.Reduces != 3 {
+		t.Errorf("PeakOver = %+v, want {3 3}", peak)
+	}
+	if free := lg.FreeOver(sec(0), sec(200), lg.Cluster()); free.Maps != 1 || free.Reduces != 1 {
+		t.Errorf("FreeOver = %+v, want {1 1}", free)
+	}
+	if peak := lg.TenantPeakOver("t", sec(0), sec(200)); peak.Maps != 3 || peak.Reduces != 3 {
+		t.Errorf("TenantPeakOver(t) = %+v, want {3 3}", peak)
+	}
+	if peak := lg.TenantPeakOver("other", sec(0), sec(200)); peak.Maps != 0 || peak.Reduces != 0 {
+		t.Errorf("TenantPeakOver(other) = %+v, want zero", peak)
+	}
+	if end, ok := lg.NextTenantEnd("t", sec(10)); !ok || end != sec(100) {
+		t.Errorf("NextTenantEnd = %v,%v, want 100s,true", end, ok)
+	}
+	ends := lg.EndsWithin(sec(0), sec(500))
+	if len(ends) != 2 || ends[0] != sec(100) || ends[1] != sec(150) {
+		t.Errorf("EndsWithin = %v, want [100s 150s]", ends)
+	}
+	lg.Expire(sec(100)) // drops a (End <= 100s)
+	if got := len(lg.Committed()); got != 1 {
+		t.Errorf("after Expire: %d commitments, want 1", got)
+	}
+	if !lg.Release("b") || lg.Release("b") {
+		t.Error("Release(b) should succeed once then report absent")
+	}
+}

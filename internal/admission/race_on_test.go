@@ -1,0 +1,7 @@
+//go:build race
+
+package admission_test
+
+// raceEnabled reports that this binary was built with -race. Allocation
+// pins skip under race: the race runtime's bookkeeping inflates counts.
+const raceEnabled = true

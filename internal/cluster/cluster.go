@@ -193,6 +193,15 @@ type WorkflowState struct {
 	Done       bool
 	FinishTime simtime.Time
 
+	// Rejected marks a workflow the admission controller turned away: it is
+	// Done without ever reaching the policy, RejectReason names the stage
+	// that refused it, and CounterOffer (when non-zero) is the earliest
+	// feasible deadline offered back. All zero under the default
+	// always-admit front door.
+	Rejected     bool
+	RejectReason string
+	CounterOffer simtime.Time
+
 	// schedCnt counts, per slot type, the jobs currently able to start a
 	// task; schedJobs is the matching bitset over job IDs. Both exist only
 	// when the owning control plane opted in via EnableSchedIndex and calls

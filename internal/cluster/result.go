@@ -20,6 +20,13 @@ type WorkflowResult struct {
 	Tardiness time.Duration
 	// Met reports whether the deadline was satisfied.
 	Met bool
+	// Rejected marks a workflow the admission front door turned away; it
+	// never ran, so Finish and Workspan are zero and Met is false.
+	// RejectReason names the refusing stage and CounterOffer (non-zero only
+	// when one was made) the earliest feasible deadline offered back.
+	Rejected     bool
+	RejectReason string
+	CounterOffer simtime.Time
 }
 
 // Result aggregates a simulation run.
@@ -71,6 +78,13 @@ func (s *Simulator) result() *Result {
 			Deadline: ws.Spec.Deadline,
 			Finish:   ws.FinishTime,
 		}
+		if ws.Rejected {
+			wr.Rejected = true
+			wr.RejectReason = ws.RejectReason
+			wr.CounterOffer = ws.CounterOffer
+			r.Workflows = append(r.Workflows, wr)
+			continue
+		}
 		wr.Workspan = wr.Finish.Sub(wr.Release)
 		if wr.Finish > wr.Deadline {
 			wr.Tardiness = wr.Finish.Sub(wr.Deadline)
@@ -93,12 +107,47 @@ func (r *Result) DeadlineMisses() int {
 }
 
 // MissRatio returns the deadline violation ratio (Fig 8's metric). It is 0
-// for an empty run.
+// for an empty run. Rejected workflows count as misses here — from the
+// submitter's view their deadline was not met; AdmittedMissRatio excludes
+// them.
 func (r *Result) MissRatio() float64 {
 	if len(r.Workflows) == 0 {
 		return 0
 	}
 	return float64(r.DeadlineMisses()) / float64(len(r.Workflows))
+}
+
+// Rejections returns the number of workflows the admission front door turned
+// away (always 0 under the default always-admit controller).
+func (r *Result) Rejections() int {
+	n := 0
+	for _, w := range r.Workflows {
+		if w.Rejected {
+			n++
+		}
+	}
+	return n
+}
+
+// AdmittedMissRatio returns the deadline violation ratio among the workflows
+// that were actually admitted — the quantity the admission trade-off sweep
+// compares against the always-admit MissRatio. It is 0 when nothing was
+// admitted.
+func (r *Result) AdmittedMissRatio() float64 {
+	admitted, missed := 0, 0
+	for _, w := range r.Workflows {
+		if w.Rejected {
+			continue
+		}
+		admitted++
+		if !w.Met {
+			missed++
+		}
+	}
+	if admitted == 0 {
+		return 0
+	}
+	return float64(missed) / float64(admitted)
 }
 
 // MaxTardiness returns the largest tardiness over all workflows (Fig 9).

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/simtime"
@@ -52,6 +53,10 @@ type Simulator struct {
 	// specWake is the earliest armed speculative wake-up (MaxTime = none),
 	// preventing duplicate retry events.
 	specWake simtime.Time
+
+	// adm is the admission front door consulted at each arrival (nil, the
+	// default, admits everything on the untouched fast path).
+	adm admission.Controller
 
 	// freeIdx[st] indexes the nodes that are up with at least one free slot
 	// of type st, so dispatch finds a slot without scanning every node.
@@ -271,6 +276,7 @@ func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
 	s.tasksStarted = 0
 	s.makespan = simtime.Epoch
 	s.localMaps, s.remoteMaps = 0, 0
+	s.adm = nil
 	s.SetInstrumentation(nil)
 	s.ran = false
 }
@@ -282,7 +288,7 @@ func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
 // afterwards: workflow records are arena storage a later run overwrites.
 // Release is optional — an unreleased simulator is simply collected.
 func (s *Simulator) Release() {
-	s.pol, s.obs, s.ins = nil, nil, nil
+	s.pol, s.obs, s.ins, s.adm = nil, nil, nil, nil
 	for i := range s.states {
 		s.states[i] = nil
 	}
@@ -349,6 +355,13 @@ func (s *Simulator) flushRunMetrics() {
 	s.arenaGrows.Add(int64(s.arena.grown))
 	s.drainBatchCtr.Add(int64(s.drainBatches))
 	s.drainCoalesCtr.Add(int64(s.drainCoalesced))
+}
+
+// SetAdmission installs the admission front door consulted when each
+// workflow's release time arrives. Call before Run; nil (the default) keeps
+// the unconditional-admit fast path with zero added work per arrival.
+func (s *Simulator) SetAdmission(ctrl admission.Controller) {
+	s.adm = ctrl
 }
 
 // Submit queues a workflow for arrival at its release time. p is the WOHA
@@ -451,6 +464,39 @@ func (s *Simulator) Run() (*Result, error) {
 
 func (s *Simulator) arrive(wf int) {
 	ws := s.states[wf]
+	if s.adm != nil {
+		switch d := s.adm.Decide(ws.Spec, ws.Plan, s.now); d.Verdict {
+		case admission.Defer:
+			// Re-arrive at the retry instant. The consumed head of the
+			// arrival-time multiset is replaced by the retry time and bubbled
+			// to its sorted position, so heartbeat skip-ahead still sees the
+			// earliest pending arrival; arrIdx and arrivalsLeft are untouched
+			// (the workflow is neither live nor resolved).
+			retry := d.RetryAt
+			if retry <= s.now {
+				retry = s.now + 1
+			}
+			s.events.Push(retry, event{kind: evArrival, a: int32(wf)})
+			i := s.arrIdx
+			s.arrivalTimes[i] = retry
+			for i+1 < len(s.arrivalTimes) && s.arrivalTimes[i+1] < s.arrivalTimes[i] {
+				s.arrivalTimes[i], s.arrivalTimes[i+1] = s.arrivalTimes[i+1], s.arrivalTimes[i]
+				i++
+			}
+			return
+		case admission.Reject:
+			// Resolved without ever reaching the policy: mark it done so the
+			// run drains normally and the result carries the refusal.
+			s.arrivalsLeft--
+			s.arrIdx++
+			ws.Rejected = true
+			ws.RejectReason = d.Reason
+			ws.CounterOffer = d.CounterOffer
+			ws.Done = true
+			s.doneCount++
+			return
+		}
+	}
 	s.arrivalsLeft--
 	s.arrIdx++
 	s.ins.WorkflowSubmitted(s.now, wf, ws.Spec.Name)
@@ -542,6 +588,9 @@ func (s *Simulator) complete(h int32, gen uint32) {
 			s.ins.WorkflowCompleted(s.now, ws.Index, ws.Spec.Name, tardiness)
 		}
 		s.pol.WorkflowCompleted(ws, s.now)
+		if s.adm != nil {
+			s.adm.Complete(ws.Spec, s.now)
+		}
 	}
 	s.makespan = simtime.MaxOf(s.makespan, s.now)
 	s.wakeNode(node)

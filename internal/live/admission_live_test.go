@@ -1,0 +1,106 @@
+package live_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/plan"
+	"repro/internal/priority"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// decisionAudit is the introspection side of the staged pipeline (see
+// admission.pipeline); the equivalence test compares full decision records,
+// not just the per-workflow outcome fields.
+type decisionAudit interface {
+	Records() []admission.Record
+}
+
+// feasibleDoor builds a fresh feasibility controller sized to fastConfig's
+// cluster. Controllers are stateful, so every layout gets its own.
+func feasibleDoor(t *testing.T) admission.Controller {
+	t.Helper()
+	ctrl, err := admission.New(admission.Config{
+		Cluster: plan.Caps{Maps: 8, Reduces: 4},
+		Mode:    admission.ModeFeasible,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// TestAdmissionDecisionsAgreeAcrossLayouts runs the same released workload
+// through the legacy tracker and the sharded tracker at several widths, each
+// behind its own feasibility front door, and checks the layouts produce
+// identical decision records and identical per-workflow refusal fields. The
+// anchoring contract makes this exact: rulings anchor at release times, not
+// at the control-plane instants the layouts reach them.
+func TestAdmissionDecisionsAgreeAcrossLayouts(t *testing.T) {
+	flows := func() []*workflow.Workflow {
+		return []*workflow.Workflow{
+			// Admits; the ledger commits a minimal slice.
+			chainFlow("w1", 0, 2*time.Hour),
+			// Rejects: 60s of critical path against a 50s budget, and no
+			// commitment end inside the window can save it.
+			chainFlow("w2", 10*time.Second, 60*time.Second),
+			// Admits at the capacity left over from w1.
+			chainFlow("w3", 20*time.Second, 2*time.Hour),
+		}
+	}
+	type row struct {
+		rejected bool
+		reason   string
+		offer    simtime.Time
+	}
+	var wantRows map[string]row
+	var wantRecs []admission.Record
+	for _, shards := range []int{1, 2, 4} {
+		ctrl := feasibleDoor(t)
+		cfg := shardedConfig(shards)
+		cfg.Admission = ctrl
+		c, err := live.New(cfg, core.NewScheduler(core.Options{Seed: 7}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range flows() {
+			p, err := plan.GenerateCapped(w, 12, priority.LPF{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Submit(w, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := c.Run(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", shards, err)
+		}
+		rows := map[string]row{}
+		for _, w := range res.Workflows {
+			rows[w.Name] = row{rejected: w.Rejected, reason: w.RejectReason, offer: w.CounterOffer}
+		}
+		if !rows["w2"].rejected || rows["w1"].rejected || rows["w3"].rejected {
+			t.Fatalf("Shards=%d: refusal pattern %+v, want exactly w2 rejected", shards, rows)
+		}
+		recs := ctrl.(decisionAudit).Records()
+		if wantRows == nil {
+			wantRows, wantRecs = rows, recs
+			continue
+		}
+		if !reflect.DeepEqual(rows, wantRows) {
+			t.Errorf("Shards=%d: outcome rows %+v differ from legacy %+v", shards, rows, wantRows)
+		}
+		if !reflect.DeepEqual(recs, wantRecs) {
+			t.Errorf("Shards=%d: decision records diverge from legacy:\n got %+v\nwant %+v", shards, recs, wantRecs)
+		}
+	}
+}

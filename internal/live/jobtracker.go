@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -39,6 +40,12 @@ type JobTracker struct {
 	relOrder  []int
 	relCursor int
 
+	// adm is the admission front door (nil admits everything); deferred
+	// holds workflows whose decision was postponed, re-ruled once their
+	// retry instant passes. Guarded by mu.
+	adm      admission.Controller
+	deferred []deferredRelease
+
 	// live flips when the clock is stamped; register fails loudly after
 	// that, making pre-start registration explicitly single-threaded.
 	live atomic.Bool
@@ -54,7 +61,14 @@ func newJobTracker(cfg Config, pol cluster.Policy) *JobTracker {
 	// Register the woha_live_* family with shards=1 so an instrumented
 	// legacy run still reports which control-plane layout is serving.
 	cfg.Obs.NewLiveStats(1)
-	return &JobTracker{cfg: cfg, pol: pol, ins: cfg.Obs, done: make(chan struct{})}
+	return &JobTracker{cfg: cfg, pol: pol, adm: cfg.Admission, ins: cfg.Obs, done: make(chan struct{})}
+}
+
+// deferredRelease is a workflow whose admission decision was postponed to a
+// retry instant.
+type deferredRelease struct {
+	wf int
+	at simtime.Time
 }
 
 // register records a workflow before the cluster starts. Registration is
@@ -146,22 +160,82 @@ func (jt *JobTracker) Heartbeat(hb Heartbeat) []Assignment {
 	return out
 }
 
-// releaseDue hands workflows whose release time has arrived to the policy
-// and activates their root jobs. Registrations were sorted by release time
-// when the clock was stamped, so the cursor advances monotonically and each
-// heartbeat inspects only workflows actually due.
+// releaseDue rules on every submission whose decision instant has arrived —
+// fresh releases (sorted by release time when the clock was stamped, so the
+// cursor advances monotonically) merged with deferred retries — and hands the
+// admitted ones to the policy. The merge processes items in (decision
+// instant, release-before-retry, submission index) order, mirroring the
+// simulator's event order, so an anchored admission controller rules in the
+// same sequence on both control planes.
 func (jt *JobTracker) releaseDue(now simtime.Time) {
-	for jt.relCursor < len(jt.relOrder) {
-		ws := jt.states[jt.relOrder[jt.relCursor]]
-		if ws.Spec.Release > now {
+	for {
+		rel := -1
+		if jt.relCursor < len(jt.relOrder) {
+			if i := jt.relOrder[jt.relCursor]; jt.states[i].Spec.Release <= now {
+				rel = i
+			}
+		}
+		ret := jt.dueRetry(now)
+		switch {
+		case rel >= 0 && (ret < 0 || jt.states[rel].Spec.Release <= jt.deferred[ret].at):
+			jt.relCursor++
+			jt.rule(jt.states[rel], now)
+		case ret >= 0:
+			wf := jt.deferred[ret].wf
+			jt.deferred = append(jt.deferred[:ret], jt.deferred[ret+1:]...)
+			jt.rule(jt.states[wf], now)
+		default:
 			return
 		}
-		jt.relCursor++
-		jt.ins.WorkflowSubmitted(now, ws.Index, ws.Spec.Name)
-		jt.pol.WorkflowAdded(ws, now)
-		for _, r := range ws.Spec.RootIDs() {
-			jt.activate(ws, r, now)
+	}
+}
+
+// dueRetry returns the index into deferred of the earliest retry due by now
+// (ties broken by workflow index), or -1.
+func (jt *JobTracker) dueRetry(now simtime.Time) int {
+	best := -1
+	for i, d := range jt.deferred {
+		if d.at > now {
+			continue
 		}
+		if best < 0 || d.at < jt.deferred[best].at ||
+			(d.at == jt.deferred[best].at && d.wf < jt.deferred[best].wf) {
+			best = i
+		}
+	}
+	return best
+}
+
+// rule consults the admission front door for one due submission and applies
+// the verdict: admitted workflows reach the policy exactly as before, defers
+// join the retry list, and rejects resolve immediately without the policy
+// ever seeing them.
+func (jt *JobTracker) rule(ws *cluster.WorkflowState, now simtime.Time) {
+	if jt.adm != nil {
+		switch d := jt.adm.Decide(ws.Spec, ws.Plan, now); d.Verdict {
+		case admission.Defer:
+			retry := d.RetryAt
+			if retry <= now {
+				retry = now + 1
+			}
+			jt.deferred = append(jt.deferred, deferredRelease{wf: ws.Index, at: retry})
+			return
+		case admission.Reject:
+			ws.Rejected = true
+			ws.RejectReason = d.Reason
+			ws.CounterOffer = d.CounterOffer
+			ws.Done = true
+			jt.remaining--
+			if jt.remaining == 0 {
+				close(jt.done)
+			}
+			return
+		}
+	}
+	jt.ins.WorkflowSubmitted(now, ws.Index, ws.Spec.Name)
+	jt.pol.WorkflowAdded(ws, now)
+	for _, r := range ws.Spec.RootIDs() {
+		jt.activate(ws, r, now)
 	}
 }
 
@@ -239,6 +313,9 @@ func (jt *JobTracker) complete(id TaskID, tracker int, now simtime.Time) {
 			jt.ins.WorkflowCompleted(now, ws.Index, ws.Spec.Name, tardiness)
 		}
 		jt.pol.WorkflowCompleted(ws, now)
+		if jt.adm != nil {
+			jt.adm.Complete(ws.Spec, now)
+		}
 		jt.remaining--
 		if jt.remaining == 0 {
 			close(jt.done)
@@ -278,6 +355,13 @@ func (jt *JobTracker) result() *Result {
 			Release:  ws.Spec.Release,
 			Deadline: ws.Spec.Deadline,
 			Finish:   jt.finish[i],
+		}
+		if ws.Rejected {
+			wr.Rejected = true
+			wr.RejectReason = ws.RejectReason
+			wr.CounterOffer = ws.CounterOffer
+			r.Workflows = append(r.Workflows, wr)
+			continue
 		}
 		wr.Workspan = wr.Finish.Sub(wr.Release)
 		if wr.Finish > wr.Deadline {

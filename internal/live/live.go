@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -59,6 +60,13 @@ type Config struct {
 	// latency and assignment histograms, task-assignment and workflow
 	// lifecycle events. nil disables instrumentation (the default).
 	Obs *obs.Obs
+	// Admission is the front door consulted when each workflow's release
+	// comes due, before the policy ever sees it. nil (the default) admits
+	// everything on the untouched fast path. Both tracker layouts rule on
+	// releases in (release time, submission index) order and on deferred
+	// retries at their retry instants, so decisions match the simulator's
+	// under the controller's virtual-time anchoring.
+	Admission admission.Controller
 }
 
 // validate checks the cluster shape. Every violation reports in the uniform

@@ -2,10 +2,12 @@ package live
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -72,6 +74,16 @@ type shardedTracker struct {
 	// undercounts, so no assignment opportunity is missed.
 	schedulable atomic.Int64
 
+	// adm is the admission front door (nil admits everything). deferred
+	// holds postponed decisions, guarded by defMu; nextRetry caches the
+	// earliest retry instant (MaxTime = none) so the heartbeat fast path
+	// checks pending retries with one atomic load, exactly like the
+	// release cursor.
+	adm       admission.Controller
+	defMu     sync.Mutex
+	deferred  []deferredRelease
+	nextRetry atomic.Int64
+
 	ins   *obs.Obs
 	stats *obs.LiveStats
 
@@ -83,9 +95,11 @@ func newShardedTracker(cfg Config, pol cluster.Policy, nShards int) *shardedTrac
 	st := &shardedTracker{
 		cfg:  cfg,
 		core: newPolicyCore(pol),
+		adm:  cfg.Admission,
 		ins:  cfg.Obs,
 		done: make(chan struct{}),
 	}
+	st.nextRetry.Store(int64(simtime.MaxTime))
 	st.stats = cfg.Obs.NewLiveStats(nShards)
 	st.shards = make([]*wfShard, nShards)
 	for i := range st.shards {
@@ -149,8 +163,9 @@ func (st *shardedTracker) Heartbeat(hb Heartbeat) []Assignment {
 	now := clk.now()
 
 	locked := false
-	if due := st.rel.due(now); due != nil || len(hb.Completed) > 0 {
-		st.bookkeep(due, hb.Completed, hb.Tracker, now)
+	due, retries := st.rel.due(now), st.dueRetries(now)
+	if due != nil || retries != nil || len(hb.Completed) > 0 {
+		st.bookkeep(due, retries, hb.Completed, hb.Tracker, now)
 		locked = true
 	}
 
@@ -171,11 +186,20 @@ func (st *shardedTracker) Heartbeat(hb Heartbeat) []Assignment {
 // bookkeep applies admissions and completion accounting under the shared
 // plane lock, taking each workflow's shard lock only for its own updates.
 // Completions are grouped by contiguous workflow runs so a report full of
-// same-workflow tasks locks its shard once.
-func (st *shardedTracker) bookkeep(due []int, completed []TaskID, tracker int, now simtime.Time) {
+// same-workflow tasks locks its shard once. Due releases and deferred
+// retries are ruled in (decision instant, release-before-retry) merged
+// order, matching the legacy tracker and the simulator's event order.
+func (st *shardedTracker) bookkeep(due []int, retries []deferredRelease, completed []TaskID, tracker int, now simtime.Time) {
 	st.plane.RLock()
-	for _, wi := range due {
-		st.admit(st.wfs[wi], now)
+	i, j := 0, 0
+	for i < len(due) || j < len(retries) {
+		if i < len(due) && (j >= len(retries) || st.wfs[due[i]].ws.Spec.Release <= retries[j].at) {
+			st.rule(st.wfs[due[i]], now)
+			i++
+		} else {
+			st.rule(st.wfs[retries[j].wf], now)
+			j++
+		}
 	}
 	for i := 0; i < len(completed); {
 		wi := completed[i].Workflow
@@ -187,6 +211,85 @@ func (st *shardedTracker) bookkeep(due []int, completed []TaskID, tracker int, n
 		i = j
 	}
 	st.plane.RUnlock()
+}
+
+// rule consults the admission front door for one due submission and applies
+// the verdict; with no controller every submission admits on the original
+// path. Called under the shared plane lock; the controller synchronizes
+// itself and takes no tracker locks, so concurrent heartbeats' rulings
+// serialize inside it.
+func (st *shardedTracker) rule(lw *liveWorkflow, now simtime.Time) {
+	if st.adm == nil {
+		st.admit(lw, now)
+		return
+	}
+	ws := lw.ws
+	switch d := st.adm.Decide(ws.Spec, ws.Plan, now); d.Verdict {
+	case admission.Defer:
+		retry := d.RetryAt
+		if retry <= now {
+			retry = now + 1
+		}
+		st.addDeferred(deferredRelease{wf: ws.Index, at: retry})
+	case admission.Reject:
+		st.lockShard(lw.shard)
+		ws.Rejected = true
+		ws.RejectReason = d.Reason
+		ws.CounterOffer = d.CounterOffer
+		ws.Done = true
+		lw.shard.mu.Unlock()
+		if st.remaining.Add(-1) == 0 {
+			st.doneOnce.Do(func() { close(st.done) })
+		}
+	default:
+		st.admit(lw, now)
+	}
+}
+
+// addDeferred queues one postponed decision and lowers the fast-path retry
+// hint. defMu is a leaf lock.
+func (st *shardedTracker) addDeferred(d deferredRelease) {
+	st.defMu.Lock()
+	st.deferred = append(st.deferred, d)
+	if simtime.Time(st.nextRetry.Load()) > d.at {
+		st.nextRetry.Store(int64(d.at))
+	}
+	st.defMu.Unlock()
+}
+
+// dueRetries claims every deferred decision whose retry instant has arrived,
+// returning them sorted by (retry instant, workflow index), or nil (the
+// common case, one atomic load).
+func (st *shardedTracker) dueRetries(now simtime.Time) []deferredRelease {
+	if simtime.Time(st.nextRetry.Load()) > now {
+		return nil
+	}
+	st.defMu.Lock()
+	var out []deferredRelease
+	kept := st.deferred[:0]
+	for _, d := range st.deferred {
+		if d.at <= now {
+			out = append(out, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	st.deferred = kept
+	next := simtime.MaxTime
+	for _, d := range kept {
+		if d.at < next {
+			next = d.at
+		}
+	}
+	st.nextRetry.Store(int64(next))
+	st.defMu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].at != out[b].at {
+			return out[a].at < out[b].at
+		}
+		return out[a].wf < out[b].wf
+	})
+	return out
 }
 
 // admit marks a released workflow's root jobs ready and records the release
@@ -234,6 +337,12 @@ func (st *shardedTracker) completeGroup(lw *liveWorkflow, ids []TaskID, tracker 
 			ws.FinishTime = now
 			lw.finish = now
 			st.events.push(policyEvent{kind: evWorkflowCompleted, wf: lw, now: now})
+			if st.adm != nil {
+				// The controller is a leaf in the lock order: it takes no
+				// tracker locks, so releasing the commitment under the shard
+				// lock cannot cycle.
+				st.adm.Complete(ws.Spec, now)
+			}
 			if st.remaining.Add(-1) == 0 {
 				st.doneOnce.Do(func() { close(st.done) })
 			}
@@ -391,6 +500,13 @@ func (st *shardedTracker) result() *Result {
 			Release:  ws.Spec.Release,
 			Deadline: ws.Spec.Deadline,
 			Finish:   lw.finish,
+		}
+		if ws.Rejected {
+			wr.Rejected = true
+			wr.RejectReason = ws.RejectReason
+			wr.CounterOffer = ws.CounterOffer
+			r.Workflows = append(r.Workflows, wr)
+			continue
 		}
 		wr.Workspan = wr.Finish.Sub(wr.Release)
 		if wr.Finish > wr.Deadline {

@@ -63,6 +63,18 @@ const (
 	// by linear extrapolation of the plan's standalone throughput, that the
 	// workflow cannot finish by its deadline. N carries the tasks remaining.
 	KindHealthPredictedMiss
+	// KindAdmissionAdmitted fires when the admission controller admits a
+	// submission. Name carries the workflow name; Dur the decision latency.
+	KindAdmissionAdmitted
+	// KindAdmissionDeferred fires when the admission controller postpones a
+	// submission. Name carries the workflow name; Dur the virtual wait until
+	// the retry instant.
+	KindAdmissionDeferred
+	// KindAdmissionRejected fires when the admission controller turns a
+	// submission away. Name carries the workflow name; when the rejection
+	// includes a counter-offered deadline, N is 1 and Dur the virtual
+	// distance from the event time to the offered deadline.
+	KindAdmissionRejected
 
 	numKinds
 )
@@ -73,6 +85,7 @@ var kindNames = [numKinds]string{
 	"queue_insert", "queue_delete", "queue_head_hit", "plan_generated",
 	"task_completed", "health_slack", "health_fell_behind",
 	"health_recovered", "health_predicted_miss",
+	"admission_admitted", "admission_deferred", "admission_rejected",
 }
 
 // String returns the snake_case event name used in the JSONL schema.

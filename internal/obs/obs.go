@@ -87,6 +87,16 @@ const (
 	MetricHealthRecovered       = "woha_health_recovered_total"
 	MetricHealthPredictedMisses = "woha_health_predicted_misses_total"
 
+	// Admission front door (internal/admission): decision outcomes, the
+	// deadline counter-offers attached to rejections, commitment releases,
+	// and decision latency. All are labeled controller=<mode>.
+	MetricAdmissionAdmitted         = "woha_admission_admitted_total"
+	MetricAdmissionDeferred         = "woha_admission_deferred_total"
+	MetricAdmissionRejected         = "woha_admission_rejected_total"
+	MetricAdmissionCounterOffers    = "woha_admission_counter_offers_total"
+	MetricAdmissionReleases         = "woha_admission_releases_total"
+	MetricAdmissionDecisionDuration = "woha_admission_decision_seconds"
+
 	// Build metadata: a constant-1 gauge labeled with the binary's module
 	// version and Go toolchain so scrapes are attributable.
 	MetricBuildInfo = "woha_build_info"

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -48,6 +49,10 @@ type Cell struct {
 	Plans func() ([]*plan.Plan, error)
 	// Observer optionally builds a task lifecycle observer for the run.
 	Observer func() cluster.Observer
+	// Admission optionally builds the run's admission controller. It must
+	// return a fresh instance: controllers are stateful. Nil leaves the
+	// front door open (the seed behaviour).
+	Admission func() admission.Controller
 }
 
 // Config parameterizes a Runner.
@@ -210,6 +215,9 @@ func (r *Runner) runCell(c *Cell) (res *cluster.Result, err error) {
 	sim, err := cluster.New(c.Config, c.Policy(), ob)
 	if err != nil {
 		return nil, fmt.Errorf("runner: cell %q: %w", c.Name, err)
+	}
+	if c.Admission != nil {
+		sim.SetAdmission(c.Admission())
 	}
 	for i, w := range c.Flows {
 		var p *plan.Plan

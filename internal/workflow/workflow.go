@@ -78,6 +78,10 @@ type Workflow struct {
 	Release simtime.Time
 	// Deadline is the absolute deadline D_i.
 	Deadline simtime.Time
+	// Tenant names the submitting tenant for multi-tenant admission
+	// policies (rate limits, quota shares, priority tiers). Empty means
+	// untenanted: the admission front door skips the per-tenant stages.
+	Tenant string
 
 	// der caches structure derived from the immutable job table
 	// (validation verdict, root set, dependents CSR), built once on first
@@ -381,6 +385,7 @@ func (w *Workflow) Clone() *Workflow {
 		Jobs:     make([]Job, len(w.Jobs)),
 		Release:  w.Release,
 		Deadline: w.Deadline,
+		Tenant:   w.Tenant,
 	}
 	copy(c.Jobs, w.Jobs)
 	for i := range c.Jobs {

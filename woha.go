@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -36,6 +37,9 @@ type (
 	Plan = plan.Plan
 	// PlanReq is one progress requirement entry.
 	PlanReq = plan.Req
+	// PlanCaps is a typed slot-capacity pair (map and reduce pools), used by
+	// AdmissionConfig.Cluster and the typed planner entry points.
+	PlanCaps = plan.Caps
 
 	// ClusterConfig describes the simulated Hadoop-1 cluster.
 	ClusterConfig = cluster.Config
@@ -100,6 +104,22 @@ type (
 	// IntrospectionServer serves /metrics, /statusz, and /debug/pprof for
 	// an instrumented run; see ServeIntrospection.
 	IntrospectionServer = obs.IntrospectionServer
+
+	// AdmissionController is the submission front door: every workflow
+	// release is ruled Admit, Defer, or Reject before the scheduler sees it.
+	// Attach one with WithAdmission; build one with NewAdmission or
+	// AlwaysAdmit. See DESIGN.md §14.
+	AdmissionController = admission.Controller
+	// AdmissionDecision is one front-door ruling.
+	AdmissionDecision = admission.Decision
+	// AdmissionConfig shapes NewAdmission: cluster capacity, mode, margin,
+	// and per-tenant policies.
+	AdmissionConfig = admission.Config
+	// AdmissionTenant configures one tenant's rate limit, quota share, and
+	// priority tier.
+	AdmissionTenant = admission.Tenant
+	// AdmissionRecord is one audit-trail entry from the pipeline controller.
+	AdmissionRecord = admission.Record
 )
 
 // Event kinds carried by the scheduler event stream (ObsEvent.Kind).
@@ -120,6 +140,22 @@ const (
 	KindHealthFellBehind    = obs.KindHealthFellBehind
 	KindHealthRecovered     = obs.KindHealthRecovered
 	KindHealthPredictedMiss = obs.KindHealthPredictedMiss
+
+	KindAdmissionAdmitted = obs.KindAdmissionAdmitted
+	KindAdmissionDeferred = obs.KindAdmissionDeferred
+	KindAdmissionRejected = obs.KindAdmissionRejected
+)
+
+// Admission verdicts (AdmissionDecision.Verdict) and controller modes
+// (AdmissionConfig.Mode).
+const (
+	AdmissionAdmit  = admission.Admit
+	AdmissionDefer  = admission.Defer
+	AdmissionReject = admission.Reject
+
+	AdmissionModeAlways      = admission.ModeAlways
+	AdmissionModeFeasible    = admission.ModeFeasible
+	AdmissionModeTokenBucket = admission.ModeTokenBucket
 )
 
 // Slot types.
@@ -238,6 +274,7 @@ type sessionOptions struct {
 	planWorkers int
 	planCache   int
 	planner     *Planner
+	admission   AdmissionController
 }
 
 // WithSeed sets the seed for the scheduler's internal PRNG.
@@ -328,6 +365,32 @@ func WithInstrumentation(ins *Instrumentation) SessionOption {
 	return func(o *sessionOptions) { o.obs = ins }
 }
 
+// WithAdmission routes every workflow arrival through ctrl before the
+// scheduler sees it: Admit proceeds as before, Defer re-queues the arrival at
+// the controller's retry instant, Reject resolves the workflow unrun with a
+// reason and (when one exists) a counter-offered feasible deadline on its
+// WorkflowResult. nil (the default) admits everything on the untouched fast
+// path. Controllers are stateful; do not share one across sessions.
+func WithAdmission(ctrl AdmissionController) SessionOption {
+	return func(o *sessionOptions) { o.admission = ctrl }
+}
+
+// NewAdmission builds the staged admission pipeline described in DESIGN.md
+// §14: per-tenant token buckets, quota shares, and priority tiers stacked in
+// front of a capacity-ledger feasibility check. See AdmissionConfig for the
+// knobs; mode AdmissionModeAlways yields the zero-overhead front door.
+func NewAdmission(cfg AdmissionConfig) (AdmissionController, error) {
+	return admission.New(cfg)
+}
+
+// AlwaysAdmit returns the trivial controller that admits every workflow
+// immediately — the explicit form of the default behaviour, useful for
+// keeping the woha_admission_* instruments live under an open front door.
+// ins may be nil.
+func AlwaysAdmit(ins *Instrumentation) AdmissionController {
+	return admission.Always(ins)
+}
+
 // NewTimeline returns a slot-allocation recorder to pass to WithObserver.
 func NewTimeline() *Timeline { return metrics.NewTimeline() }
 
@@ -404,6 +467,7 @@ func NewSession(cfg ClusterConfig, sched Scheduler, opts ...SessionOption) (*Ses
 		return nil, fmt.Errorf("woha: %w", err)
 	}
 	sim.SetInstrumentation(o.obs)
+	sim.SetAdmission(o.admission)
 	s := &Session{cfg: cfg, sched: sched, prio: sched.priorityFor(), sim: sim, opts: o}
 	if s.prio != nil && o.policy == nil {
 		s.planner, err = o.resolvePlanner()
@@ -527,6 +591,9 @@ func RunSeeds(cfg ClusterConfig, sched Scheduler, flows []*Workflow, seeds []int
 	}
 	if o.observer != nil || o.policy != nil {
 		return nil, fmt.Errorf("woha: RunSeeds does not accept WithObserver or WithPolicy; replicas need per-run state")
+	}
+	if o.admission != nil {
+		return nil, fmt.Errorf("woha: RunSeeds does not accept WithAdmission; controllers are stateful per-run")
 	}
 	if _, err := sched.newPolicy(0, nil); err != nil {
 		return nil, err
