@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke admission-smoke bench-plan bench-plan-shared bench-sim bench-live bench-queue bench-admission bench-smoke mutex-smoke
+.PHONY: build test vet race verify ci fmt-check race-smoke alloc-pins postmortem-smoke admission-smoke federation-smoke bench-plan bench-plan-shared bench-sim bench-live bench-queue bench-admission bench-federation bench-smoke mutex-smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,12 @@ vet:
 # Race-check the concurrent subsystems: observability fan-out, the live
 # (RPC) job tracker, the parallel/cached planner, the scenario runner, the
 # pooled arena simulator (its equivalence sweep crosses pool handoff), the
-# queue backends (the randomized op-sequence property test), and the
-# admission front door (a locked pipeline shared across tracker shards).
+# queue backends (the randomized op-sequence property test), the admission
+# front door (a locked pipeline shared across tracker shards), and the
+# federation layer (single-threaded by design, but its equivalence sweeps
+# cross the cluster pool-handoff paths).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/... ./internal/dsl/... ./internal/admission/...
+	$(GO) test -race ./internal/obs/... ./internal/live/... ./internal/planner/... ./internal/runner/... ./internal/cluster/... ./internal/dsl/... ./internal/admission/... ./internal/federation/...
 
 # Tier-1 gate plus static analysis and race checks — run before every PR.
 verify: build test vet race
@@ -100,6 +102,18 @@ bench-queue:
 # trade-off sweep plus the always-admit decision cost (pinned at 0 allocs).
 bench-admission:
 	$(GO) run ./cmd/wohabench -admission-bench-out BENCH_admission.json
+
+# Seeded federation determinism smoke: three member clusters under every
+# router policy, run twice each, asserting byte-identical routing decisions
+# and miss vectors — plus the single-member staleness-0 equivalence against a
+# plain cluster.Sim run of the same workload.
+federation-smoke:
+	$(GO) test -count=1 -v -run 'TestFederationDeterminism|TestSingleClusterEquivalence' ./internal/federation/
+
+# Regenerate the committed federation numbers: the miss-rate-vs-staleness
+# sweep (Yahoo population, slack router, 4 member clusters).
+bench-federation:
+	$(GO) run ./cmd/wohabench -federation-bench-out BENCH_federation.json
 
 # One-iteration pass over every benchmark: proves they still run without
 # paying for stable timings.

@@ -14,7 +14,10 @@
 // (steady-state decision round-trips at 1k/10k/100k queued workflows; see
 // internal/dsl). With -admission-bench-out it runs the admission front door's
 // rejected-vs-missed trade-off sweep (always-admit vs the feasible controller
-// over a shrinking cluster; see internal/experiments.AdmissionSweep).
+// over a shrinking cluster; see internal/experiments.AdmissionSweep). With
+// -federation-bench-out it runs the federation's miss-rate-vs-staleness sweep
+// (the Yahoo population routed over member clusters with bounded-staleness
+// load snapshots; see internal/experiments.FederationSweep).
 //
 // Usage:
 //
@@ -24,6 +27,7 @@
 //	wohabench -live-bench-out BENCH_live.json
 //	wohabench -queue-bench-out BENCH_queue.json
 //	wohabench -admission-bench-out BENCH_admission.json
+//	wohabench -federation-bench-out BENCH_federation.json
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 	liveBenchOut := flag.String("live-bench-out", "", "benchmark live JobTracker heartbeat service under concurrent trackers (sharded vs legacy single-mutex) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	queueBenchOut := flag.String("queue-bench-out", "", "microbenchmark the four inter-workflow queue backends (steady-state decision round-trips at 1k/10k/100k queued workflows) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	admBenchOut := flag.String("admission-bench-out", "", "run the admission rejected-vs-missed trade-off sweep (always-admit vs feasible front door over a shrinking cluster) and write the JSON report to this file (- for stdout); skips the figure sweep")
+	fedBenchOut := flag.String("federation-bench-out", "", "run the federation miss-rate-vs-staleness sweep (Yahoo population routed over member clusters with bounded-staleness load snapshots) and write the JSON report to this file (- for stdout); skips the figure sweep")
 	metricsAddr := flag.String("metrics-addr", "", "serve the introspection plane (/metrics, /statusz, /debug/pprof) on this address during the run (e.g. :8080; :0 picks a free port) and print a final scrape")
 	flag.Parse()
 
@@ -124,6 +129,15 @@ func main() {
 
 	if *admBenchOut != "" {
 		if err := runAdmissionBench(*admBenchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wohabench:", err)
+			os.Exit(1)
+		}
+		finish()
+		return
+	}
+
+	if *fedBenchOut != "" {
+		if err := runFederationBench(*fedBenchOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wohabench:", err)
 			os.Exit(1)
 		}

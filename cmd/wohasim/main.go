@@ -54,6 +54,9 @@ func main() {
 		replicaWork  = flag.Int("replica-workers", 0, "concurrent replicas (0 = one per core, 1 = serial; results identical either way)")
 		admMode      = flag.String("admission", "", "front-door admission controller: always, feasible, or token-bucket (empty = no front door, the seed behaviour)")
 		admTenants   = flag.String("tenants", "", "per-tenant admission policies, e.g. \"t1:rate=6,burst=2,quota=0.5,tier=0;t2:quota=0.25,tier=1\"; workflows are assigned tenants round-robin")
+		clusters     = flag.Int("clusters", 1, "federate the run across this many member clusters, each with -nodes nodes (>1 selects the federation path)")
+		routerName   = flag.String("router", "slack", "federation workflow router: round-robin, least-loaded, or slack")
+		snapRefresh  = flag.Duration("snapshot-refresh", 0, "federation: oldest member load snapshot the router may decide on (0 = refreshed before every decision)")
 	)
 	flag.Parse()
 	po := planOpts{workers: *planWorkers, cache: *planCache}
@@ -65,6 +68,14 @@ func main() {
 	}
 	if ao.mode != "" && *replicas > 1 {
 		fmt.Fprintln(os.Stderr, "wohasim: -admission controllers are stateful per-run; drop it or -replicas")
+		os.Exit(1)
+	}
+	if *clusters < 1 {
+		fmt.Fprintln(os.Stderr, "wohasim: -clusters must be >= 1")
+		os.Exit(1)
+	}
+	if *clusters > 1 && (*liveMode || *replicas > 1 || *timeline != "" || *postmortem != "" || ao.mode != "") {
+		fmt.Fprintln(os.Stderr, "wohasim: -clusters federates the discrete-event simulator only; drop -live, -replicas, -timeline, -postmortem, and -admission")
 		os.Exit(1)
 	}
 
@@ -130,13 +141,16 @@ func main() {
 		Seed:               *seed,
 	}
 	var err error
-	if *replicas > 1 {
+	switch {
+	case *clusters > 1:
+		err = runFederation(*workloadName, *schedName, cfg, *clusters, *routerName, *snapRefresh, ins, pl)
+	case *replicas > 1:
 		if *timeline != "" {
 			err = fmt.Errorf("-timeline records a single run; drop it or -replicas")
 		} else {
 			err = runReplicas(*workloadName, *schedName, cfg, *replicas, *replicaWork, ins, pl)
 		}
-	} else {
+	default:
 		err = run(*workloadName, *schedName, cfg, *timeline, ins, pl, pm, ao)
 	}
 	if err != nil {

@@ -204,10 +204,24 @@ func New(cfg Config) (Controller, error) {
 		cfg:     cfg,
 		ledger:  NewLedger(cfg.Cluster),
 		buckets: make(map[string]*bucket),
-		anchors: make(map[string]anchor),
+		anchors: make(map[wfKey]anchor),
 		stats:   cfg.Obs.NewAdmissionStats(cfg.Mode),
 	}
 	return p, nil
+}
+
+// wfKey identifies a submission for defer-anchor tracking. Tenant is part of
+// the key: workflow names are only unique per tenant, and keying by name
+// alone made two tenants' same-named submissions share one anchor instant
+// and one maxDeferrals budget (and let either tenant's terminal ruling drop
+// the other's pending anchor, resetting its defer count).
+type wfKey struct {
+	tenant string
+	name   string
+}
+
+func keyOf(w *workflow.Workflow) wfKey {
+	return wfKey{tenant: w.Tenant, name: w.Name}
 }
 
 // anchor tracks a deferred workflow's next decision instant and how many
@@ -245,9 +259,18 @@ type pipeline struct {
 	cfg     Config
 	ledger  *Ledger
 	buckets map[string]*bucket
-	anchors map[string]anchor
+	anchors map[wfKey]anchor
 	records []Record
 	stats   *obs.AdmissionStats
+}
+
+// anchorCount reports the live defer-anchor entries — one per currently
+// deferred submission. The leak regression test asserts it returns to zero
+// once every submission has reached a terminal ruling.
+func (p *pipeline) anchorCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.anchors)
 }
 
 func (p *pipeline) Name() string { return p.cfg.Mode }
@@ -274,10 +297,14 @@ func (p *pipeline) Decide(w *workflow.Workflow, pl *plan.Plan, now simtime.Time)
 	})
 	switch d.Verdict {
 	case Defer:
-		a := p.anchors[w.Name]
-		p.anchors[w.Name] = anchor{at: d.RetryAt, defers: a.defers + 1}
+		a := p.anchors[keyOf(w)]
+		p.anchors[keyOf(w)] = anchor{at: d.RetryAt, defers: a.defers + 1}
 	default:
-		delete(p.anchors, w.Name)
+		// Every terminal ruling — Admit, any stage's Reject, the
+		// deferral-limit Reject — drops the anchor here, so the map is
+		// bounded by the number of currently deferred submissions and a
+		// long-lived daemon cannot accrete entries.
+		delete(p.anchors, keyOf(w))
 	}
 	p.mu.Unlock()
 	dur := time.Since(t0)
@@ -295,7 +322,7 @@ func (p *pipeline) Decide(w *workflow.Workflow, pl *plan.Plan, now simtime.Time)
 // anchorFor returns the virtual instant this ruling is anchored at: the
 // workflow's release, or the retry time of its pending deferral.
 func (p *pipeline) anchorFor(w *workflow.Workflow) simtime.Time {
-	if a, ok := p.anchors[w.Name]; ok {
+	if a, ok := p.anchors[keyOf(w)]; ok {
 		return a.at
 	}
 	return w.Release
@@ -305,7 +332,7 @@ func (p *pipeline) anchorFor(w *workflow.Workflow) simtime.Time {
 // capacity the feasibility stage observed (zero if never reached).
 func (p *pipeline) decideLocked(w *workflow.Workflow) (Decision, plan.Caps) {
 	at := p.anchorFor(w)
-	if p.anchors[w.Name].defers >= maxDeferrals {
+	if p.anchors[keyOf(w)].defers >= maxDeferrals {
 		return Decision{Verdict: Reject, Reason: "deferral-limit"}, plan.Caps{}
 	}
 	tn, hasTenant := p.cfg.Tenants[w.Tenant]
@@ -519,7 +546,7 @@ func (p *pipeline) deferOrReject(w *workflow.Workflow, eff plan.Caps, at simtime
 // Complete implements Controller: release the workflow's commitment.
 func (p *pipeline) Complete(w *workflow.Workflow, now simtime.Time) {
 	p.mu.Lock()
-	released := p.ledger.Release(w.Name)
+	released := p.ledger.Release(w.Tenant, w.Name)
 	p.mu.Unlock()
 	if released {
 		p.stats.OnRelease()

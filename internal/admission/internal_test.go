@@ -1,6 +1,7 @@
 package admission
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -23,13 +24,142 @@ func TestDeferralLimitRejects(t *testing.T) {
 		Job("j", 1, 0, time.Second, 0).
 		MustBuild(simtime.Epoch, simtime.Epoch.Add(time.Hour))
 	w.Tenant = "t"
-	p.anchors[w.Name] = anchor{at: w.Release, defers: maxDeferrals}
+	p.anchors[keyOf(w)] = anchor{at: w.Release, defers: maxDeferrals}
 	d := p.Decide(w, nil, w.Release)
 	if d.Verdict != Reject || d.Reason != "deferral-limit" {
 		t.Fatalf("Decide = %+v, want deferral-limit reject", d)
 	}
-	if _, ok := p.anchors[w.Name]; ok {
+	if _, ok := p.anchors[keyOf(w)]; ok {
 		t.Error("terminal ruling left the anchor behind")
+	}
+}
+
+// TestTenantAnchorsIndependent pins the (Tenant, Name) anchor keying: two
+// tenants submitting same-named workflows must carry independent defer
+// chains. Under the old name-only keys this fails three ways — one tenant's
+// terminal ruling dropped the other's pending anchor (resetting its retry
+// instant to the release), both chains shared one maxDeferrals budget, and a
+// deferral-limit hit on one tenant rejected the other outright.
+func TestTenantAnchorsIndependent(t *testing.T) {
+	ctrl, err := New(Config{
+		Mode: ModeTokenBucket,
+		Tenants: map[string]Tenant{
+			"a": {Rate: 1, Burst: 1},
+			"b": {Rate: 1, Burst: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ctrl.(*pipeline)
+	mk := func(tenant string, name string) *workflow.Workflow {
+		w := workflow.NewBuilder(name).
+			Job("j", 1, 0, time.Second, 0).
+			MustBuild(simtime.Epoch, simtime.Epoch.Add(100*time.Hour))
+		w.Tenant = tenant
+		return w
+	}
+
+	// Drain tenant a's bucket, then defer a's "job".
+	if d := p.Decide(mk("a", "warmup"), nil, 0); d.Verdict != Admit {
+		t.Fatalf("warmup = %+v, want admit", d)
+	}
+	first := p.Decide(mk("a", "job"), nil, 0)
+	if first.Verdict != Defer {
+		t.Fatalf("tenant a job = %+v, want rate-limited defer", first)
+	}
+
+	// Tenant b's same-named workflow admits on its own full bucket; that
+	// terminal ruling must not touch tenant a's pending anchor.
+	if d := p.Decide(mk("b", "job"), nil, 0); d.Verdict != Admit {
+		t.Fatalf("tenant b job = %+v, want admit", d)
+	}
+	a, ok := p.anchors[wfKey{tenant: "a", name: "job"}]
+	if !ok || a.at != first.RetryAt || a.defers != 1 {
+		t.Fatalf("tenant a anchor after b's admit = %+v,%v, want {%v 1},true",
+			a, ok, first.RetryAt)
+	}
+
+	// A retry ruling for a's workflow anchors at its own retry instant.
+	retry := p.Decide(mk("a", "job"), nil, first.RetryAt)
+	recs := p.Records()
+	if got := recs[len(recs)-1].Anchor; got != first.RetryAt {
+		t.Errorf("retry anchored at %v, want %v", got, first.RetryAt)
+	}
+	if retry.Verdict != Admit { // bucket refilled over the ~1h wait
+		t.Fatalf("retry = %+v, want admit", retry)
+	}
+
+	// Deferral budgets are per tenant: a's exhausted chain must not reject
+	// b's same-named submission.
+	p.anchors[wfKey{tenant: "a", name: "job2"}] = anchor{defers: maxDeferrals}
+	p.buckets["b"].tokens = 1
+	if d := p.Decide(mk("b", "job2"), nil, 0); d.Verdict == Reject {
+		t.Fatalf("tenant b job2 = %+v; tenant a's deferral budget leaked across tenants", d)
+	}
+}
+
+// TestAnchorMapDrainsAfterTerminalRulings is the leak regression: 1k
+// deferred submissions across two tenants with colliding names are driven to
+// their terminal deferral-limit reject, and the anchor map must end empty —
+// every terminal path clears its entry, so a long-lived daemon's map stays
+// bounded by the currently-deferred population.
+func TestAnchorMapDrainsAfterTerminalRulings(t *testing.T) {
+	const n = 1000
+	ctrl, err := New(Config{
+		Mode:    ModeTokenBucket,
+		Tenants: map[string]Tenant{"a": {Rate: 1, Burst: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ctrl.(*pipeline)
+	mk := func(tenant string, i int) *workflow.Workflow {
+		w := workflow.NewBuilder(fmt.Sprintf("wf-%d", i)).
+			Job("j", 1, 0, time.Second, 0).
+			MustBuild(simtime.Epoch, simtime.Epoch.Add(100*time.Hour))
+		w.Tenant = tenant
+		return w
+	}
+
+	// Empty tenant a's bucket, then park n submissions in deferred state.
+	if d := p.Decide(mk("a", -1), nil, 0); d.Verdict != Admit {
+		t.Fatalf("warmup = %+v, want admit", d)
+	}
+	for i := 0; i < n; i++ {
+		if d := p.Decide(mk("a", i), nil, 0); d.Verdict != Defer {
+			t.Fatalf("wf-%d = %+v, want defer", i, d)
+		}
+	}
+	if got := p.anchorCount(); got != n {
+		t.Fatalf("anchorCount = %d after %d deferrals, want %d", got, n, n)
+	}
+
+	// Tenant b (unlimited) runs same-named workflows to terminal admits;
+	// with name-only keys these wiped tenant a's pending chains.
+	for i := 0; i < n; i++ {
+		if d := p.Decide(mk("b", i), nil, 0); d.Verdict != Admit {
+			t.Fatalf("tenant b wf-%d = %+v, want admit", i, d)
+		}
+	}
+	if got := p.anchorCount(); got != n {
+		t.Fatalf("anchorCount = %d after tenant b's admits, want %d untouched", got, n)
+	}
+
+	// Drive every deferred chain to its terminal deferral-limit reject and
+	// demand the map drains completely.
+	p.mu.Lock()
+	for k, a := range p.anchors {
+		p.anchors[k] = anchor{at: a.at, defers: maxDeferrals}
+	}
+	p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if d := p.Decide(mk("a", i), nil, 0); d.Verdict != Reject || d.Reason != "deferral-limit" {
+			t.Fatalf("wf-%d = %+v, want deferral-limit reject", i, d)
+		}
+	}
+	if got := p.anchorCount(); got != 0 {
+		t.Fatalf("anchorCount = %d after every chain terminated, want 0", got)
 	}
 }
 

@@ -95,12 +95,15 @@ func (l *Ledger) usageAt(t simtime.Time) plan.Caps {
 	return u
 }
 
-// Release drops the commitment keyed by workflow name, reporting whether one
-// existed. A workflow finishing ahead of its estimated window frees its
-// reservation for later admissions.
-func (l *Ledger) Release(wf string) bool {
+// Release drops the commitment keyed by (tenant, workflow name), reporting
+// whether one existed. A workflow finishing ahead of its estimated window
+// frees its reservation for later admissions. Tenant is part of the key for
+// the same reason the pipeline's defer anchors carry it: workflow names are
+// only unique per tenant, and matching on name alone would let one tenant's
+// completion release another's reservation.
+func (l *Ledger) Release(tenant, wf string) bool {
 	for i, c := range l.commits {
-		if c.Workflow == wf {
+		if c.Workflow == wf && c.Tenant == tenant {
 			l.commits = append(l.commits[:i], l.commits[i+1:]...)
 			return true
 		}

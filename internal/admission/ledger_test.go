@@ -59,7 +59,7 @@ func TestLedgerNeverOvercommits(t *testing.T) {
 		for op := 0; op < 400; op++ {
 			switch rng.Intn(10) {
 			case 0: // release a random (possibly absent) workflow
-				lg.Release(fmt.Sprintf("w%d", rng.Intn(op+1)))
+				lg.Release("", fmt.Sprintf("w%d", rng.Intn(op+1)))
 			case 1: // expire up to a random instant
 				lg.Expire(sec(rng.Intn(200)))
 			default:
@@ -132,7 +132,10 @@ func TestLedgerWindows(t *testing.T) {
 	if got := len(lg.Committed()); got != 1 {
 		t.Errorf("after Expire: %d commitments, want 1", got)
 	}
-	if !lg.Release("b") || lg.Release("b") {
-		t.Error("Release(b) should succeed once then report absent")
+	if lg.Release("other", "b") {
+		t.Error("Release with the wrong tenant should not match")
+	}
+	if !lg.Release("t", "b") || lg.Release("t", "b") {
+		t.Error("Release(t, b) should succeed once then report absent")
 	}
 }

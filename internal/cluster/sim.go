@@ -3,7 +3,6 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
-	"slices"
 	"sync"
 	"time"
 
@@ -113,6 +112,14 @@ type nodeState struct {
 	// off, or idle with every live workflow done — stays unarmed until a
 	// completion, recovery, or arrival makes a tick useful again.
 	hbArmed bool
+	// parked marks a node whose re-arm was declined because every submitted
+	// workflow had finished (the run-complete paths of rearmHeartbeat and
+	// wakeNode). Had a later arrival been pre-submitted, the drained-skip
+	// branch would have armed the node instead — busy-suppressed nodes, by
+	// contrast, would have stayed dormant either way. SubmitLive re-arms
+	// exactly the parked nodes, which is what makes mid-run injection
+	// byte-identical to pre-run submission.
+	parked bool
 	// runHead is the node's running-attempt list: attempt records chained
 	// through their prev/next links, newest first. Completions of attempts
 	// lost to a failure are recognized as stale by their arena generation.
@@ -248,7 +255,7 @@ func (s *Simulator) reset(cfg Config, pol Policy, obs Observer) {
 	for i := range s.nodes {
 		n := &s.nodes[i]
 		n.freeMap, n.freeReduce = int32(cfg.MapSlotsPerNode), int32(cfg.ReduceSlotsPerNode)
-		n.down, n.hbArmed = false, false
+		n.down, n.hbArmed, n.parked = false, false, false
 		n.runHead = nilAttempt
 	}
 	if cfg.MapSlotsPerNode > 0 {
@@ -386,80 +393,24 @@ func (s *Simulator) Submit(w *workflow.Workflow, p *plan.Plan) error {
 
 // Run executes the simulation to completion and returns the run's results.
 // It fails if any workflow can never finish (for example, a job needs map
-// slots on a cluster configured with none).
+// slots on a cluster configured with none). Run is Start + StepTo(∞) +
+// Finish; external drivers (the federation layer) call those primitives
+// directly to interleave several simulators under one shared clock.
 func (s *Simulator) Run() (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("cluster: Run called twice")
 	}
-	s.ran = true
 	if len(s.states) == 0 {
+		// Nothing submitted: an empty result without arming heartbeats or
+		// failures, exactly as the pre-stepping core behaved.
+		s.ran = true
 		return s.result(), nil
 	}
-	slices.Sort(s.arrivalTimes)
-	if s.cfg.HeartbeatInterval > 0 {
-		// Stagger heartbeats evenly across the interval, as a real fleet's
-		// unsynchronized trackers would. Each node's ticks stay on its own
-		// phase grid (Epoch + offset + k*interval) for the whole run, so
-		// suppression and skip-ahead can never shift the tick times a node
-		// would naturally have fired at.
-		for i := range s.nodes {
-			s.armHeartbeat(i, simtime.Epoch.Add(s.hbOffset(i)))
-		}
+	if err := s.Start(); err != nil {
+		return nil, err
 	}
-	for _, f := range s.cfg.Failures {
-		s.events.Push(f.At, event{kind: evFail, a: int32(f.Node)})
-		if f.Downtime > 0 {
-			s.events.Push(f.At.Add(f.Downtime), event{kind: evRecover, a: int32(f.Node)})
-		}
-	}
-	// The heap is drained once per instant: every event already scheduled
-	// at the earliest pending time arrives in one batch, in push order —
-	// exactly the order a pop-per-event loop would have delivered, so each
-	// handler (and the dispatch pass it triggers) runs against identical
-	// intermediate state. Events a handler pushes at the still-current
-	// instant (a heartbeat wake, an instant activation) form the next
-	// batch, again matching pop-per-event ordering by seq stamp.
-	for s.events.Len() > 0 {
-		s.batch = s.batch[:0]
-		at, n := s.events.DrainInstant(&s.batch)
-		s.now = at
-		s.eventCount += n
-		s.drainBatches++
-		s.drainCoalesced += n - 1
-		for i := 0; i < n; i++ {
-			e := s.batch[i]
-			s.evCount[e.kind].Inc()
-			switch e.kind {
-			case evArrival:
-				s.arrive(int(e.a))
-			case evActivate:
-				s.activate(int(e.a), workflow.JobID(e.b))
-			case evComplete:
-				s.complete(e.a, e.gen)
-			case evHeartbeat:
-				s.heartbeat(int(e.a))
-			case evFail:
-				s.fail(int(e.a))
-			case evRecover:
-				s.recover(int(e.a))
-			case evRetry:
-				if s.specWake <= s.now {
-					s.specWake = simtime.MaxTime
-				}
-				s.dispatchAll()
-			}
-		}
-	}
-	s.flushRunMetrics()
-	if s.doneCount != len(s.states) {
-		for _, ws := range s.states {
-			if !ws.Done {
-				return nil, fmt.Errorf("cluster: workflow %q stuck with %d tasks remaining (policy %s left schedulable work idle or cluster lacks a slot type)",
-					ws.Spec.Name, ws.remaining, s.pol.Name())
-			}
-		}
-	}
-	return s.result(), nil
+	s.StepTo(simtime.MaxTime)
+	return s.Finish()
 }
 
 func (s *Simulator) arrive(wf int) {
@@ -627,6 +578,7 @@ func (s *Simulator) heartbeat(node int) {
 // armHeartbeat schedules node's next heartbeat tick.
 func (s *Simulator) armHeartbeat(node int, at simtime.Time) {
 	s.nodes[node].hbArmed = true
+	s.nodes[node].parked = false
 	s.events.Push(at, event{kind: evHeartbeat, a: int32(node)})
 }
 
@@ -643,7 +595,11 @@ func (s *Simulator) armHeartbeat(node int, at simtime.Time) {
 //     tick can still launch speculative twins on other nodes' free slots.
 func (s *Simulator) rearmHeartbeat(node int) {
 	if s.doneCount == len(s.states) {
-		return // run complete; let the event queue drain
+		// Run complete; let the event queue drain. Park the node so a
+		// SubmitLive arrival can resume its grid where the drained branch
+		// below would have.
+		s.nodes[node].parked = true
+		return
 	}
 	if s.doneCount == s.arrIdx {
 		// Every arrived workflow is done, so only the next arrival
@@ -669,6 +625,7 @@ func (s *Simulator) wakeNode(node int) {
 		return
 	}
 	if s.doneCount == len(s.states) {
+		s.nodes[node].parked = true
 		return
 	}
 	at := s.now

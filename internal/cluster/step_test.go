@@ -1,0 +1,180 @@
+package cluster_test
+
+// Pins for the stepping primitives (step.go): driving a simulator instant by
+// instant through Peek/StepTo must be indistinguishable from Run, SubmitLive
+// must refuse releases behind the clock, and LoadView must account the work
+// a half-run cluster still owes.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// TestStepToMatchesRun drives one simulator with Run and a second, fed the
+// same workload, one instant at a time via Peek + StepTo; the Results must be
+// byte-identical.
+func TestStepToMatchesRun(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 4, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		HeartbeatInterval: 3 * time.Second,
+		Noise:             0.2, Seed: 21,
+		Failures: []cluster.Failure{{Node: 2, At: simtime.FromSeconds(40), Downtime: 30 * time.Second}},
+	}
+	flows := equivFlows()
+
+	runSim, err := cluster.New(cfg, scheduler.NewEDF(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range flows {
+		if err := runSim.Submit(w, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := runSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSim.Release()
+
+	stepSim, err := cluster.New(cfg, scheduler.NewEDF(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range flows {
+		if err := stepSim.Submit(w, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stepSim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		at, ok := stepSim.Peek()
+		if !ok {
+			break
+		}
+		if n := stepSim.StepTo(at); n == 0 {
+			t.Fatalf("StepTo(%v) applied no events despite Peek", at)
+		}
+		if now := stepSim.Now(); now != at {
+			t.Fatalf("clock at %v after StepTo(%v)", now, at)
+		}
+		steps++
+	}
+	got, err := stepSim.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepSim.Release()
+
+	if steps < 2 {
+		t.Fatalf("stepped %d instants; workload too trivial to pin anything", steps)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("stepped run diverged from Run:\nrun:  %+v\nstep: %+v", want, got)
+	}
+}
+
+// TestSubmitLiveGuards covers SubmitLive's contract edges: before Start it is
+// plain Submit, after Start it refuses releases behind the clock, and Start
+// itself refuses to run twice.
+func TestSubmitLiveGuards(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		HeartbeatInterval: 3 * time.Second, Seed: 1,
+	}
+	sim, err := cluster.New(cfg, scheduler.NewFIFO(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := workflow.NewBuilder("early").
+		Job("a", 2, 1, 5*time.Second, 5*time.Second).
+		MustBuild(0, simtime.FromSeconds(600))
+	if err := sim.SubmitLive(early, nil); err != nil {
+		t.Fatalf("SubmitLive before Start: %v", err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err == nil {
+		t.Error("second Start succeeded, want error")
+	}
+	sim.StepTo(simtime.MaxTime)
+	if sim.Now() <= 0 {
+		t.Fatalf("clock still at %v after draining", sim.Now())
+	}
+	stale := workflow.NewBuilder("stale").
+		Job("a", 1, 1, time.Second, time.Second).
+		MustBuild(0, simtime.FromSeconds(600))
+	if err := sim.SubmitLive(stale, nil); err == nil {
+		t.Error("SubmitLive with release behind the clock succeeded, want error")
+	}
+	late := workflow.NewBuilder("late").
+		Job("a", 1, 1, time.Second, time.Second).
+		MustBuild(sim.Now().Add(time.Minute), sim.Now().Add(time.Hour))
+	if err := sim.SubmitLive(late, nil); err != nil {
+		t.Fatalf("SubmitLive ahead of the clock: %v", err)
+	}
+	sim.StepTo(simtime.MaxTime)
+	res, err := sim.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workflows) != 2 || !res.Workflows[1].Met {
+		t.Errorf("late workflow outcome %+v, want 2 completed workflows", res.Workflows)
+	}
+	sim.Release()
+}
+
+// TestLoadViewAccountsBacklog checks LoadView before, during, and after a
+// run: a freshly started cluster owes every submitted task, and a drained
+// cluster owes nothing with all slots free.
+func TestLoadViewAccountsBacklog(t *testing.T) {
+	cfg := cluster.Config{
+		Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		HeartbeatInterval: 3 * time.Second, Seed: 1,
+	}
+	sim, err := cluster.New(cfg, scheduler.NewFIFO(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workflow.NewBuilder("w").
+		Job("a", 4, 2, 10*time.Second, 20*time.Second).
+		MustBuild(0, simtime.FromSeconds(600))
+	if err := sim.Submit(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l := sim.LoadView()
+	if l.ActiveWorkflows != 1 || l.PendingTasks != 6 {
+		t.Errorf("pre-run load %+v, want 1 active workflow with 6 pending tasks", l)
+	}
+	if want := 4*10*time.Second + 2*20*time.Second; l.Backlog != want {
+		t.Errorf("pre-run backlog %v, want %v", l.Backlog, want)
+	}
+	if l.FreeMaps != 4 || l.FreeReduces != 2 || l.MapSlots != 4 || l.ReduceSlots != 2 {
+		t.Errorf("pre-run slots %+v, want all free", l)
+	}
+	sim.StepTo(simtime.MaxTime)
+	l = sim.LoadView()
+	if l.ActiveWorkflows != 0 || l.PendingTasks != 0 || l.RunningTasks != 0 || l.Backlog != 0 {
+		t.Errorf("drained load %+v, want everything zero", l)
+	}
+	if l.FreeMaps != 4 || l.FreeReduces != 2 {
+		t.Errorf("drained slots %+v, want all free", l)
+	}
+	if _, err := sim.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Release()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestFederationSweep runs a reduced staleness sweep twice and checks the
+// structural invariants: one point per bound, every workflow routed to some
+// member at every bound, snapshot ages within each bound, and byte-identical
+// results across runs (the determinism pin at the sweep level).
+func TestFederationSweep(t *testing.T) {
+	cfg := DefaultFederationSweepConfig()
+	cfg.Yahoo.Workflows = 20
+	cfg.Yahoo.Jobs = 60
+	cfg.Clusters = 3
+	cfg.Staleness = []time.Duration{0, 2 * time.Minute}
+
+	res, err := FederationSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.Staleness) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(cfg.Staleness))
+	}
+	flows, err := workload.Yahoo(cfg.Yahoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	population := len(workload.MultiJob(flows))
+	for i, p := range res.Points {
+		if p.Staleness != cfg.Staleness[i] {
+			t.Errorf("point %d staleness %v, want %v", i, p.Staleness, cfg.Staleness[i])
+		}
+		if len(p.Routed) != cfg.Clusters {
+			t.Fatalf("point %d routed over %d clusters, want %d", i, len(p.Routed), cfg.Clusters)
+		}
+		routed := 0
+		for _, n := range p.Routed {
+			routed += n
+		}
+		if routed != population {
+			t.Errorf("point %d routed %d workflows, want %d", i, routed, population)
+		}
+		if p.Staleness == 0 && p.MaxSnapshotAge != 0 {
+			t.Errorf("point %d: max snapshot age %v at staleness 0, want 0", i, p.MaxSnapshotAge)
+		}
+		if p.Staleness > 0 && p.MaxSnapshotAge >= p.Staleness {
+			t.Errorf("point %d: max snapshot age %v, want < bound %v", i, p.MaxSnapshotAge, p.Staleness)
+		}
+		if p.Misses < 0 || p.Misses > population {
+			t.Errorf("point %d: %d misses of %d workflows", i, p.Misses, population)
+		}
+	}
+
+	again, err := FederationSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Errorf("sweep is not deterministic:\nfirst  %+v\nsecond %+v", res.Points, again.Points)
+	}
+
+	if rows := res.Table().Rows; len(rows) != len(res.Points) {
+		t.Errorf("table has %d rows, want %d", len(rows), len(res.Points))
+	}
+}

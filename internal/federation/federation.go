@@ -1,0 +1,256 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/simtime"
+	"repro/internal/workflow"
+)
+
+// Config parameterizes a federation run.
+type Config struct {
+	// Router picks the member cluster for each arriving workflow.
+	Router Router
+	// SnapshotRefresh bounds snapshot staleness: a member's load view older
+	// than this at decision time is retaken before the router sees it. 0
+	// refreshes before every decision (perfect observability); larger
+	// values let the router act on increasingly stale views — the knob the
+	// staleness sweep turns.
+	SnapshotRefresh time.Duration
+	// Obs optionally instruments the run (woha_fed_* series); nil disables.
+	Obs *obs.Obs
+}
+
+// Route records one routing decision.
+type Route struct {
+	// Workflow and Tenant identify the routed workflow.
+	Workflow string
+	Tenant   string
+	// Cluster is the member index chosen.
+	Cluster int
+	// At is the decision instant (the workflow's release).
+	At simtime.Time
+	// SnapshotAge is the stalest load view the router decided on (0 when
+	// every view was refreshed at the decision).
+	SnapshotAge time.Duration
+}
+
+// Result aggregates a federation run: per-member cluster results plus the
+// routing log and the merged per-workflow outcomes in routed order.
+type Result struct {
+	Router          string
+	SnapshotRefresh time.Duration
+	// Clusters holds each member's own result, indexed by cluster.
+	Clusters []*cluster.Result
+	// Routes logs every routing decision in arrival order.
+	Routes []Route
+	// Workflows merges the members' per-workflow outcomes back into global
+	// arrival order (the order of Routes).
+	Workflows []cluster.WorkflowResult
+}
+
+// DeadlineMisses counts workflows that missed their deadline, rejected ones
+// included.
+func (r *Result) DeadlineMisses() int {
+	n := 0
+	for _, w := range r.Workflows {
+		if !w.Met {
+			n++
+		}
+	}
+	return n
+}
+
+// MissRatio is the deadline violation ratio over all routed workflows.
+func (r *Result) MissRatio() float64 {
+	if len(r.Workflows) == 0 {
+		return 0
+	}
+	return float64(r.DeadlineMisses()) / float64(len(r.Workflows))
+}
+
+// MissVector reports each workflow's deadline outcome in routed order — the
+// vector the determinism pin compares across runs.
+func (r *Result) MissVector() []bool {
+	v := make([]bool, len(r.Workflows))
+	for i, w := range r.Workflows {
+		v[i] = !w.Met
+	}
+	return v
+}
+
+// RoutedPerCluster counts routed workflows by member.
+func (r *Result) RoutedPerCluster() []int {
+	counts := make([]int, len(r.Clusters))
+	for _, rt := range r.Routes {
+		counts[rt.Cluster]++
+	}
+	return counts
+}
+
+// arrival is one submitted workflow awaiting its release instant.
+type arrival struct {
+	w *workflow.Workflow
+	p *plan.Plan
+	// seq preserves submission order among equal releases.
+	seq int
+}
+
+// Federation owns N member simulators and advances them in lockstep under
+// one virtual clock. Construct with New, Submit workflows, then Run once.
+type Federation struct {
+	cfg   Config
+	sims  []*cluster.Simulator
+	snaps []Snapshot
+	// fresh marks members whose snapshot has been taken at least once; a
+	// never-taken view is always refreshed regardless of the interval.
+	fresh   []bool
+	pending []arrival
+	stats   *obs.FedStats
+	ran     bool
+}
+
+// New builds a federation over the given member simulators. The simulators
+// must be freshly constructed — submitted-to but not yet run or started; the
+// federation starts and finishes them itself. Each member keeps its own
+// policy, admission controller, and configuration.
+func New(cfg Config, sims []*cluster.Simulator) (*Federation, error) {
+	if len(sims) == 0 {
+		return nil, fmt.Errorf("federation: no member clusters")
+	}
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("federation: nil router")
+	}
+	if cfg.SnapshotRefresh < 0 {
+		return nil, fmt.Errorf("federation: negative snapshot refresh %v", cfg.SnapshotRefresh)
+	}
+	return &Federation{
+		cfg:   cfg,
+		sims:  sims,
+		snaps: make([]Snapshot, len(sims)),
+		fresh: make([]bool, len(sims)),
+		stats: cfg.Obs.NewFedStats(cfg.Router.Name(), len(sims)),
+	}, nil
+}
+
+// Submit queues a workflow for routing at its release instant. p is the WOHA
+// plan and may be nil for plan-less member policies. Must precede Run.
+func (f *Federation) Submit(w *workflow.Workflow, p *plan.Plan) error {
+	if f.ran {
+		return fmt.Errorf("federation: Submit after Run")
+	}
+	if err := w.Validated(); err != nil {
+		return fmt.Errorf("federation: %w", err)
+	}
+	f.pending = append(f.pending, arrival{w: w, p: p, seq: len(f.pending)})
+	return nil
+}
+
+// Run executes the federated simulation to completion. Each iteration
+// advances whichever happens first on the shared clock: the next pending
+// workflow release (routed and injected into its member before that member
+// processes the instant, so the arrival joins the instant's batch exactly
+// where a pre-run submission would have) or the earliest pending event
+// across members (ties to the lowest cluster index, which is inert — member
+// queues are independent).
+func (f *Federation) Run() (*Result, error) {
+	if f.ran {
+		return nil, fmt.Errorf("federation: Run called twice")
+	}
+	f.ran = true
+	sort.SliceStable(f.pending, func(i, j int) bool {
+		return f.pending[i].w.Release < f.pending[j].w.Release
+	})
+	for i, s := range f.sims {
+		if err := s.Start(); err != nil {
+			return nil, fmt.Errorf("federation: cluster %d: %w", i, err)
+		}
+	}
+	res := &Result{
+		Router:          f.cfg.Router.Name(),
+		SnapshotRefresh: f.cfg.SnapshotRefresh,
+	}
+	idx := 0
+	for {
+		evCluster := -1
+		var nextEv simtime.Time
+		for i, s := range f.sims {
+			if at, ok := s.Peek(); ok && (evCluster < 0 || at < nextEv) {
+				evCluster, nextEv = i, at
+			}
+		}
+		if idx < len(f.pending) && (evCluster < 0 || f.pending[idx].w.Release <= nextEv) {
+			if err := f.route(res, &f.pending[idx]); err != nil {
+				return nil, err
+			}
+			idx++
+			continue
+		}
+		if evCluster < 0 {
+			break
+		}
+		f.sims[evCluster].StepTo(nextEv)
+	}
+	for i, s := range f.sims {
+		cr, err := s.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("federation: cluster %d: %w", i, err)
+		}
+		res.Clusters = append(res.Clusters, cr)
+	}
+	// Merge per-member outcome rows back into routed order: each member's
+	// Workflows slice is in its own submission order, so a per-member
+	// cursor walks it in step with the routing log.
+	cursors := make([]int, len(f.sims))
+	for _, rt := range res.Routes {
+		cr := res.Clusters[rt.Cluster]
+		res.Workflows = append(res.Workflows, cr.Workflows[cursors[rt.Cluster]])
+		cursors[rt.Cluster]++
+	}
+	return res, nil
+}
+
+// route refreshes stale snapshots, asks the router for a member, and injects
+// the workflow into it.
+func (f *Federation) route(res *Result, a *arrival) error {
+	now := a.w.Release
+	var maxAge time.Duration
+	for i := range f.snaps {
+		age := f.snaps[i].Age(now)
+		// A view exactly SnapshotRefresh old is retaken; at interval 0
+		// every decision therefore sees perfectly fresh views.
+		if !f.fresh[i] || age >= f.cfg.SnapshotRefresh {
+			load := f.sims[i].LoadView()
+			f.snaps[i] = Snapshot{Load: load, TakenAt: now}
+			f.fresh[i] = true
+			f.stats.OnRefresh(i, load.ActiveWorkflows,
+				load.FreeMaps+load.FreeReduces, load.Backlog)
+			age = 0
+		}
+		if age > maxAge {
+			maxAge = age
+		}
+	}
+	id := f.cfg.Router.Route(a.w, a.p, f.snaps)
+	if id < 0 || id >= len(f.sims) {
+		return fmt.Errorf("federation: router %s chose cluster %d of %d for %q",
+			f.cfg.Router.Name(), id, len(f.sims), a.w.Name)
+	}
+	f.stats.OnRoute(id, maxAge)
+	res.Routes = append(res.Routes, Route{
+		Workflow:    a.w.Name,
+		Tenant:      a.w.Tenant,
+		Cluster:     id,
+		At:          now,
+		SnapshotAge: maxAge,
+	})
+	if err := f.sims[id].SubmitLive(a.w, a.p); err != nil {
+		return fmt.Errorf("federation: cluster %d: %w", id, err)
+	}
+	return nil
+}

@@ -104,3 +104,123 @@ func TestAdmissionDecisionsAgreeAcrossLayouts(t *testing.T) {
 		}
 	}
 }
+
+// TestAdmissionLayoutsAgreeOnMultiTenantNames is the cross-layout equivalence
+// check for the (Tenant, Name) anchor keying: two tenants submit same-named
+// workflows, one of them through a rate-limited defer chain whose anchor must
+// survive the other tenant's terminal rulings on the colliding names. Every
+// layout must produce identical decision records — including the Tenant and
+// Anchor fields — and identical per-workflow outcomes.
+func TestAdmissionLayoutsAgreeOnMultiTenantNames(t *testing.T) {
+	door := func() admission.Controller {
+		ctrl, err := admission.New(admission.Config{
+			Cluster: plan.Caps{Maps: 8, Reduces: 4},
+			Mode:    admission.ModeFeasible,
+			Tenants: map[string]admission.Tenant{
+				// One admission per 30 virtual seconds; the bucket starts full.
+				"alpha": {Rate: 120, Burst: 1},
+				"beta":  {},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl
+	}
+	flows := func() []*workflow.Workflow {
+		mk := func(tenant, name string, rel, deadline time.Duration) *workflow.Workflow {
+			w := chainFlow(name, rel, deadline)
+			w.Tenant = tenant
+			return w
+		}
+		return []*workflow.Workflow{
+			// alpha/w1 admits and burns alpha's only token.
+			mk("alpha", "w1", 0, 2*time.Hour),
+			// alpha/w2 is rate-limited into a defer chain anchored ~30s out.
+			mk("alpha", "w2", 5*time.Second, 2*time.Hour),
+			// beta reuses both names and rules terminally while alpha/w2's
+			// anchor is pending; name-only keys would wipe that chain here.
+			mk("beta", "w1", 10*time.Second, 2*time.Hour),
+			mk("beta", "w2", 15*time.Second, 2*time.Hour),
+			// Both tenants also share a hopeless name: 60s of critical path
+			// against sub-60s budgets rejects in either tenant independently.
+			mk("alpha", "w3", 40*time.Second, 90*time.Second),
+			mk("beta", "w3", 45*time.Second, 100*time.Second),
+		}
+	}
+	type row struct {
+		name     string
+		rejected bool
+		reason   string
+		offer    simtime.Time
+	}
+	var wantRows []row
+	var wantRecs []admission.Record
+	for _, shards := range []int{1, 2, 4} {
+		ctrl := door()
+		cfg := shardedConfig(shards)
+		cfg.Admission = ctrl
+		c, err := live.New(cfg, core.NewScheduler(core.Options{Seed: 7}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range flows() {
+			p, err := plan.GenerateCapped(w, 12, priority.LPF{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Submit(w, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := c.Run(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", shards, err)
+		}
+		rows := make([]row, 0, len(res.Workflows))
+		for _, w := range res.Workflows {
+			rows = append(rows, row{name: w.Name, rejected: w.Rejected, reason: w.RejectReason, offer: w.CounterOffer})
+		}
+		recs := ctrl.(decisionAudit).Records()
+		for i, r := range rows {
+			if want := r.name == "w3"; r.rejected != want {
+				t.Fatalf("Shards=%d: refusal pattern %+v, want exactly the two w3 rows rejected (row %d)", shards, rows, i)
+			}
+		}
+
+		// alpha/w2's chain: a rate-limited defer followed by a retry ruling
+		// anchored at the defer's RetryAt, not reset to the release — the
+		// anchor survived beta's terminal rulings on the same names.
+		var deferred, retried *admission.Record
+		for i := range recs {
+			r := &recs[i]
+			if r.Tenant != "alpha" || r.Workflow != "w2" {
+				continue
+			}
+			if r.Decision.Verdict == admission.Defer && deferred == nil {
+				deferred = r
+			} else if deferred != nil && retried == nil {
+				retried = r
+			}
+		}
+		if deferred == nil || retried == nil {
+			t.Fatalf("Shards=%d: alpha/w2 records %+v, want a defer then a retry ruling", shards, recs)
+		}
+		if retried.Anchor != deferred.Decision.RetryAt {
+			t.Errorf("Shards=%d: alpha/w2 retry anchored at %v, want its RetryAt %v — defer chain was reset",
+				shards, retried.Anchor, deferred.Decision.RetryAt)
+		}
+		if shards == 1 {
+			wantRows, wantRecs = rows, recs
+			continue
+		}
+		if !reflect.DeepEqual(rows, wantRows) {
+			t.Errorf("Shards=%d: outcome rows %+v differ from legacy %+v", shards, rows, wantRows)
+		}
+		if !reflect.DeepEqual(recs, wantRecs) {
+			t.Errorf("Shards=%d: decision records diverge from legacy:\n got %+v\nwant %+v", shards, recs, wantRecs)
+		}
+	}
+}

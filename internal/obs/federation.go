@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// FedStats bundles the instruments of the federation layer
+// (internal/federation): per-cluster routing counters, load-snapshot
+// freshness, and the per-cluster load gauges refreshed together with the
+// snapshots the routers decide on. All methods are safe on a nil receiver,
+// so the federation carries a FedStats pointer unconditionally and
+// uninstrumented runs pay one nil check per routing decision.
+type FedStats struct {
+	// Routed counts workflows routed to each member cluster.
+	Routed []*Counter
+	// SnapshotAge observes, per routing decision, how stale (in simulated
+	// seconds) the load snapshots the router saw were — 0 when the
+	// staleness interval is 0 and every decision refreshes first.
+	SnapshotAge *Histogram
+	// SnapshotRefreshes counts load-snapshot refreshes across all clusters.
+	SnapshotRefreshes *Counter
+	// Clusters reports the federation's member count.
+	Clusters *Gauge
+	// Active, Backlog, and FreeSlots mirror each cluster's last snapshot:
+	// live workflows, owed slot-time in seconds, and idle slots.
+	Active    []*Gauge
+	Backlog   []*Gauge
+	FreeSlots []*Gauge
+}
+
+// NewFedStats registers the federation instruments for n member clusters
+// under the given router name. Returns nil (disabled stats) on a nil
+// receiver.
+func (o *Obs) NewFedStats(router string, n int) *FedStats {
+	if o == nil {
+		return nil
+	}
+	s := &FedStats{
+		SnapshotAge: o.reg.HistogramWith(MetricFedSnapshotAge,
+			"Simulated staleness of the load snapshots a routing decision saw.",
+			Labels{"router": router}, DurationBuckets),
+		SnapshotRefreshes: o.reg.CounterWith(MetricFedSnapshotRefresh,
+			"Load-snapshot refreshes across all member clusters.",
+			Labels{"router": router}),
+		Clusters: o.reg.Gauge(MetricFedClusters,
+			"Member clusters in the federation."),
+	}
+	s.Clusters.Set(int64(n))
+	for i := 0; i < n; i++ {
+		l := Labels{"cluster": strconv.Itoa(i)}
+		s.Routed = append(s.Routed, o.reg.CounterWith(MetricFedRouted,
+			"Workflows routed to this member cluster.", l))
+		s.Active = append(s.Active, o.reg.GaugeWith(MetricFedClusterActive,
+			"Live workflows on this member cluster at its last load snapshot.", l))
+		s.Backlog = append(s.Backlog, o.reg.GaugeWith(MetricFedClusterBacklog,
+			"Owed slot-time (seconds) on this member cluster at its last load snapshot.", l))
+		s.FreeSlots = append(s.FreeSlots, o.reg.GaugeWith(MetricFedClusterFreeSlots,
+			"Idle slots on this member cluster at its last load snapshot.", l))
+	}
+	return s
+}
+
+// OnRoute records one routing decision: the chosen cluster and the age of
+// the stalest snapshot the router saw.
+func (s *FedStats) OnRoute(clusterIdx int, maxAge time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Routed[clusterIdx].Inc()
+	s.SnapshotAge.ObserveDuration(maxAge)
+}
+
+// OnRefresh records one cluster's load snapshot being retaken.
+func (s *FedStats) OnRefresh(clusterIdx, active, freeSlots int, backlog time.Duration) {
+	if s == nil {
+		return
+	}
+	s.SnapshotRefreshes.Inc()
+	s.Active[clusterIdx].Set(int64(active))
+	s.Backlog[clusterIdx].Set(int64(backlog / time.Second))
+	s.FreeSlots[clusterIdx].Set(int64(freeSlots))
+}

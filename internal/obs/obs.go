@@ -97,6 +97,18 @@ const (
 	MetricAdmissionReleases         = "woha_admission_releases_total"
 	MetricAdmissionDecisionDuration = "woha_admission_decision_seconds"
 
+	// Federation layer (internal/federation): routing outcomes per member
+	// cluster, load-snapshot freshness, and per-cluster load gauges
+	// refreshed with the snapshots the routers decide on. Per-cluster
+	// series are labeled cluster=<index>.
+	MetricFedRouted           = "woha_fed_routed_total"
+	MetricFedSnapshotAge      = "woha_fed_snapshot_age_seconds"
+	MetricFedSnapshotRefresh  = "woha_fed_snapshot_refreshes_total"
+	MetricFedClusters         = "woha_fed_clusters"
+	MetricFedClusterActive    = "woha_fed_cluster_active_workflows"
+	MetricFedClusterBacklog   = "woha_fed_cluster_backlog_seconds"
+	MetricFedClusterFreeSlots = "woha_fed_cluster_free_slots"
+
 	// Build metadata: a constant-1 gauge labeled with the binary's module
 	// version and Go toolchain so scrapes are attributable.
 	MetricBuildInfo = "woha_build_info"

@@ -16,14 +16,37 @@ package simtime
 type Queue[T any] struct {
 	h []event[T]
 	// seq is a monotonically increasing stamp assigned at Push time so that
-	// events pushed earlier pop earlier among equal firing times.
-	seq uint64
+	// events pushed earlier pop earlier among equal firing times. Normal
+	// pushes live in the upper seq band (normalBand set); PushFront draws
+	// from fseq in the lower band, so front events precede every normal
+	// event sharing their instant while staying FIFO among themselves.
+	seq  uint64
+	fseq uint64
 }
+
+// normalBand tags the seq stamps of ordinary pushes. Every normal stamp is
+// larger than every front stamp, so among events at one instant the front
+// band drains first; within each band FIFO order is preserved.
+const normalBand = uint64(1) << 63
 
 // Push schedules payload v to fire at instant at.
 func (q *Queue[T]) Push(at Time, v T) {
 	q.seq++
-	q.h = append(q.h, event[T]{at: at, seq: q.seq, payload: v})
+	q.h = append(q.h, event[T]{at: at, seq: normalBand | q.seq, payload: v})
+	q.up(len(q.h) - 1)
+}
+
+// PushFront schedules payload v to fire at instant at, ahead of every
+// already- or later-Pushed event at the same instant (repeated PushFronts at
+// one instant keep their own FIFO order). The federation layer uses it to
+// inject workflow arrivals into a running simulator with the same
+// same-instant ordering a pre-run Submit would have produced: pre-run
+// arrivals carry the lowest seq stamps of their instant, so a live-submitted
+// arrival must also sort before the completions and heartbeats already
+// queued there.
+func (q *Queue[T]) PushFront(at Time, v T) {
+	q.fseq++
+	q.h = append(q.h, event[T]{at: at, seq: q.fseq, payload: v})
 	q.up(len(q.h) - 1)
 }
 
@@ -98,6 +121,7 @@ func (q *Queue[T]) Reset() {
 	}
 	q.h = q.h[:0]
 	q.seq = 0
+	q.fseq = 0
 }
 
 func (q *Queue[T]) less(i, j int) bool {

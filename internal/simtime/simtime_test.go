@@ -112,6 +112,38 @@ func TestQueueFIFOAmongTies(t *testing.T) {
 	}
 }
 
+// TestQueuePushFrontPrecedesTies pins the band scheme PushFront relies on: a
+// front event fires before every normal event sharing its instant — even
+// normal events pushed earlier — while front events keep FIFO order among
+// themselves and time order still dominates everything.
+func TestQueuePushFrontPrecedesTies(t *testing.T) {
+	var q Queue[int]
+	q.Push(10, 100)      // earlier instant: still pops first
+	q.Push(42, 0)        // normal pushes at the shared instant...
+	q.Push(42, 1)        // ...pushed before the front events
+	q.PushFront(42, 200) // front events jump the normal band
+	q.PushFront(42, 201)
+	q.Push(42, 2)
+	q.Push(50, 300)
+	want := []int{100, 200, 201, 0, 1, 2, 300}
+	for i, w := range want {
+		_, v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue exhausted after %d pops", i)
+		}
+		if v != w {
+			t.Fatalf("pop %d = %d, want %d", i, v, w)
+		}
+	}
+	// Reset must rewind the front band too, or a pooled queue's next run
+	// would order same-instant front events against stale stamps.
+	q.Push(7, 1)
+	q.Reset()
+	if q.seq != 0 || q.fseq != 0 {
+		t.Fatalf("Reset left seq=%d fseq=%d, want 0 0", q.seq, q.fseq)
+	}
+}
+
 func TestQueuePeekMatchesPop(t *testing.T) {
 	var q Queue[int]
 	rng := rand.New(rand.NewSource(1))
